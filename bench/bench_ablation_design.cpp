@@ -1,0 +1,230 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//   1. M relocation reuse on/off          (OmegaPlus data-reuse optimization)
+//   2. GEMM vs popcount LD engines        (DLA cast of LD)
+//   3. GPU sub-region order switch        (coalescing; value-neutral)
+//   4. GPU buffer padding                 (transfer cost vs access pattern)
+//   5. Kernel II work-item load (WILD)    (functional sanity across loads)
+//   6. FPGA unroll factor sweep           (throughput vs resources)
+//   7. FPGA TS stream source              (on-chip vs DRAM throttling)
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dp_matrix.h"
+#include "core/omega_search.h"
+#include "core/scanner.h"
+#include "core/workload.h"
+#include "hw/device_specs.h"
+#include "hw/fpga/cycle_model.h"
+#include "hw/fpga/resource_model.h"
+#include "hw/fpga/scheduler.h"
+#include "hw/gpu/gpu_backend.h"
+#include "hw/gpu/omega_kernels.h"
+#include "hw/gpu/timing_model.h"
+#include "ld/ld_engine.h"
+#include "ld/snp_matrix.h"
+#include "par/thread_pool.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+void ablate_reuse() {
+  std::printf("\n[1] M relocation reuse (2,500 SNPs x 50 seqs, grid 120):\n");
+  const auto dataset = omega::bench::figure_dataset(2'500, 50);
+  omega::core::ScannerOptions options;
+  options.config.grid_size = 120;
+  options.config.window_unit = omega::core::WindowUnit::Snps;
+  options.config.max_window = 1'000;
+  options.config.min_window = 200;
+  omega::util::Table table({"reuse", "r2 fetched", "LD seconds", "scan seconds"});
+  for (const bool reuse : {true, false}) {
+    options.reuse = reuse;
+    const auto result = omega::core::scan(dataset, options);
+    table.add_row({reuse ? "on" : "off",
+                   std::to_string(result.profile.r2_fetched),
+                   omega::util::Table::num(result.profile.ld_seconds, 3),
+                   omega::util::Table::num(result.profile.total_seconds, 3)});
+  }
+  table.print();
+}
+
+void ablate_ld_engine() {
+  std::printf("\n[2] LD engine (r2 values/second, single core):\n");
+  omega::util::Table table({"samples", "popcount", "gemm", "gemm/popcount"});
+  for (const std::size_t samples : {64, 512, 4'096}) {
+    const auto dataset = omega::bench::figure_dataset(1'200, samples, 555);
+    const omega::ld::SnpMatrix snps(dataset);
+    const std::size_t block = 400;
+    std::vector<float> out(block * block);
+    auto rate = [&](const omega::ld::LdEngine& engine) {
+      omega::util::Timer timer;
+      engine.r2_block(0, block, block, 2 * block, out.data(), block);
+      return static_cast<double>(block * block) / timer.seconds();
+    };
+    const omega::ld::PopcountLd popcount(snps);
+    const omega::ld::GemmLd gemm(snps);
+    const double pop_rate = rate(popcount);
+    const double gemm_rate = rate(gemm);
+    table.add_row({std::to_string(samples), omega::bench::mps(pop_rate) + "M",
+                   omega::bench::mps(gemm_rate) + "M",
+                   omega::util::Table::num(gemm_rate / pop_rate, 2) + "x"});
+  }
+  table.print();
+}
+
+void ablate_gpu_choices() {
+  std::printf("\n[3/4] GPU order switch & padding (modeled, K80, per-position "
+              "workload 2^20 omegas, 4 MB payload):\n");
+  auto spec = omega::hw::tesla_k80();
+  const std::uint64_t n = 1ull << 20;
+  const std::uint64_t payload = 4ull << 20;
+  const auto padded = omega::hw::gpu::padded_bytes(spec, payload);
+  std::printf("  padding adds %.2f%% wire bytes; buys coalesced access on "
+              "both kernels (paper: outweighed by the better pattern)\n",
+              100.0 * (static_cast<double>(padded) - static_cast<double>(payload)) /
+                  static_cast<double>(payload));
+  const auto cost = omega::hw::gpu::complete_position_cost(
+      spec, omega::hw::gpu::KernelChoice::Kernel2, n, payload);
+  std::printf("  complete position cost: prep %.1f us, transfer %.1f us, "
+              "kernel %.1f us, total %.1f us\n",
+              cost.prep_s * 1e6, cost.transfer_s * 1e6, cost.kernel_s * 1e6,
+              cost.total_s * 1e6);
+
+  // Order switch: functional check that swapping sides leaves values intact,
+  // and measurement of the packing overhead of the transpose.
+  const auto dataset = omega::bench::figure_dataset(800, 50, 666);
+  omega::core::OmegaConfig config;
+  config.grid_size = 5;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 700;
+  config.min_window = 100;
+  omega::core::ScannerOptions options;
+  options.config = config;
+  omega::par::ThreadPool pool;
+  for (const bool order_switch : {true, false}) {
+    omega::hw::gpu::GpuBackendOptions gpu_options;
+    gpu_options.order_switch = order_switch;
+    omega::util::Timer timer;
+    const auto result = omega::core::scan(dataset, options, [&] {
+      return std::make_unique<omega::hw::gpu::GpuOmegaBackend>(spec, pool,
+                                                               gpu_options);
+    });
+    std::printf("  order switch %-3s: best omega %.4f, wall %.3fs\n",
+                order_switch ? "on" : "off", result.best().max_omega,
+                timer.seconds());
+  }
+}
+
+void ablate_kernel2_wild() {
+  std::printf("\n[5] Kernel II work-item load (functional, identical results "
+              "required):\n");
+  const auto dataset = omega::bench::figure_dataset(600, 50, 888);
+  omega::core::OmegaConfig config;
+  config.grid_size = 3;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 500;
+  config.min_window = 100;
+  const auto grid = omega::core::build_grid(dataset, config);
+  const omega::ld::SnpMatrix snps(dataset);
+  const omega::ld::PopcountLd engine(snps);
+  omega::par::ThreadPool pool;
+  for (const auto& position : grid) {
+    if (!position.valid) continue;
+    omega::core::DpMatrix m;
+    m.reset(position.lo);
+    m.extend(position.hi + 1, engine);
+    const auto buffers = omega::core::pack_position(m, position);
+    std::printf("  position @%lld (%llu omegas):",
+                static_cast<long long>(position.position_bp),
+                static_cast<unsigned long long>(buffers.combinations()));
+    for (const std::size_t items : {64, 1024, 13'312}) {
+      const auto result = omega::hw::gpu::run_kernel2(pool, buffers, 256, items);
+      std::printf(" Gs=%zu -> %.5f", items, result.max_omega);
+    }
+    std::printf("\n");
+    break;  // one position suffices for the demonstration
+  }
+}
+
+void ablate_fpga() {
+  std::printf("\n[6] FPGA unroll factor sweep (Alveo fabric, 1e6 right-side "
+              "iterations):\n");
+  omega::util::Table table({"unroll", "Mw/s (on-chip)", "DSP used", "LUT used"});
+  auto spec = omega::hw::alveo_u200();
+  for (const int unroll : {1, 2, 4, 8, 16, 32, 64}) {
+    auto variant = spec;
+    variant.unroll_factor = unroll;
+    const double throughput =
+        omega::hw::fpga::invocation_throughput(variant, 1'000'000);
+    const auto rows = omega::hw::fpga::utilization_at(spec, unroll);
+    table.add_row({std::to_string(unroll),
+                   omega::util::Table::num(throughput / 1e6, 0),
+                   omega::util::Table::num(rows[1].used, 0),
+                   omega::util::Table::num(rows[3].used, 0)});
+  }
+  table.print();
+
+  std::printf("\n[7] FPGA TS stream source (position: 2,000 outer x 2,016 "
+              "inner):\n");
+  for (const bool dram : {false, true}) {
+    const auto cycles =
+        omega::hw::fpga::position_cycles(spec, 2'000, 2'016, dram);
+    const double seconds = static_cast<double>(cycles.hw_cycles) / spec.clock_hz;
+    std::printf("  %-8s: stall x%.2f, %.2f Mcycles, %.1f ms, %.2f Gw/s\n",
+                dram ? "DRAM" : "on-chip", cycles.stall_factor,
+                static_cast<double>(cycles.hw_cycles) / 1e6, seconds * 1e3,
+                static_cast<double>(cycles.hw_omegas) / seconds / 1e9);
+  }
+}
+
+void ablate_scheduler() {
+  std::printf("\n[8] FPGA multi-instance scaling (grid 256, list-scheduled; "
+              "instances share the card's DDR):\n");
+  const auto dataset = omega::bench::figure_dataset(3'000, 50, 999);
+  omega::core::OmegaConfig config;
+  config.grid_size = 256;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 1'500;
+  config.min_window = 200;
+  const auto workload = omega::core::analyze_workload(dataset, config);
+
+  for (const auto& spec : {omega::hw::zcu102(), omega::hw::alveo_u200()}) {
+    std::printf("  %s (fits %d instances at 80%% budget):\n", spec.name.c_str(),
+                omega::hw::fpga::max_instances(spec));
+    omega::util::Table table(
+        {"instances", "makespan (ms)", "speedup", "util %", "DDR stall"});
+    double base = 0.0;
+    for (const int instances : {1, 2, 4, 8}) {
+      omega::hw::fpga::SchedulerOptions options;
+      options.instances = instances;
+      const auto result =
+          omega::hw::fpga::schedule_positions(spec, workload, options);
+      if (instances == 1) base = result.makespan_s;
+      table.add_row({std::to_string(instances),
+                     omega::util::Table::num(result.makespan_s * 1e3, 2),
+                     omega::util::Table::num(base / result.makespan_s, 2) + "x",
+                     omega::util::Table::num(100.0 * result.utilization(), 1),
+                     omega::util::Table::num(result.shared_stall_factor, 2) + "x"});
+    }
+    table.print();
+  }
+  std::printf("  reading: the ZCU102 (narrow unroll) scales with instances; "
+              "the U200 is already bandwidth-bound at one instance — the "
+              "Bozikas et al. finding that transfers limit multi-accelerator "
+              "deployments.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Design-choice ablations\n");
+  ablate_reuse();
+  ablate_ld_engine();
+  ablate_gpu_choices();
+  ablate_kernel2_wild();
+  ablate_fpga();
+  ablate_scheduler();
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/dp_matrix.h"
+#include "core/grid.h"
+#include "core/omega_search.h"
+#include "ld/ld_engine.h"
+#include "ld/snp_matrix.h"
+#include "sim/dataset_factory.h"
+#include "util/timer.h"
+
+namespace omega::bench {
+
+core::OmegaConfig paper_gpu_config() {
+  core::OmegaConfig config;
+  config.grid_size = 1'000;
+  config.window_unit = core::WindowUnit::Snps;
+  config.max_window = 20'000;
+  // The paper quotes a "minimum window size of 1,000 SNPs" but also states
+  // the settings "allow to exhaustively analyze every grid position"; with a
+  // hard 500-SNP-per-side border a 1,000-SNP dataset would have almost no
+  // window combinations at all, contradicting Fig. 12's measurable
+  // throughput at that size. We therefore read the minimum as not
+  // constraining interior combinations and evaluate exhaustively
+  // (min_window = 4, i.e. l, r >= 2). See EXPERIMENTS.md.
+  config.min_window = 4;
+  return config;
+}
+
+io::Dataset figure_dataset(std::size_t snps, std::size_t samples,
+                           std::uint64_t seed) {
+  sim::DatasetSpec spec;
+  spec.snps = snps;
+  spec.samples = samples;
+  spec.locus_length_bp = static_cast<std::int64_t>(snps) * 100;  // ~1 SNP/100bp
+  spec.rho = 40.0;
+  spec.seed = seed;
+  return sim::make_dataset(spec);
+}
+
+double measure_ld_rate(const io::Dataset& dataset, std::uint64_t target_pairs) {
+  const ld::SnpMatrix snps(dataset);
+  const ld::PopcountLd engine(snps);
+  const std::size_t sites = snps.num_sites();
+  std::size_t rows = 1, cols = sites;
+  while (rows * cols < target_pairs && rows < sites) {
+    ++rows;
+  }
+  std::vector<float> out(rows * cols);
+  util::Timer timer;
+  engine.r2_block(0, rows, 0, cols, out.data(), cols);
+  const double seconds = timer.seconds();
+  if (seconds <= 0.0) throw std::runtime_error("LD measurement too fast");
+  return static_cast<double>(rows * cols) / seconds;
+}
+
+double measure_omega_rate(const io::Dataset& dataset,
+                          const core::OmegaConfig& config, double min_seconds) {
+  const auto grid = core::build_grid(dataset, config);
+  // Pick the central grid position (largest workload) and time repeated
+  // searches over its real M matrix.
+  const core::GridPosition* position = nullptr;
+  for (const auto& candidate : grid) {
+    if (candidate.valid &&
+        (position == nullptr ||
+         candidate.combinations() > position->combinations())) {
+      position = &candidate;
+    }
+  }
+  if (position == nullptr) throw std::runtime_error("no valid grid position");
+
+  const ld::SnpMatrix snps(dataset);
+  const ld::PopcountLd engine(snps);
+  core::DpMatrix m;
+  m.reset(position->lo);
+  m.extend(position->hi + 1, engine);
+
+  std::uint64_t evaluated = 0;
+  util::Timer timer;
+  double best = 0.0;
+  do {
+    const auto result = core::max_omega_search(m, *position);
+    evaluated += result.evaluated;
+    best = result.max_omega;  // defeat dead-code elimination
+  } while (timer.seconds() < min_seconds);
+  (void)best;
+  return static_cast<double>(evaluated) / timer.seconds();
+}
+
+std::string gps(double per_second) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", per_second / 1e9);
+  return buffer;
+}
+
+std::string mps(double per_second) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", per_second / 1e6);
+  return buffer;
+}
+
+}  // namespace omega::bench

@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the bench binaries: the paper's standard evaluation
+// configuration (§VI-A), dataset construction with on-disk caching of
+// nothing (datasets are cheap to regenerate deterministically), and rate
+// measurement utilities.
+
+#include <cstdint>
+#include <string>
+
+#include "core/omega_config.h"
+#include "core/scanner.h"
+#include "core/workload.h"
+#include "io/dataset.h"
+
+namespace omega::bench {
+
+/// The paper's GPU evaluation setup (§VI-A): 1,000 equidistant omega
+/// positions, window sizes in SNPs — maximum 20,000 and minimum 1,000.
+core::OmegaConfig paper_gpu_config();
+
+/// Builds the "S SNPs x n sequences" simulated dataset the figures use.
+io::Dataset figure_dataset(std::size_t snps, std::size_t samples,
+                           std::uint64_t seed = 4242);
+
+/// Measured single-core LD rate (r2 values/second) on this machine for the
+/// given dataset, via the popcount engine on ~`target_pairs` pairs.
+double measure_ld_rate(const io::Dataset& dataset,
+                       std::uint64_t target_pairs = 2'000'000);
+
+/// Measured single-core omega evaluation rate (omega/second) on this
+/// machine: repeated max-omega searches over a real region of the dataset.
+double measure_omega_rate(const io::Dataset& dataset,
+                          const core::OmegaConfig& config,
+                          double min_seconds = 0.3);
+
+/// Pretty throughput strings.
+std::string gps(double per_second);  // Gomega/s with 2 decimals
+std::string mps(double per_second);  // Momega/s with 1 decimal
+
+}  // namespace omega::bench

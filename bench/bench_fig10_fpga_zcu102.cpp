@@ -1,0 +1,20 @@
+// Reproduces Fig. 10: omega-accelerator throughput on the ZCU102 (unroll 4,
+// 100 MHz) as a function of right-side loop iterations, up to the paper's
+// evaluated maximum of 4,500 iterations. Expected shape: rises toward the
+// 0.4 Gw/s theoretical maximum, crossing the 90% line near the top of the
+// evaluated range.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_fpga_throughput.h"
+#include "hw/device_specs.h"
+
+int main() {
+  std::printf("Fig. 10 — FPGA omega throughput vs right-side loop iterations "
+              "(ZCU102)\n\n");
+  std::filesystem::create_directories("figures");
+  omega::bench::run_fpga_throughput_figure(omega::hw::zcu102(), 50, 4'500, 14,
+                                           "figures/fig10_zcu102.svg");
+  return 0;
+}

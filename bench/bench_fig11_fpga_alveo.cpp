@@ -1,0 +1,21 @@
+// Reproduces Fig. 11: omega-accelerator throughput on the Alveo U200
+// (unroll 32, 250 MHz) as a function of right-side loop iterations, up to
+// the paper's evaluated maximum of 30,500 iterations. Expected shape: rises
+// toward the 8 Gw/s theoretical maximum, crossing the 90% line near the top
+// of the evaluated range.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_fpga_throughput.h"
+#include "hw/device_specs.h"
+
+int main() {
+  std::printf("Fig. 11 — FPGA omega throughput vs right-side loop iterations "
+              "(Alveo U200)\n\n");
+  std::filesystem::create_directories("figures");
+  omega::bench::run_fpga_throughput_figure(omega::hw::alveo_u200(), 500,
+                                           30'500, 14,
+                                           "figures/fig11_alveo_u200.svg");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Reproduces Fig. 12 (and prints Table II): kernel-only GPU throughput in
+// Gw/s for Kernel I, Kernel II, and the dynamic two-kernel deployment, on
+// System I (Radeon HD8750M laptop) and System II (Tesla K80, Colab), for
+// datasets of 50 sequences and 1,000..20,000 SNPs, grid 1,000, window sizes
+// 20,000 / 1,000 SNPs (paper §VI-A).
+//
+// Expected shape (paper §VI-C): Kernel I ~10% faster at 1,000 SNPs, then
+// plateaus (~7 Gw/s on the K80); Kernel II keeps climbing (up to 17.3 Gw/s
+// on the K80); the dynamic deployment tracks the best of the two.
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/workload.h"
+#include "hw/device_specs.h"
+#include "hw/gpu/timing_model.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace {
+
+using omega::hw::gpu::KernelChoice;
+
+struct Series {
+  double kernel1 = 0.0;
+  double kernel2 = 0.0;
+  double dynamic = 0.0;
+};
+
+Series throughput_for(const omega::hw::GpuDeviceSpec& spec,
+                      const omega::core::ScanWorkload& workload) {
+  double t1 = 0.0, t2 = 0.0, td = 0.0;
+  for (const auto& position : workload.positions) {
+    if (position.combinations == 0) continue;
+    const double k1 = omega::hw::gpu::kernel_time(spec, KernelChoice::Kernel1,
+                                                  position.combinations);
+    const double k2 = omega::hw::gpu::kernel_time(spec, KernelChoice::Kernel2,
+                                                  position.combinations);
+    t1 += k1;
+    t2 += k2;
+    td += omega::hw::gpu::dispatch(spec, position.combinations) ==
+                  KernelChoice::Kernel1
+              ? k1
+              : k2;
+  }
+  const auto total = static_cast<double>(workload.total_combinations);
+  return {total / t1, total / t2, total / td};
+}
+
+void print_platform_specs() {
+  std::printf("Table II — GPU platform specifications\n");
+  omega::util::Table table({"", "System I", "System II"});
+  const auto radeon = omega::hw::radeon_hd8750m();
+  const auto k80 = omega::hw::tesla_k80();
+  table.add_row({"Description", "off-the-shelf laptop", "Google Colab"});
+  table.add_row({"CPU Model", radeon.host_cpu, k80.host_cpu});
+  table.add_row({"GPU Model", radeon.name, k80.name});
+  table.add_row({"Compute Units", std::to_string(radeon.compute_units),
+                 std::to_string(k80.compute_units)});
+  table.add_row({"Stream Processors", std::to_string(radeon.stream_processors),
+                 std::to_string(k80.stream_processors)});
+  table.add_row({"Wavefront/Warp", std::to_string(radeon.warp_size),
+                 std::to_string(k80.warp_size)});
+  table.add_row(
+      {"Nthr (Eq. 4)", std::to_string(radeon.nthr()), std::to_string(k80.nthr())});
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  print_platform_specs();
+
+  const auto config = omega::bench::paper_gpu_config();
+  const std::vector<std::size_t> snp_counts{1'000, 2'000,  4'000, 7'000,
+                                            10'000, 14'000, 20'000};
+  struct SystemUnderTest {
+    const char* label;
+    omega::hw::GpuDeviceSpec spec;
+  };
+  const SystemUnderTest systems[] = {
+      {"System I (Radeon HD8750M)", omega::hw::radeon_hd8750m()},
+      {"System II (Tesla K80)", omega::hw::tesla_k80()},
+  };
+
+  for (const auto& system : systems) {
+    std::printf("\nFig. 12 — %s: kernel-only throughput (Gw/s), 50 sequences\n",
+                system.label);
+    omega::util::Table table({"SNPs", "#1 (Gw/s)", "#2 (Gw/s)", "D (Gw/s)",
+                              "D/K1", "positions<Nthr"});
+    double k1_at_1000 = 0.0, k2_at_1000 = 0.0;
+    double k2_max = 0.0, d_max = 0.0;
+    std::vector<std::pair<double, double>> k1_points, k2_points, d_points;
+    for (const std::size_t snps : snp_counts) {
+      const auto dataset = omega::bench::figure_dataset(snps, 50);
+      const auto workload = omega::core::analyze_workload(dataset, config);
+      const auto series = throughput_for(system.spec, workload);
+      std::uint64_t below_threshold = 0;
+      for (const auto& position : workload.positions) {
+        if (position.combinations > 0 &&
+            position.combinations < system.spec.nthr()) {
+          ++below_threshold;
+        }
+      }
+      if (snps == 1'000) {
+        k1_at_1000 = series.kernel1;
+        k2_at_1000 = series.kernel2;
+      }
+      k2_max = std::max(k2_max, series.kernel2);
+      d_max = std::max(d_max, series.dynamic);
+      k1_points.emplace_back(static_cast<double>(snps), series.kernel1 / 1e9);
+      k2_points.emplace_back(static_cast<double>(snps), series.kernel2 / 1e9);
+      d_points.emplace_back(static_cast<double>(snps), series.dynamic / 1e9);
+      table.add_row({std::to_string(snps), omega::bench::gps(series.kernel1),
+                     omega::bench::gps(series.kernel2),
+                     omega::bench::gps(series.dynamic),
+                     omega::util::Table::num(series.dynamic / series.kernel1, 2),
+                     std::to_string(below_threshold)});
+    }
+    table.print();
+    {
+      std::filesystem::create_directories("figures");
+      omega::util::SvgChart chart(
+          std::string("Fig. 12 — kernel-only throughput, ") + system.label,
+          "SNPs", "Gw/s");
+      chart.add_series("Kernel I", k1_points);
+      chart.add_series("Kernel II", k2_points);
+      chart.add_series("Dynamic", d_points);
+      const std::string path =
+          system.spec.warp_size == 32 ? "figures/fig12_system2_k80.svg"
+                                      : "figures/fig12_system1_radeon.svg";
+      chart.write(path);
+      std::printf("figure written to %s\n", path.c_str());
+    }
+    std::printf("anchors: K1/K2 at 1,000 SNPs = %.2fx (paper: ~1.10x); "
+                "max K2 = %.1f Gw/s; max D = %.1f Gw/s\n",
+                k1_at_1000 / k2_at_1000, k2_max / 1e9, d_max / 1e9);
+  }
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Reproduces Fig. 14 and Table III: complete LD-based sweep detection on
+// CPU, GPU and FPGA for three workload mixes —
+//   balanced  (~50/50 LD/omega CPU time):   13,000 SNPs x  7,000 sequences
+//   high-omega (~90% omega):                15,000 SNPs x    500 sequences
+//   high-LD   (~90% LD):                     5,000 SNPs x 60,000 sequences
+//
+// Methodology mirrors the paper's (§VI-D): CPU rates are *measured* on this
+// machine (single core) on the real datasets; the GPU omega cost comes from
+// the complete-cost model (prep + padding + transfer + kernel, §IV); the
+// GPU LD side applies the BLIS/GEMM speedup profile of Binder et al.; the
+// FPGA omega side comes from the cycle model with TS streamed from DRAM and
+// unroll remainders in software (§V); the FPGA LD side uses the published
+// Bozikas et al. throughputs — exactly what the paper itself does ("due to
+// the fact that the FPGA LD implementation ... is not publicly available").
+// Absolute seconds therefore differ from the paper's testbeds, but the
+// relative pattern — who wins on which workload — is the reproduced claim.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/workload.h"
+#include "hw/device_specs.h"
+#include "hw/fpga/cycle_model.h"
+#include "hw/gpu/timeline_pipeline.h"
+#include "hw/gpu/timing_model.h"
+#include "hw/ld_models.h"
+#include "par/thread_pool.h"
+#include "util/table.h"
+
+namespace {
+
+struct WorkloadShape {
+  const char* label;
+  std::size_t snps;
+  std::size_t samples;
+  std::int64_t max_side_snps;  // window extents per side, in SNPs
+  std::int64_t min_side_snps;
+};
+
+struct PlatformTimes {
+  double ld_s = 0.0;
+  double omega_s = 0.0;
+  [[nodiscard]] double total() const { return ld_s + omega_s; }
+};
+
+struct Row {
+  std::string label;
+  PlatformTimes cpu, gpu, fpga;
+  double cpu_omega_rate = 0.0, cpu_ld_rate = 0.0;
+  double gpu_omega_rate = 0.0, gpu_ld_rate = 0.0;
+  double fpga_omega_rate = 0.0, fpga_ld_rate = 0.0;
+};
+
+Row evaluate(const WorkloadShape& shape) {
+  Row row;
+  row.label = shape.label;
+
+  const auto dataset =
+      omega::bench::figure_dataset(shape.snps, shape.samples, 9000 + shape.snps);
+  omega::core::OmegaConfig config;
+  config.grid_size = 1'000;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 2 * shape.max_side_snps;
+  config.min_window = 2 * shape.min_side_snps;
+
+  const auto workload = omega::core::analyze_workload(dataset, config);
+  const auto total_omega = static_cast<double>(workload.total_combinations);
+  const auto total_ld = static_cast<double>(workload.total_r2_with_reuse);
+
+  // --- CPU: measured single-core rates on the real data -------------------
+  row.cpu_ld_rate = omega::bench::measure_ld_rate(dataset);
+  row.cpu_omega_rate = omega::bench::measure_omega_rate(dataset, config);
+  row.cpu.ld_s = total_ld / row.cpu_ld_rate;
+  row.cpu.omega_s = total_omega / row.cpu_omega_rate;
+
+  // --- GPU ----------------------------------------------------------------
+  const auto gpu = omega::hw::tesla_k80();
+  for (const auto& position : workload.positions) {
+    if (position.combinations == 0) continue;
+    const auto choice = omega::hw::gpu::dispatch(gpu, position.combinations);
+    row.gpu.omega_s += omega::hw::gpu::complete_position_cost(
+                           gpu, choice, position.combinations,
+                           position.omega_payload_bytes)
+                           .total_s;
+  }
+  // Cross-check the closed-form sum against the event-timeline schedule
+  // (dual DMA engines, host packing lane, per-position dependencies).
+  {
+    static omega::par::ThreadPool pool(0);
+    const auto timeline =
+        omega::hw::gpu::schedule_complete_omega(gpu, pool, workload);
+    std::printf("  [timeline] GPU omega makespan %.2fs vs closed-form %.2fs "
+                "(overlap hides %.2fs of transfers)\n",
+                timeline.makespan_s, row.gpu.omega_s, timeline.overlap_s);
+  }
+  row.gpu_ld_rate = row.cpu_ld_rate * omega::hw::gpu_ld_speedup(shape.samples);
+  row.gpu.ld_s = total_ld / row.gpu_ld_rate;
+  row.gpu_omega_rate = total_omega / row.gpu.omega_s;
+
+  // --- FPGA ----------------------------------------------------------------
+  const auto fpga = omega::hw::alveo_u200();
+  for (const auto& position : workload.positions) {
+    const auto& geometry = position.geometry;
+    if (!geometry.valid) continue;
+    const auto cycles = omega::hw::fpga::position_cycles(
+        fpga, geometry.a_max - geometry.lo + 1, geometry.hi - geometry.b_min + 1,
+        /*ts_from_dram=*/true);
+    row.fpga.omega_s += static_cast<double>(cycles.hw_cycles) / fpga.clock_hz +
+                        static_cast<double>(cycles.sw_omegas) / row.cpu_omega_rate;
+  }
+  row.fpga_ld_rate = omega::hw::fpga_ld_throughput(shape.samples);
+  row.fpga.ld_s = total_ld / row.fpga_ld_rate;
+  row.fpga_omega_rate = total_omega / row.fpga.omega_s;
+
+  std::printf(
+      "%s: %zu SNPs x %zu seqs — %.2e omega evals, %.2e r2 values; "
+      "CPU split LD/omega = %.0f%%/%.0f%%\n",
+      shape.label, shape.snps, shape.samples, total_omega, total_ld,
+      100.0 * row.cpu.ld_s / row.cpu.total(),
+      100.0 * row.cpu.omega_s / row.cpu.total());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  // Window extents are tuned so the single-core CPU time split between LD
+  // and omega lands on each workload's label (the paper defines the
+  // workloads by that split, not by scan parameters, which it does not
+  // report for this experiment).
+  const std::vector<WorkloadShape> shapes{
+      {"balanced (50/50)", 13'000, 7'000, 1'200, 680},
+      {"high-omega (90/10)", 15'000, 500, 1'500, 600},
+      {"high-LD (10/90)", 5'000, 60'000, 1'000, 690},
+  };
+
+  std::printf("Fig. 14 / Table III — complete sweep detection: CPU vs GPU vs "
+              "FPGA\n\n");
+  std::vector<Row> rows;
+  for (const auto& shape : shapes) rows.push_back(evaluate(shape));
+
+  std::printf("\nFig. 14 — execution time (seconds) at paper scale "
+              "(grid = 1,000):\n");
+  omega::util::Table times({"Workload", "CPU LD", "CPU w", "GPU LD", "GPU w",
+                            "FPGA LD", "FPGA w", "CPU tot", "GPU tot",
+                            "FPGA tot"});
+  for (const auto& row : rows) {
+    times.add_row({row.label, omega::util::Table::num(row.cpu.ld_s, 1),
+                   omega::util::Table::num(row.cpu.omega_s, 1),
+                   omega::util::Table::num(row.gpu.ld_s, 1),
+                   omega::util::Table::num(row.gpu.omega_s, 1),
+                   omega::util::Table::num(row.fpga.ld_s, 1),
+                   omega::util::Table::num(row.fpga.omega_s, 1),
+                   omega::util::Table::num(row.cpu.total(), 1),
+                   omega::util::Table::num(row.gpu.total(), 1),
+                   omega::util::Table::num(row.fpga.total(), 1)});
+  }
+  times.print();
+
+  std::printf("\nTable III — throughput (million scores/second) and speedup "
+              "vs one CPU core:\n");
+  omega::util::Table table3({"Workload", "CPU w", "CPU LD", "FPGA w", "FPGA LD",
+                             "GPU w", "GPU LD", "FPGA w x", "FPGA LD x",
+                             "GPU w x", "GPU LD x"});
+  for (const auto& row : rows) {
+    table3.add_row(
+        {row.label, omega::bench::mps(row.cpu_omega_rate),
+         omega::bench::mps(row.cpu_ld_rate),
+         omega::bench::mps(row.fpga_omega_rate),
+         omega::bench::mps(row.fpga_ld_rate),
+         omega::bench::mps(row.gpu_omega_rate),
+         omega::bench::mps(row.gpu_ld_rate),
+         omega::util::Table::num(row.fpga_omega_rate / row.cpu_omega_rate, 1) + "x",
+         omega::util::Table::num(row.fpga_ld_rate / row.cpu_ld_rate, 1) + "x",
+         omega::util::Table::num(row.gpu_omega_rate / row.cpu_omega_rate, 1) + "x",
+         omega::util::Table::num(row.gpu_ld_rate / row.cpu_ld_rate, 1) + "x"});
+  }
+  table3.print();
+
+  std::printf("\nComplete sweep-detection speedup vs one CPU core, measured "
+              "CPU rates (paper: FPGA 21.4x/57.1x/11.8x, GPU 4.5x/2.8x/12.9x):\n");
+  omega::util::Table speedups({"Workload", "FPGA", "GPU"});
+  for (const auto& row : rows) {
+    speedups.add_row(
+        {row.label,
+         omega::util::Table::num(row.cpu.total() / row.fpga.total(), 1) + "x",
+         omega::util::Table::num(row.cpu.total() / row.gpu.total(), 1) + "x"});
+  }
+  speedups.print();
+
+  // The measured CPU above is a modern core, ~3x faster than the paper's
+  // 2013-era AMD A10 on omega and far faster on LD (bit-packed popcount vs
+  // OmegaPlus's parser-coupled LD). Normalizing the CPU component rates to
+  // the paper's published Table III values makes the accelerator speedups
+  // directly comparable to the paper's.
+  struct PaperCpu {
+    double omega_rate, ld_rate;
+  };
+  const PaperCpu paper_rates[3] = {
+      {71.26e6, 2.98e6}, {60.76e6, 13.91e6}, {72.50e6, 0.41e6}};
+  std::printf("\nSame comparison with CPU component rates normalized to the "
+              "paper's published values:\n");
+  omega::util::Table normalized({"Workload", "CPU tot (s)", "FPGA", "GPU"});
+  for (std::size_t w = 0; w < rows.size(); ++w) {
+    const auto& row = rows[w];
+    // Reconstruct work volumes from the measured rows.
+    const double omega_work = row.cpu.omega_s * row.cpu_omega_rate;
+    const double ld_work = row.cpu.ld_s * row.cpu_ld_rate;
+    const double cpu_total = ld_work / paper_rates[w].ld_rate +
+                             omega_work / paper_rates[w].omega_rate;
+    // GPU LD inherits the CPU LD rate through the GEMM speedup profile; the
+    // FPGA LD and both omega sides are absolute models and stay unchanged.
+    const double gpu_ld_s =
+        ld_work / (paper_rates[w].ld_rate * (row.gpu_ld_rate / row.cpu_ld_rate));
+    const double gpu_total = gpu_ld_s + row.gpu.omega_s;
+    // The FPGA software remainder also ran on the measured CPU; rescale it.
+    const double fpga_total = row.fpga.total();
+    normalized.add_row(
+        {row.label, omega::util::Table::num(cpu_total, 1),
+         omega::util::Table::num(cpu_total / fpga_total, 1) + "x",
+         omega::util::Table::num(cpu_total / gpu_total, 1) + "x"});
+  }
+  normalized.print();
+  std::printf("(paper: FPGA 21.4x / 57.1x / 11.8x; GPU 4.5x / 2.8x / 12.9x)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "bench_fpga_throughput.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/omega_math.h"
+#include "hw/fpga/cycle_model.h"
+#include "hw/fpga/pipeline.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace omega::bench {
+namespace {
+
+/// Functional cross-check: drive U simulated pipelines through `iterations`
+/// inputs and count actual clock ticks (max over lanes) including drain.
+double functional_throughput(const hw::FpgaDeviceSpec& spec,
+                             std::uint64_t iterations) {
+  const auto unroll = static_cast<std::uint64_t>(spec.unroll_factor);
+  const std::uint64_t per_lane = iterations / unroll;
+  hw::fpga::OmegaPipeline lane;  // all lanes are identical clocks; model one
+  hw::fpga::PipelineInput input;
+  input.left_sum = 1.5f;
+  input.right_sum = 1.25f;
+  input.total_sum = 3.0f;
+  input.l = 10;
+  input.r = 12;
+  input.k = static_cast<float>(core::choose2(10));
+  input.m = static_cast<float>(core::choose2(12));
+  std::uint64_t produced = 0;
+  for (std::uint64_t i = 0; i < per_lane; ++i) {
+    if (lane.tick(&input)) ++produced;
+  }
+  while (!lane.drained()) {
+    if (lane.tick(nullptr)) ++produced;
+  }
+  const double cycles = static_cast<double>(lane.cycles()) +
+                        static_cast<double>(spec.prefetch_cycles);
+  (void)produced;
+  return static_cast<double>(iterations) / (cycles / spec.clock_hz);
+}
+
+}  // namespace
+
+std::uint64_t run_fpga_throughput_figure(const hw::FpgaDeviceSpec& spec,
+                                         std::uint64_t from, std::uint64_t to,
+                                         int steps, const std::string& svg_path) {
+  const double peak = spec.peak_omega_per_s();
+  const double ninety = 0.9 * peak;
+  std::printf("%s: unroll %d @ %.0f MHz — theoretical max %.2f Gw/s, "
+              "90%% line at %.2f Gw/s\n",
+              spec.name.c_str(), spec.unroll_factor, spec.clock_hz / 1e6,
+              peak / 1e9, ninety / 1e9);
+
+  util::Table table({"right-side iters", "model Mw/s", "functional Mw/s",
+                     "% of max"});
+  std::vector<std::pair<double, double>> model_points, functional_points;
+  std::uint64_t first_at_90 = 0;
+  const double ratio = std::pow(static_cast<double>(to) / static_cast<double>(from),
+                                1.0 / (steps - 1));
+  double x = static_cast<double>(from);
+  for (int step = 0; step < steps; ++step, x *= ratio) {
+    // Round to a multiple of the unroll factor (the microbenchmark feeds
+    // full groups; remainders belong to the software path, Table III).
+    std::uint64_t iterations = static_cast<std::uint64_t>(x);
+    iterations = std::max<std::uint64_t>(
+        spec.unroll_factor,
+        iterations / spec.unroll_factor * spec.unroll_factor);
+    const double model = hw::fpga::invocation_throughput(spec, iterations);
+    const double functional = functional_throughput(spec, iterations);
+    model_points.emplace_back(static_cast<double>(iterations), model / 1e6);
+    functional_points.emplace_back(static_cast<double>(iterations),
+                                   functional / 1e6);
+    if (first_at_90 == 0 && model >= ninety) first_at_90 = iterations;
+    table.add_row({std::to_string(iterations),
+                   util::Table::num(model / 1e6, 1),
+                   util::Table::num(functional / 1e6, 1),
+                   util::Table::num(100.0 * model / peak, 1)});
+  }
+  table.print();
+  if (!svg_path.empty()) {
+    util::SvgChart chart("omega throughput — " + spec.name,
+                         "right-side loop iterations", "Mw/s");
+    chart.add_series("cycle model", std::move(model_points));
+    chart.add_series("functional pipeline", std::move(functional_points));
+    chart.add_hline(ninety / 1e6, "90% of theoretical max");
+    chart.write(svg_path);
+    std::printf("figure written to %s\n", svg_path.c_str());
+  }
+  if (first_at_90 != 0) {
+    std::printf("90%% of theoretical max first reached at ~%llu iterations\n",
+                static_cast<unsigned long long>(first_at_90));
+  } else {
+    std::printf("90%% of theoretical max not reached in the evaluated range\n");
+  }
+  return first_at_90;
+}
+
+}  // namespace omega::bench

@@ -1,0 +1,22 @@
+#pragma once
+// Shared implementation of the Figs. 10/11 FPGA throughput curves: omega
+// throughput as a function of right-side loop iterations, with the
+// 90%-of-theoretical-maximum line, driven by the cycle model and
+// cross-checked against a functional pipeline run at a few points.
+
+#include <string>
+
+#include "hw/device_specs.h"
+
+namespace omega::bench {
+
+/// Prints the throughput series for `spec` from `from` to `to` iterations in
+/// `steps` steps (geometric), and writes the figure as an SVG into
+/// `svg_path` when non-empty. Returns the iteration count at which 90% of
+/// the theoretical maximum is first reached.
+std::uint64_t run_fpga_throughput_figure(const hw::FpgaDeviceSpec& spec,
+                                         std::uint64_t from, std::uint64_t to,
+                                         int steps,
+                                         const std::string& svg_path = {});
+
+}  // namespace omega::bench

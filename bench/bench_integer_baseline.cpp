@@ -1,0 +1,94 @@
+// Quantifies the paper's §III argument about the FPL'18 integer-based FPGA
+// detector: its reported 62x speedup "does not represent the actual
+// performance potential of FPGAs" for OmegaPlus because the *method* is
+// different. We score the same grid with the exact omega statistic and with
+// the integer stand-in (core/integer_method.h) and report:
+//   * how strongly the two landscapes agree (Spearman rank correlation),
+//   * how often they crown the same winner,
+//   * the raw single-core speed difference of the two formulations.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/integer_method.h"
+#include "core/scanner.h"
+#include "sim/dataset_factory.h"
+#include "sim/sweep_overlay.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+omega::core::OmegaConfig config() {
+  omega::core::OmegaConfig c;
+  c.grid_size = 60;
+  c.max_window = 200'000;
+  c.min_window = 20'000;
+  c.max_snps_per_side = 150;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Integer-method baseline vs exact omega (paper §III)\n\n");
+  omega::util::Table table({"dataset", "Spearman", "same argmax",
+                            "omega Mw/s", "integer Mw/s", "integer speed"});
+
+  for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    auto dataset = omega::sim::make_dataset({.snps = 900,
+                                             .samples = 50,
+                                             .locus_length_bp = 1'000'000,
+                                             .rho = 120.0,
+                                             .seed = seed});
+    if (seed % 2 == 0) {
+      omega::sim::SweepConfig sweep;
+      sweep.sweep_position_bp = 500'000;
+      sweep.carrier_fraction = 0.95;
+      sweep.seed = seed + 1;
+      dataset = omega::sim::apply_sweep(dataset, sweep);
+    }
+
+    omega::core::ScannerOptions options;
+    options.config = config();
+    const auto exact = omega::core::scan(dataset, options);
+    const auto integer = omega::core::integer_method_scan(dataset, config());
+
+    std::vector<double> exact_scores, integer_scores;
+    for (std::size_t g = 0; g < exact.scores.size(); ++g) {
+      if (!exact.scores[g].valid || !integer.scores[g].valid) continue;
+      exact_scores.push_back(exact.scores[g].max_omega);
+      integer_scores.push_back(integer.scores[g].max_omega);
+    }
+    const double correlation =
+        omega::util::spearman(exact_scores, integer_scores);
+    const bool same_argmax =
+        exact.best().position_bp == integer.best().position_bp;
+
+    const double exact_rate =
+        static_cast<double>(exact.profile.omega_evaluations) /
+        exact.profile.omega_seconds / 1e6;
+    const double integer_rate =
+        static_cast<double>(integer.profile.omega_evaluations) /
+        integer.profile.omega_seconds / 1e6;
+
+    table.add_row({(seed % 2 == 0 ? "swept #" : "neutral #") +
+                       std::to_string(seed),
+                   omega::util::Table::num(correlation, 3),
+                   same_argmax ? "yes" : "no",
+                   omega::util::Table::num(exact_rate, 1),
+                   omega::util::Table::num(integer_rate, 1),
+                   omega::util::Table::num(integer_rate / exact_rate, 2) + "x"});
+  }
+  table.print();
+  std::printf("\nreading: the integer formulation correlates with omega but "
+              "is not it — landscapes diverge and argmaxes can differ, which "
+              "is the paper's point that its speedups are not comparable to "
+              "an exact OmegaPlus accelerator. (The CPU rate column includes "
+              "the integer path's per-position rebuild — no relocation reuse; "
+              "FPL'18's advantage comes from mapping discrete integer ops to "
+              "reconfigurable logic, which a superscalar CPU with an FP "
+              "pipeline does not reward.)\n");
+  return 0;
+}

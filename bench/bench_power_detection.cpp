@@ -1,0 +1,181 @@
+// Statistical power study for the detector, mirroring the evaluation style
+// of the power studies the paper builds on (Crisci et al.: "the LD-based
+// OmegaPlus performs best in terms of power to reject the neutral model").
+//
+// Protocol: N neutral replicates fix the detection threshold at the 95th
+// percentile of their max-omega distribution (5% false positive rate); N
+// sweep replicates per selection strength are then scored against it.
+// Reported: power (true positive rate) and median localization error, per
+// carrier fraction of the beneficial allele.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/scanner.h"
+#include "sim/dataset_factory.h"
+#include "sim/coalescent.h"
+#include "sim/demography.h"
+#include "sim/sweep_coalescent.h"
+#include "sim/sweep_overlay.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::size_t kReplicates = 40;
+constexpr std::int64_t kSweepPosition = 500'000;
+
+omega::core::ScannerOptions scan_options() {
+  omega::core::ScannerOptions options;
+  options.config.grid_size = 32;
+  options.config.max_window = 200'000;
+  options.config.min_window = 20'000;
+  options.config.max_snps_per_side = 150;
+  return options;
+}
+
+omega::io::Dataset neutral_replicate(std::uint64_t seed) {
+  return omega::sim::make_dataset({.snps = 500,
+                                   .samples = 50,
+                                   .locus_length_bp = 1'000'000,
+                                   .rho = 120.0,
+                                   .seed = seed});
+}
+
+struct ReplicateScore {
+  double max_omega = 0.0;
+  std::int64_t argmax_bp = 0;
+};
+
+ReplicateScore score(const omega::io::Dataset& dataset) {
+  const auto result = omega::core::scan(dataset, scan_options());
+  const auto& best = result.best();
+  return {best.max_omega, best.position_bp};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Detection power study: %zu replicates per point, FPR fixed at "
+              "5%% on neutral data\n\n",
+              kReplicates);
+
+  // Neutral null distribution of the max-omega statistic.
+  std::vector<double> neutral_maxima;
+  for (std::size_t rep = 0; rep < kReplicates; ++rep) {
+    neutral_maxima.push_back(score(neutral_replicate(1'000 + rep)).max_omega);
+  }
+  const double threshold = omega::util::percentile(neutral_maxima, 0.95);
+  std::printf("neutral max-omega: median %.2f, 95th percentile (threshold) "
+              "%.2f\n\n",
+              omega::util::percentile(neutral_maxima, 0.5), threshold);
+
+  omega::util::Table table({"carrier fraction", "power", "median |error| (bp)",
+                            "median max-omega"});
+  for (const double carriers : {0.5, 0.7, 0.85, 0.95, 1.0}) {
+    std::size_t detected = 0;
+    std::vector<double> errors;
+    std::vector<double> maxima;
+    for (std::size_t rep = 0; rep < kReplicates; ++rep) {
+      omega::sim::SweepConfig sweep;
+      sweep.sweep_position_bp = kSweepPosition;
+      sweep.carrier_fraction = carriers;
+      sweep.tract_mean_bp = 200'000.0;
+      sweep.seed = 5'000 + rep;
+      const auto dataset =
+          omega::sim::apply_sweep(neutral_replicate(2'000 + rep), sweep);
+      const auto result = score(dataset);
+      maxima.push_back(result.max_omega);
+      if (result.max_omega > threshold) {
+        ++detected;
+        errors.push_back(static_cast<double>(
+            std::abs(result.argmax_bp - kSweepPosition)));
+      }
+    }
+    table.add_row(
+        {omega::util::Table::num(carriers, 2),
+         omega::util::Table::num(
+             static_cast<double>(detected) / kReplicates, 2),
+         errors.empty() ? "-" : omega::util::Table::num(
+                                    omega::util::percentile(errors, 0.5), 0),
+         omega::util::Table::num(omega::util::percentile(maxima, 0.5), 2)});
+  }
+  table.print();
+  std::printf("\nexpected: power increases with carrier fraction; strong "
+              "sweeps are detected essentially always and localized within "
+              "the window scale.\n");
+
+  // Non-equilibrium control (the Crisci et al. concern): neutral data from a
+  // bottlenecked population scored against the *equilibrium* threshold. The
+  // bottleneck mimics sweep signatures, so the realized FPR exceeds the
+  // nominal 5% — quantifying how much is exactly what the power studies the
+  // paper cites measure.
+  std::size_t false_positives = 0;
+  for (std::size_t rep = 0; rep < kReplicates; ++rep) {
+    auto spec = omega::sim::DatasetSpec{.snps = 500,
+                                        .samples = 50,
+                                        .locus_length_bp = 1'000'000,
+                                        .rho = 120.0,
+                                        .seed = 9'000 + rep};
+    spec.demography = omega::sim::Demography::bottleneck(0.05, 0.3, 0.05);
+    if (score(omega::sim::make_dataset(spec)).max_omega > threshold) {
+      ++false_positives;
+    }
+  }
+  std::printf("\nnon-equilibrium control: bottlenecked neutral data vs the "
+              "equilibrium threshold -> realized FPR %.0f%% (nominal 5%%)\n",
+              100.0 * static_cast<double>(false_positives) / kReplicates);
+
+  // --- Structured-coalescent sweeps: power vs selection strength ---------
+  // Unlike the overlay (a fixed imposed signature), the structured simulator
+  // derives the footprint from alpha = 2Ns, so this table is the canonical
+  // "power curve vs selection coefficient" of the sweep-detection
+  // literature. Threshold: 95th percentile of matched neutral replicates
+  // (theta/rho identical, no sweep phase via final_frequency ~ 0 is not
+  // representable, so neutral = coalescent with the same expected S).
+  std::printf("\nStructured-coalescent sweeps (theta=150, rho=400, 50 "
+              "samples):\n");
+  auto structured_score = [&](std::uint64_t seed, double alpha) {
+    omega::sim::SweepCoalescentConfig config;
+    config.samples = 50;
+    config.theta = 150.0;
+    config.rho = 400.0;
+    config.alpha = alpha;
+    config.seed = seed;
+    return score(omega::sim::simulate_sweep_coalescent(config));
+  };
+  std::vector<double> structured_neutral;
+  for (std::size_t rep = 0; rep < kReplicates; ++rep) {
+    omega::sim::CoalescentConfig neutral;
+    neutral.samples = 50;
+    neutral.theta = 150.0;
+    neutral.rho = 400.0;
+    neutral.seed = 20'000 + rep;
+    structured_neutral.push_back(
+        score(omega::sim::simulate(neutral)).max_omega);
+  }
+  const double structured_threshold =
+      omega::util::percentile(structured_neutral, 0.95);
+  omega::util::Table alpha_table(
+      {"alpha = 2Ns", "power", "median |error| (bp)"});
+  for (const double alpha : {100.0, 500.0, 2'000.0, 10'000.0}) {
+    std::size_t detected = 0;
+    std::vector<double> errors;
+    for (std::size_t rep = 0; rep < kReplicates; ++rep) {
+      const auto result = structured_score(30'000 + rep, alpha);
+      if (result.max_omega > structured_threshold) {
+        ++detected;
+        errors.push_back(static_cast<double>(
+            std::abs(result.argmax_bp - kSweepPosition)));
+      }
+    }
+    alpha_table.add_row(
+        {omega::util::Table::num(alpha, 0),
+         omega::util::Table::num(static_cast<double>(detected) / kReplicates, 2),
+         errors.empty() ? "-" : omega::util::Table::num(
+                                    omega::util::percentile(errors, 0.5), 0)});
+  }
+  alpha_table.print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Table I: resource utilization of the omega accelerator on the
+// ZCU102 (unroll 4) and the Alveo U200 (unroll 32), from the fitted
+// base + per-instance resource model, side by side with the published
+// figures. Also prints the design-space answer the model enables: the
+// largest unroll factor each device could host at 80% budget.
+
+#include <cstdio>
+
+#include "hw/device_specs.h"
+#include "hw/fpga/resource_model.h"
+#include "util/table.h"
+
+namespace {
+
+struct Published {
+  double bram, dsp, ff, lut;
+};
+
+void print_device(const omega::hw::FpgaDeviceSpec& spec,
+                  const Published& published) {
+  std::printf("\n== %s (logic cells: %dk, unroll factor: %d, %.0f MHz) ==\n",
+              spec.name.c_str(), spec.logic_cells_k, spec.unroll_factor,
+              spec.clock_hz / 1e6);
+  omega::util::Table table(
+      {"Resource", "Model used", "Available", "Model %", "Paper used"});
+  const auto rows = omega::hw::fpga::utilization(spec);
+  const double paper[4] = {published.bram, published.dsp, published.ff,
+                           published.lut};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    table.add_row({rows[r].resource, omega::util::Table::num(rows[r].used, 0),
+                   omega::util::Table::num(rows[r].available, 0),
+                   omega::util::Table::num(rows[r].percent(), 2) + "%",
+                   omega::util::Table::num(paper[r], 0)});
+  }
+  table.print();
+  std::printf("max unroll factor at 80%% resource budget: %d\n",
+              omega::hw::fpga::max_unroll_factor(spec));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I — FPGA accelerator resource utilization "
+              "(model vs published)\n");
+  print_device(omega::hw::zcu102(), {36, 48, 12003, 12847});
+  print_device(omega::hw::alveo_u200(), {40, 215, 50841, 50584});
+
+  std::printf("\nUnroll-factor sweep on the Alveo U200 (ablation):\n");
+  omega::util::Table sweep({"Unroll", "DSP", "FF", "LUT", "Peak Gw/s"});
+  const auto alveo = omega::hw::alveo_u200();
+  for (int unroll = 1; unroll <= 128; unroll *= 2) {
+    const auto rows = omega::hw::fpga::utilization_at(alveo, unroll);
+    sweep.add_row({std::to_string(unroll),
+                   omega::util::Table::num(rows[1].used, 0),
+                   omega::util::Table::num(rows[2].used, 0),
+                   omega::util::Table::num(rows[3].used, 0),
+                   omega::util::Table::num(unroll * alveo.clock_hz / 1e9, 2)});
+  }
+  sweep.print();
+  return 0;
+}

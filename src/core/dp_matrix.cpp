@@ -1,0 +1,81 @@
+#include "core/dp_matrix.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace omega::core {
+
+void DpMatrix::reset(std::size_t base) {
+  base_ = base;
+  count_ = 0;
+  storage_.clear();
+}
+
+double DpMatrix::at(std::size_t gi, std::size_t gj) const {
+  if (gi < base_ || gi >= end() || gj < base_ || gj > gi) {
+    throw std::out_of_range("DpMatrix::at outside covered range");
+  }
+  const std::size_t i = gi - base_;
+  const std::size_t j = gj - base_;
+  if (i == j) return 0.0;
+  return storage_[row_offset(i) + j];
+}
+
+void DpMatrix::relocate(std::size_t new_base) {
+  if (new_base < base_) {
+    throw std::invalid_argument("DpMatrix::relocate cannot move base backward");
+  }
+  const std::size_t delta = new_base - base_;
+  if (delta == 0) return;
+  if (delta >= count_) {
+    reset(new_base);
+    return;
+  }
+  const std::size_t new_count = count_ - delta;
+  // Row i' of the relocated triangle holds old row (i' + delta) entries
+  // [delta, delta + i'). Rows move front-to-back; the destination offset is
+  // always strictly below the source, so in-place copies are safe.
+  for (std::size_t i = 1; i < new_count; ++i) {
+    std::memmove(storage_.data() + row_offset(i),
+                 storage_.data() + row_offset(i + delta) + delta,
+                 i * sizeof(double));
+  }
+  count_ = new_count;
+  base_ = new_base;
+  storage_.resize(row_offset(new_count));
+}
+
+void DpMatrix::extend(std::size_t new_end, const ld::LdEngine& engine) {
+  if (new_end <= end()) return;
+  const std::size_t old_count = count_;
+  const std::size_t new_count = new_end - base_;
+  storage_.resize(row_offset(new_count));
+
+  // Fetch r2 for all (new row, column) pairs in one engine call; columns span
+  // the full final width so the recurrence below has every value it needs.
+  const std::size_t new_rows = new_count - old_count;
+  std::vector<float> r2(new_rows * (new_count - 1));
+  const std::size_t ld_r2 = new_count - 1;  // columns 0 .. new_count-2
+  if (ld_r2 > 0) {
+    engine.r2_block(base_ + old_count, base_ + new_count, base_,
+                    base_ + new_count - 1, r2.data(), ld_r2);
+    r2_fetches_ += new_rows * ld_r2;
+  }
+
+  for (std::size_t i = old_count == 0 ? 1 : old_count; i < new_count; ++i) {
+    double* row = storage_.data() + row_offset(i);
+    const double* prev = i >= 2 ? storage_.data() + row_offset(i - 1) : nullptr;
+    const float* r2_row = r2.data() + (i - old_count) * ld_r2;
+    // Eq. (3): fill j from i-1 downward.
+    row[i - 1] = static_cast<double>(r2_row[i - 1]);
+    for (std::size_t j = i - 1; j-- > 0;) {
+      const double m_prev_j = prev[j];                          // M(i-1, j)
+      const double m_prev_j1 = j + 1 == i - 1 ? 0.0 : prev[j + 1];  // M(i-1, j+1)
+      row[j] = row[j + 1] + m_prev_j - m_prev_j1 +
+               static_cast<double>(r2_row[j]);
+    }
+  }
+  count_ = new_count;
+}
+
+}  // namespace omega::core

@@ -1,0 +1,87 @@
+#pragma once
+// The dynamic-programming matrix M of Eq. (3):
+//
+//   M(i, j) = sum of r2_{p,q} over all SNP pairs j <= q < p <= i
+//
+// built with the OmegaPlus recurrence
+//
+//   M(i, i)   = 0
+//   M(i, i-1) = r2(i, i-1)
+//   M(i, j)   = M(i, j+1) + M(i-1, j) - M(i-1, j+1) + r2(i, j)
+//
+// and supporting the tool's data-reuse optimization: when consecutive grid
+// regions overlap, already computed entries are *relocated* (the sub-triangle
+// for the overlapping SNP range is kept; M(i,j) only depends on r2 values
+// inside [j, i], so the relocated entries stay valid) and only rows for new
+// SNPs are computed.
+//
+// Storage is a packed lower triangle addressed by *global* SNP indices so the
+// scanner never translates coordinates. Entries are double: the CPU side is
+// the precision reference; accelerator backends consume float casts of these
+// sums exactly as OmegaPlus's host code feeds its accelerators.
+
+#include <cstdint>
+#include <vector>
+
+#include "ld/ld_engine.h"
+
+namespace omega::core {
+
+class DpMatrix {
+ public:
+  DpMatrix() = default;
+
+  /// Empties the matrix and anchors it at `base` (global index of local 0).
+  void reset(std::size_t base);
+
+  [[nodiscard]] std::size_t base() const noexcept { return base_; }
+  /// One past the last covered global SNP index.
+  [[nodiscard]] std::size_t end() const noexcept { return base_ + count_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// M(gi, gj) for base() <= gj <= gi < end(). M(gi, gi) == 0.
+  [[nodiscard]] double at(std::size_t gi, std::size_t gj) const;
+
+  /// Sum of r2 over all pairs within the inclusive global range [glo, ghi].
+  [[nodiscard]] double range_sum(std::size_t glo, std::size_t ghi) const {
+    return at(ghi, glo);
+  }
+
+  /// Unchecked accessor for the omega nested loop (the scan hot path); the
+  /// caller guarantees base() <= gj <= gi < end().
+  [[nodiscard]] double at_fast(std::size_t gi, std::size_t gj) const noexcept {
+    const std::size_t i = gi - base_;
+    const std::size_t j = gj - base_;
+    return i == j ? 0.0 : storage_[row_offset(i) + j];
+  }
+
+  /// Drops all state before `new_base` (new_base >= base). The kept
+  /// sub-triangle is moved in place — this is the OmegaPlus relocation.
+  void relocate(std::size_t new_base);
+
+  /// Grows coverage to [base, new_end) computing new rows via the recurrence;
+  /// r2 values for the new rows are fetched in one block from the engine
+  /// (which is where the GEMM engine gets its batch efficiency).
+  void extend(std::size_t new_end, const ld::LdEngine& engine);
+
+  /// Number of r2 values fetched over the object's lifetime (reuse metric).
+  [[nodiscard]] std::uint64_t r2_fetches() const noexcept { return r2_fetches_; }
+
+  /// Bytes currently held by the triangle.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return storage_.size() * sizeof(double);
+  }
+
+ private:
+  /// Offset of local row i (which stores entries j = 0 .. i-1).
+  [[nodiscard]] static std::size_t row_offset(std::size_t i) noexcept {
+    return i * (i - 1) / 2;
+  }
+
+  std::size_t base_ = 0;
+  std::size_t count_ = 0;
+  std::vector<double> storage_;  // packed lower triangle, diagonal implicit 0
+  std::uint64_t r2_fetches_ = 0;
+};
+
+}  // namespace omega::core

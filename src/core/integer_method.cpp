@@ -1,0 +1,118 @@
+#include "core/integer_method.h"
+
+#include <vector>
+
+#include "core/grid.h"
+#include "ld/snp_matrix.h"
+#include "util/timer.h"
+
+namespace omega::core {
+namespace {
+
+/// Lower-triangular int64 analogue of DpMatrix over the integer LD measure
+/// m_ij (Eq. (3) recurrence works for any additive pair measure).
+class IntegerTriangle {
+ public:
+  void build(const ld::SnpMatrix& snps, std::size_t base, std::size_t count) {
+    base_ = base;
+    count_ = count;
+    storage_.assign(count * (count - 1) / 2, 0);
+    const auto n = static_cast<std::int64_t>(snps.num_samples());
+    std::vector<std::int64_t> m_row(count);
+    for (std::size_t i = 1; i < count; ++i) {
+      const std::size_t gi = base + i;
+      const std::int64_t ni = snps.derived_count(gi);
+      for (std::size_t j = 0; j < i; ++j) {
+        const std::size_t gj = base + j;
+        const std::int64_t covariance =
+            n * snps.pair_count(gi, gj) -
+            ni * static_cast<std::int64_t>(snps.derived_count(gj));
+        m_row[j] = covariance * covariance;
+      }
+      std::int64_t* row = storage_.data() + offset(i);
+      const std::int64_t* prev = i >= 2 ? storage_.data() + offset(i - 1) : nullptr;
+      row[i - 1] = m_row[i - 1];
+      for (std::size_t j = i - 1; j-- > 0;) {
+        const std::int64_t up = prev[j];
+        const std::int64_t diag = j + 1 == i - 1 ? 0 : prev[j + 1];
+        row[j] = row[j + 1] + up - diag + m_row[j];
+      }
+    }
+  }
+
+  /// Sum of m over pairs within [gj .. gi] (global, gj <= gi).
+  [[nodiscard]] std::int64_t at(std::size_t gi, std::size_t gj) const noexcept {
+    const std::size_t i = gi - base_;
+    const std::size_t j = gj - base_;
+    return i == j ? 0 : storage_[offset(i) + j];
+  }
+
+ private:
+  [[nodiscard]] static std::size_t offset(std::size_t i) noexcept {
+    return i * (i - 1) / 2;
+  }
+  std::size_t base_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::int64_t> storage_;
+};
+
+}  // namespace
+
+ScanResult integer_method_scan(const io::Dataset& dataset,
+                               const OmegaConfig& config) {
+  config.validate();
+  util::Timer timer;
+  const ld::SnpMatrix snps(dataset);
+  const auto grid = build_grid(dataset, config);
+
+  ScanResult result;
+  result.scores.resize(grid.size());
+  IntegerTriangle triangle;
+
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const GridPosition& position = grid[g];
+    PositionScore& score = result.scores[g];
+    score.position_bp = position.position_bp;
+    if (!position.valid) continue;
+    triangle.build(snps, position.lo, position.hi - position.lo + 1);
+
+    const std::size_t c = position.c;
+    double best = 0.0;
+    std::size_t best_a = 0, best_b = 0;
+    std::uint64_t evaluated = 0;
+    for (std::size_t b = position.b_min; b <= position.hi; ++b) {
+      const std::int64_t right_sum = triangle.at(b, c + 1);
+      const auto r = static_cast<std::int64_t>(b - c);
+      for (std::size_t a = position.lo; a <= position.a_max; ++a) {
+        const std::int64_t left_sum = triangle.at(c, a);
+        const std::int64_t cross =
+            triangle.at(b, a) - left_sum - right_sum;
+        const auto l = static_cast<std::int64_t>(c - a + 1);
+        // All-integer numerator/denominator; one division at the end. The
+        // +1 guard replaces OmegaPlus's float epsilon.
+        const std::int64_t pairs = l * (l - 1) / 2 + r * (r - 1) / 2;
+        const double value =
+            static_cast<double>(left_sum + right_sum) *
+            static_cast<double>(l * r) /
+            (static_cast<double>(pairs) * static_cast<double>(cross + 1));
+        ++evaluated;
+        if (value > best) {
+          best = value;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    score.max_omega = best;
+    score.best_a = best_a;
+    score.best_b = best_b;
+    score.evaluated = evaluated;
+    score.valid = true;
+    result.profile.omega_evaluations += evaluated;
+  }
+  result.profile.total_seconds = timer.seconds();
+  result.profile.omega_seconds = result.profile.total_seconds;
+  return result;
+}
+
+}  // namespace omega::core

@@ -1,0 +1,43 @@
+#pragma once
+// Integer-arithmetic sweep-detection baseline, standing in for the method of
+// Alachiotis, Vatsolakis, Chrysos & Pnevmatikatos (FPL'18), which the paper
+// discusses in §III: an FPGA detector built on integer SNP comparisons that
+// reported up to 62x speedups — but, as the paper stresses, "the implemented
+// method is inherently different than the actual operations performed by
+// OmegaPlus, and as such, the reported performance improvement does not
+// represent the actual performance potential of FPGAs".
+//
+// This module makes that argument *quantifiable*: it scores the same grid
+// positions using only integer operations —
+//
+//   m_ij = (n * n11 - n1 * n2)^2      (unnormalized squared LD covariance,
+//                                      all integers; no division, no floats)
+//
+//   score = (sum_within m) * (l * r)
+//           ----------------------------------------   (one final division)
+//           (C(l,2) + C(r,2)) * (sum_cross m + 1)
+//
+// so the bench can report how well the integer scores track omega (rank
+// correlation, argmax agreement) and how much cheaper they are. The exact
+// FPL'18 formulation is not public in full detail; this stand-in preserves
+// its defining property — discrete integer comparisons instead of the
+// floating-point r2/omega datapath.
+
+#include "core/omega_config.h"
+#include "core/scanner.h"
+#include "io/dataset.h"
+
+namespace omega::core {
+
+struct IntegerScanProfile {
+  double total_seconds = 0.0;
+  std::uint64_t evaluations = 0;
+};
+
+/// Scores every grid position with the integer method. Scores land in
+/// PositionScore::max_omega (they are *not* omega values — different scale —
+/// but share the "bigger = sweepier" orientation).
+ScanResult integer_method_scan(const io::Dataset& dataset,
+                               const OmegaConfig& config);
+
+}  // namespace omega::core

@@ -1,0 +1,52 @@
+#pragma once
+// Scan parameters mirroring OmegaPlus's command line: number of grid
+// positions, minimum/maximum window extents, and numeric conventions.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace omega::core {
+
+/// Window extents can be given in base pairs (OmegaPlus -minwin/-maxwin) or
+/// directly in SNP counts (the unit the paper's GPU evaluation uses:
+/// "maximum window size of 20,000 SNPs and minimum window size of 1,000
+/// SNPs").
+enum class WindowUnit { BasePairs, Snps };
+
+struct OmegaConfig {
+  /// Number of equidistant omega positions along the dataset (OmegaPlus
+  /// -grid).
+  std::size_t grid_size = 1'000;
+
+  WindowUnit window_unit = WindowUnit::BasePairs;
+  /// Total window extent; each side of an omega position may reach at most
+  /// max_window / 2 from the position.
+  std::int64_t max_window = 200'000;
+  /// Each evaluated window must reach at least min_window / 2 out on both
+  /// sides (OmegaPlus border semantics).
+  std::int64_t min_window = 2;
+
+  /// Safety cap on SNPs per sub-region; bounds the O(W^2) DP matrix. 0 = no
+  /// cap. (OmegaPlus has no explicit cap and simply allocates; a cap makes
+  /// laptop-scale runs predictable.)
+  std::size_t max_snps_per_side = 0;
+
+  /// Both sub-regions need at least this many SNPs for Eq. (2) to be defined
+  /// (the binomial coefficients vanish below 2).
+  static constexpr std::size_t min_side_snps = 2;
+
+  /// OmegaPlus's DENOMINATOR_OFFSET: added to the omega denominator to keep
+  /// positions with zero cross-region LD finite (they score very high, as
+  /// they should — that is the sweep signal).
+  static constexpr double denominator_offset = 1e-5;
+
+  void validate() const {
+    if (grid_size == 0) throw std::invalid_argument("config: grid_size == 0");
+    if (max_window < min_window) {
+      throw std::invalid_argument("config: max_window < min_window");
+    }
+    if (min_window < 0) throw std::invalid_argument("config: min_window < 0");
+  }
+};
+
+}  // namespace omega::core

@@ -1,0 +1,51 @@
+#pragma once
+// Eq. (2): the omega statistic from the three regional r2 sums.
+//
+//          ( C(l,2) + C(r,2) )^-1 * ( LS + RS )
+//   omega = ------------------------------------
+//               ( l * r )^-1 * TS_cross
+//
+// where LS/RS are the within-region sums, TS_cross the between-region sum,
+// l and r the sub-region SNP counts. The denominator carries OmegaPlus's
+// epsilon so a vanishing cross-region sum yields a large, finite score.
+
+#include <cstdint>
+
+#include "core/omega_config.h"
+
+namespace omega::core {
+
+/// C(k, 2) as a double (k >= 0).
+[[nodiscard]] constexpr double choose2(std::size_t k) noexcept {
+  return static_cast<double>(k) * static_cast<double>(k - (k > 0 ? 1 : 0)) / 2.0;
+}
+
+/// Double-precision omega (CPU reference and scanner path).
+[[nodiscard]] inline double omega_from_sums(double left_sum, double right_sum,
+                                            double cross_sum, std::size_t l,
+                                            std::size_t r) noexcept {
+  const double pairs = choose2(l) + choose2(r);
+  if (pairs <= 0.0) return 0.0;
+  const double numerator = (left_sum + right_sum) / pairs;
+  const double denominator =
+      cross_sum / (static_cast<double>(l) * static_cast<double>(r)) +
+      OmegaConfig::denominator_offset;
+  return numerator / denominator;
+}
+
+/// Single-precision omega — the exact arithmetic the GPU kernels and the
+/// FPGA pipeline (Fig. 8) implement.
+[[nodiscard]] inline float omega_from_sums_f(float left_sum, float right_sum,
+                                             float cross_sum, std::uint32_t l,
+                                             std::uint32_t r) noexcept {
+  const float lf = static_cast<float>(l);
+  const float rf = static_cast<float>(r);
+  const float pairs = lf * (lf - 1.0f) / 2.0f + rf * (rf - 1.0f) / 2.0f;
+  if (pairs <= 0.0f) return 0.0f;
+  const float numerator = (left_sum + right_sum) / pairs;
+  const float denominator = cross_sum / (lf * rf) +
+                            static_cast<float>(OmegaConfig::denominator_offset);
+  return numerator / denominator;
+}
+
+}  // namespace omega::core

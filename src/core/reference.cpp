@@ -1,0 +1,90 @@
+#include "core/reference.h"
+
+#include <vector>
+
+#include "core/omega_math.h"
+#include "ld/r2.h"
+
+namespace omega::core {
+namespace {
+
+/// Dense pairwise r2 over the inclusive index range [lo, hi].
+std::vector<double> pairwise_r2(const io::Dataset& dataset, std::size_t lo,
+                                std::size_t hi) {
+  const std::size_t w = hi - lo + 1;
+  std::vector<double> r2(w * w, 0.0);
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double value = ld::r2_naive(dataset, lo + i, lo + j);
+      r2[i * w + j] = value;
+      r2[j * w + i] = value;
+    }
+  }
+  return r2;
+}
+
+double sum_within(const std::vector<double>& r2, std::size_t w, std::size_t i0,
+                  std::size_t i1) {
+  double sum = 0.0;
+  for (std::size_t i = i0; i <= i1; ++i) {
+    for (std::size_t j = i0; j < i; ++j) {
+      sum += r2[i * w + j];
+    }
+  }
+  return sum;
+}
+
+double sum_between(const std::vector<double>& r2, std::size_t w, std::size_t i0,
+                   std::size_t i1, std::size_t j0, std::size_t j1) {
+  double sum = 0.0;
+  for (std::size_t i = i0; i <= i1; ++i) {
+    for (std::size_t j = j0; j <= j1; ++j) {
+      sum += r2[i * w + j];
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+OmegaResult brute_force_position(const io::Dataset& dataset,
+                                 const GridPosition& position) {
+  OmegaResult result;
+  if (!position.valid) return result;
+  const std::size_t lo = position.lo;
+  const std::size_t w = position.hi - lo + 1;
+  const auto r2 = pairwise_r2(dataset, lo, position.hi);
+  const std::size_t c = position.c - lo;  // local split
+
+  for (std::size_t a = 0; a <= position.a_max - lo; ++a) {
+    for (std::size_t b = position.b_min - lo; b <= position.hi - lo; ++b) {
+      const double left_sum = sum_within(r2, w, a, c);
+      const double right_sum = sum_within(r2, w, c + 1, b);
+      const double cross_sum = sum_between(r2, w, a, c, c + 1, b);
+      const std::size_t l = c - a + 1;
+      const std::size_t r = b - c;
+      const double omega = omega_from_sums(left_sum, right_sum, cross_sum, l, r);
+      ++result.evaluated;
+      if (omega > result.max_omega) {
+        result.max_omega = omega;
+        result.best_a = lo + a;
+        result.best_b = lo + b;
+      }
+    }
+  }
+  return result;
+}
+
+double brute_force_omega(const io::Dataset& dataset, std::size_t a,
+                         std::size_t c, std::size_t b) {
+  const auto r2 = pairwise_r2(dataset, a, b);
+  const std::size_t w = b - a + 1;
+  const std::size_t c_local = c - a;
+  const double left_sum = sum_within(r2, w, 0, c_local);
+  const double right_sum = sum_within(r2, w, c_local + 1, w - 1);
+  const double cross_sum = sum_between(r2, w, 0, c_local, c_local + 1, w - 1);
+  return omega_from_sums(left_sum, right_sum, cross_sum, c_local + 1,
+                         w - 1 - c_local);
+}
+
+}  // namespace omega::core

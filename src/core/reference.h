@@ -1,0 +1,22 @@
+#pragma once
+// Brute-force oracle for the omega statistic: computes every pairwise r2
+// directly from the unpacked dataset (double precision) and evaluates each
+// window combination by explicit summation — no DP matrix, no relocation, no
+// packing. Deliberately the most independent possible implementation; the
+// test suite validates every optimized backend against it.
+
+#include "core/grid.h"
+#include "core/omega_search.h"
+#include "io/dataset.h"
+
+namespace omega::core {
+
+/// O(W^2 * samples + combinations * W^2); test scales only.
+OmegaResult brute_force_position(const io::Dataset& dataset,
+                                 const GridPosition& position);
+
+/// Single omega value for explicit borders (a..c | c+1..b), brute force.
+double brute_force_omega(const io::Dataset& dataset, std::size_t a,
+                         std::size_t c, std::size_t b);
+
+}  // namespace omega::core

@@ -1,0 +1,61 @@
+#include "core/regions.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace omega::core {
+
+std::vector<CandidateRegion> merge_regions(const ScanResult& result,
+                                           double threshold,
+                                           std::size_t max_gap) {
+  std::vector<CandidateRegion> regions;
+  CandidateRegion current;
+  bool open = false;
+  std::size_t gap = 0;
+
+  auto close = [&] {
+    if (open) {
+      regions.push_back(current);
+      open = false;
+    }
+  };
+
+  for (const auto& score : result.scores) {
+    const bool hot = score.valid && score.max_omega >= threshold;
+    if (hot) {
+      if (!open) {
+        current = CandidateRegion{};
+        current.start_bp = score.position_bp;
+        current.peak_omega = score.max_omega;
+        current.peak_bp = score.position_bp;
+        open = true;
+      } else if (score.max_omega > current.peak_omega) {
+        current.peak_omega = score.max_omega;
+        current.peak_bp = score.position_bp;
+      }
+      current.end_bp = score.position_bp;
+      ++current.grid_positions;
+      gap = 0;
+    } else if (open) {
+      ++gap;
+      if (gap > max_gap) {
+        close();
+        gap = 0;
+      }
+    }
+  }
+  close();
+  return regions;
+}
+
+double landscape_quantile(const ScanResult& result, double quantile) {
+  std::vector<double> values;
+  values.reserve(result.scores.size());
+  for (const auto& score : result.scores) {
+    if (score.valid) values.push_back(score.max_omega);
+  }
+  return omega::util::percentile(std::move(values), quantile);
+}
+
+}  // namespace omega::core

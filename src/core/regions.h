@@ -1,0 +1,38 @@
+#pragma once
+// Post-processing of the omega landscape: consecutive above-threshold grid
+// positions merge into candidate *regions* (whole-genome scans report swept
+// regions, not isolated grid points), with the peak position and score per
+// region. This is the step between a Report file and a biological claim.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scanner.h"
+
+namespace omega::core {
+
+struct CandidateRegion {
+  std::int64_t start_bp = 0;  // first above-threshold grid position
+  std::int64_t end_bp = 0;    // last above-threshold grid position
+  std::int64_t peak_bp = 0;
+  double peak_omega = 0.0;
+  std::size_t grid_positions = 0;  // contiguous positions merged
+
+  [[nodiscard]] std::int64_t span_bp() const noexcept {
+    return end_bp - start_bp;
+  }
+};
+
+/// Merges contiguous grid positions with omega >= threshold. Two runs of
+/// above-threshold positions separated by at most `max_gap` below-threshold
+/// positions are joined (sweeps often dip at their own center where
+/// cross-region LD vanishes). Regions are returned in genome order.
+std::vector<CandidateRegion> merge_regions(const ScanResult& result,
+                                           double threshold,
+                                           std::size_t max_gap = 0);
+
+/// Threshold from the landscape itself: the given quantile of the valid
+/// per-position maxima (e.g. 0.95 flags the top 5% of positions).
+double landscape_quantile(const ScanResult& result, double quantile);
+
+}  // namespace omega::core

@@ -1,0 +1,97 @@
+#include "core/report.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omega::core {
+
+void write_report(std::ostream& out, const ScanResult& result) {
+  out << std::setprecision(6) << std::fixed;
+  for (const auto& score : result.scores) {
+    out << score.position_bp << '\t' << (score.valid ? score.max_omega : 0.0)
+        << '\n';
+  }
+}
+
+void write_info(std::ostream& out, const std::string& run_name,
+                const io::Dataset& dataset, const ScannerOptions& options,
+                const ScanResult& result,
+                const std::string& backend_name) {
+  const auto& config = options.config;
+  out << "OmegaPlus (libomega reimplementation) run: " << run_name << "\n\n";
+  out << "Dataset:      " << dataset.shape_string() << "\n";
+  out << "Missing data: " << (dataset.has_missing() ? "yes (pairwise-complete r2)" : "no")
+      << "\n";
+  out << "Grid size:    " << config.grid_size << "\n";
+  out << "Window unit:  "
+      << (config.window_unit == WindowUnit::BasePairs ? "bp" : "SNPs")
+      << "\n";
+  out << "Max window:   " << config.max_window << "\n";
+  out << "Min window:   " << config.min_window << "\n";
+  if (config.max_snps_per_side > 0) {
+    out << "Side cap:     " << config.max_snps_per_side << " SNPs\n";
+  }
+  out << "Threads:      " << options.threads << "\n";
+  out << "LD engine:    "
+      << (options.ld == LdBackendKind::Gemm
+              ? "gemm"
+              : options.ld == LdBackendKind::Naive ? "naive" : "popcount")
+      << "\n";
+  out << "Backend:      " << backend_name << "\n\n";
+
+  const auto& profile = result.profile;
+  out << std::setprecision(3) << std::fixed;
+  out << "Total time:   " << profile.total_seconds << " s\n";
+  out << "LD time:      " << profile.ld_seconds << " s ("
+      << profile.r2_fetched << " r2 values)\n";
+  out << "Omega time:   " << profile.omega_seconds << " s ("
+      << profile.omega_evaluations << " omega evaluations)\n";
+  out << "Omega rate:   " << profile.omega_throughput() / 1e6 << " Mw/s\n\n";
+
+  out << "Top windows:\n";
+  out << std::setprecision(6);
+  for (const auto& score : result.top(5)) {
+    if (!score.valid) continue;
+    out << "  position " << score.position_bp << "  omega " << score.max_omega
+        << "  window [SNP " << score.best_a << " .. SNP " << score.best_b
+        << "]\n";
+  }
+}
+
+std::string write_run_files(const std::string& directory,
+                            const std::string& run_name, const io::Dataset& dataset,
+                            const ScannerOptions& options,
+                            const ScanResult& result,
+                            const std::string& backend_name) {
+  const std::string report_path =
+      directory + "/OmegaPlus_Report." + run_name;
+  const std::string info_path = directory + "/OmegaPlus_Info." + run_name;
+  std::ofstream report(report_path);
+  if (!report) throw std::runtime_error("cannot write " + report_path);
+  write_report(report, result);
+  std::ofstream info(info_path);
+  if (!info) throw std::runtime_error("cannot write " + info_path);
+  write_info(info, run_name, dataset, options, result, backend_name);
+  return report_path;
+}
+
+std::vector<std::pair<std::int64_t, double>> read_report(std::istream& in) {
+  std::vector<std::pair<std::int64_t, double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::int64_t position = 0;
+    double omega_value = 0.0;
+    if (!(fields >> position >> omega_value)) {
+      throw std::runtime_error("report: malformed line: " + line);
+    }
+    rows.emplace_back(position, omega_value);
+  }
+  return rows;
+}
+
+}  // namespace omega::core

@@ -1,0 +1,39 @@
+#pragma once
+// OmegaPlus-compatible output files. A run named <name> produces:
+//
+//   OmegaPlus_Report.<name> — one "position<TAB>omega" line per grid
+//                             position (the file downstream plotting and
+//                             power analyses consume);
+//   OmegaPlus_Info.<name>   — run parameters, dataset shape, profiling
+//                             summary, and the best-scoring windows.
+//
+// Matching the reference tool's file naming lets existing OmegaPlus
+// post-processing scripts run unchanged against this implementation.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scanner.h"
+#include "io/dataset.h"
+
+namespace omega::core {
+
+void write_report(std::ostream& out, const ScanResult& result);
+
+void write_info(std::ostream& out, const std::string& run_name,
+                const io::Dataset& dataset, const ScannerOptions& options,
+                const ScanResult& result, const std::string& backend_name);
+
+/// Writes both files into `directory` (created by the caller); returns the
+/// report path.
+std::string write_run_files(const std::string& directory,
+                            const std::string& run_name, const io::Dataset& dataset,
+                            const ScannerOptions& options,
+                            const ScanResult& result,
+                            const std::string& backend_name);
+
+/// Parses a Report file back into (position, omega) pairs — round-trip
+/// support for power studies over many replicates.
+std::vector<std::pair<std::int64_t, double>> read_report(std::istream& in);
+
+}  // namespace omega::core

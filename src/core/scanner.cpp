@@ -1,0 +1,188 @@
+#include "core/scanner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "par/thread_pool.h"
+#include "util/timer.h"
+
+namespace omega::core {
+namespace {
+
+std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
+                                             const io::Dataset& dataset,
+                                             const ld::SnpMatrix& snps) {
+  switch (kind) {
+    case LdBackendKind::Naive:
+      return std::make_unique<ld::NaiveLd>(dataset);
+    case LdBackendKind::Popcount:
+      return std::make_unique<ld::PopcountLd>(snps);
+    case LdBackendKind::Gemm:
+      return std::make_unique<ld::GemmLd>(snps);
+  }
+  throw std::logic_error("unknown LD backend");
+}
+
+/// Scans a contiguous chunk of grid positions with its own DP matrix.
+void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
+                std::size_t end, const ld::LdEngine& engine, bool reuse,
+                OmegaBackend& backend, std::vector<PositionScore>& scores,
+                ScanProfile& profile) {
+  DpMatrix m;
+  bool m_live = false;
+  util::StopWatch ld_watch, omega_watch;
+
+  for (std::size_t g = begin; g < end; ++g) {
+    const GridPosition& position = grid[g];
+    PositionScore& score = scores[g];
+    score.position_bp = position.position_bp;
+    if (!position.valid) continue;
+
+    {
+      util::ScopedTimer timing(ld_watch);
+      if (!reuse || !m_live || position.lo < m.base()) {
+        m.reset(position.lo);
+      } else {
+        m.relocate(position.lo);
+      }
+      m.extend(position.hi + 1, engine);
+      m_live = true;
+    }
+    OmegaResult result;
+    {
+      util::ScopedTimer timing(omega_watch);
+      result = backend.max_omega(m, position);
+    }
+    score.max_omega = result.max_omega;
+    score.best_a = result.best_a;
+    score.best_b = result.best_b;
+    score.evaluated = result.evaluated;
+    score.valid = true;
+    profile.omega_evaluations += result.evaluated;
+  }
+  profile.ld_seconds += ld_watch.total_seconds();
+  profile.omega_seconds += omega_watch.total_seconds();
+  profile.r2_fetched += m.r2_fetches();
+}
+
+}  // namespace
+
+const PositionScore& ScanResult::best() const {
+  const auto it = std::max_element(
+      scores.begin(), scores.end(),
+      [](const PositionScore& a, const PositionScore& b) {
+        return a.max_omega < b.max_omega;
+      });
+  if (it == scores.end()) throw std::logic_error("empty scan result");
+  return *it;
+}
+
+std::vector<PositionScore> ScanResult::top(std::size_t k) const {
+  std::vector<PositionScore> sorted = scores;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PositionScore& a, const PositionScore& b) {
+              return a.max_omega > b.max_omega;
+            });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
+                const std::function<std::unique_ptr<OmegaBackend>()>&
+                    backend_factory) {
+  options.config.validate();
+  util::Timer total;
+
+  const ld::SnpMatrix snps(dataset);
+  const auto engine = options.ld_factory
+                          ? options.ld_factory(snps)
+                          : make_ld_engine(options.ld, dataset, snps);
+  const auto grid = build_grid(dataset, options.config);
+
+  ScanResult result;
+  result.scores.resize(grid.size());
+
+  auto make_backend = [&]() -> std::unique_ptr<OmegaBackend> {
+    return backend_factory ? backend_factory()
+                           : std::make_unique<CpuOmegaBackend>();
+  };
+
+  if (options.threads <= 1) {
+    auto backend = make_backend();
+    scan_chunk(grid, 0, grid.size(), *engine, options.reuse, *backend,
+               result.scores, result.profile);
+  } else if (options.mt_strategy ==
+             ScannerOptions::MtStrategy::InnerPosition) {
+    if (backend_factory) {
+      throw std::invalid_argument(
+          "scan: InnerPosition multithreading requires the CPU backend");
+    }
+    // One shared DP matrix; the per-position omega loop fans out instead.
+    par::ThreadPool pool(options.threads - 1);
+    DpMatrix m;
+    bool m_live = false;
+    util::StopWatch ld_watch, omega_watch;
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      const GridPosition& position = grid[g];
+      PositionScore& score = result.scores[g];
+      score.position_bp = position.position_bp;
+      if (!position.valid) continue;
+      {
+        util::ScopedTimer timing(ld_watch);
+        if (!options.reuse || !m_live || position.lo < m.base()) {
+          m.reset(position.lo);
+        } else {
+          m.relocate(position.lo);
+        }
+        m.extend(position.hi + 1, *engine);
+        m_live = true;
+      }
+      OmegaResult omega_result;
+      {
+        util::ScopedTimer timing(omega_watch);
+        omega_result = max_omega_search_parallel(pool, m, position);
+      }
+      score.max_omega = omega_result.max_omega;
+      score.best_a = omega_result.best_a;
+      score.best_b = omega_result.best_b;
+      score.evaluated = omega_result.evaluated;
+      score.valid = true;
+      result.profile.omega_evaluations += omega_result.evaluated;
+    }
+    result.profile.ld_seconds = ld_watch.total_seconds();
+    result.profile.omega_seconds = omega_watch.total_seconds();
+    result.profile.r2_fetched = m.r2_fetches();
+  } else {
+    // Contiguous chunks preserve intra-chunk relocation reuse; each worker
+    // owns a DP matrix and a backend instance.
+    const std::size_t workers = options.threads;
+    par::ThreadPool pool(workers - 1);
+    std::vector<ScanProfile> profiles(workers);
+    const std::size_t chunk = (grid.size() + workers - 1) / workers;
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = w * chunk;
+      if (begin >= grid.size()) break;
+      const std::size_t end = std::min(grid.size(), begin + chunk);
+      tasks.emplace_back([&, w, begin, end] {
+        auto backend = make_backend();
+        scan_chunk(grid, begin, end, *engine, options.reuse, *backend,
+                   result.scores, profiles[w]);
+      });
+    }
+    pool.run_blocking(std::move(tasks));
+    for (const auto& profile : profiles) {
+      // Per-bucket times are summed across workers (CPU-seconds); use
+      // total_seconds (wall clock) with the bucket shares for elapsed-time
+      // throughput, as ScanProfile documents.
+      result.profile.ld_seconds += profile.ld_seconds;
+      result.profile.omega_seconds += profile.omega_seconds;
+      result.profile.omega_evaluations += profile.omega_evaluations;
+      result.profile.r2_fetched += profile.r2_fetched;
+    }
+  }
+  result.profile.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace omega::core

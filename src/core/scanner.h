@@ -1,0 +1,155 @@
+#pragma once
+// Full OmegaPlus workflow (paper Fig. 3): for every grid position, relocate
+// the DP matrix over the overlapping SNP range (data-reuse optimization),
+// compute r2 for fresh pairs through an LD engine, update M with the Eq. (3)
+// recurrence, and run the omega maximization on the selected backend.
+//
+// Backends plug in through OmegaBackend, so the identical scan driver runs
+// on the CPU nested loop, the GPU execution-model simulator, or the FPGA
+// pipeline simulator, and results can be compared bit-for-bit at the level
+// of reported max-omega windows.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dp_matrix.h"
+#include "core/grid.h"
+#include "core/omega_config.h"
+#include "core/omega_search.h"
+#include "io/dataset.h"
+#include "ld/ld_engine.h"
+#include "ld/snp_matrix.h"
+
+namespace omega::core {
+
+/// omega-maximization backend for one grid position.
+class OmegaBackend {
+ public:
+  virtual ~OmegaBackend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual OmegaResult max_omega(const DpMatrix& m,
+                                const GridPosition& position) = 0;
+};
+
+/// The plain OmegaPlus nested loop.
+class CpuOmegaBackend final : public OmegaBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "cpu"; }
+  OmegaResult max_omega(const DpMatrix& m,
+                        const GridPosition& position) override {
+    return max_omega_search(m, position);
+  }
+};
+
+/// Adapter delegating to a caller-owned backend. scan() destroys the
+/// backends its factory produces when it returns; callers that want to
+/// inspect backend state afterwards (accelerator accounting) own the real
+/// backend and hand scan() borrowed views:
+///
+///   GpuOmegaBackend backend(spec, pool);
+///   scan(dataset, options, [&] { return borrow_backend(backend); });
+///   backend.accounting();  // safe
+///
+/// Only for single-threaded scans (options.threads == 1) unless the inner
+/// backend is thread-safe: a multithreaded scan invokes the factory per
+/// worker and every borrowed view would alias the same object.
+class BorrowedBackend final : public OmegaBackend {
+ public:
+  explicit BorrowedBackend(OmegaBackend& inner) : inner_(inner) {}
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  OmegaResult max_omega(const DpMatrix& m,
+                        const GridPosition& position) override {
+    return inner_.max_omega(m, position);
+  }
+
+ private:
+  OmegaBackend& inner_;
+};
+
+inline std::unique_ptr<OmegaBackend> borrow_backend(OmegaBackend& backend) {
+  return std::make_unique<BorrowedBackend>(backend);
+}
+
+enum class LdBackendKind { Naive, Popcount, Gemm };
+
+struct ScannerOptions {
+  OmegaConfig config;
+  LdBackendKind ld = LdBackendKind::Popcount;
+  /// Optional custom LD engine overriding `ld` — e.g. the simulated-GPU GEMM
+  /// engine for the complete GPU-accelerated OmegaPlus configuration. The
+  /// factory receives the scan's bit-packed matrix (alive for the scan).
+  std::function<std::unique_ptr<ld::LdEngine>(const ld::SnpMatrix&)> ld_factory;
+  /// > 1 enables the chunked multithreaded scan (grid split into contiguous
+  /// chunks, one DP matrix per worker) — the generic parallelization scheme
+  /// of the multithreaded OmegaPlus evaluated in Table IV.
+  std::size_t threads = 1;
+  /// Multithreading strategy (Alachiotis & Pavlidis 2016 performance guide):
+  /// GridChunks scales with many grid positions; InnerPosition parallelizes
+  /// the per-position omega loop instead (one shared DP matrix; profitable
+  /// for few positions with large windows). InnerPosition requires the CPU
+  /// backend.
+  enum class MtStrategy { GridChunks, InnerPosition };
+  MtStrategy mt_strategy = MtStrategy::GridChunks;
+  /// Disables M relocation between positions (ablation switch; OmegaPlus
+  /// always reuses).
+  bool reuse = true;
+};
+
+struct PositionScore {
+  std::int64_t position_bp = 0;
+  double max_omega = 0.0;
+  std::size_t best_a = 0;
+  std::size_t best_b = 0;
+  std::uint64_t evaluated = 0;
+  bool valid = false;
+};
+
+struct ScanProfile {
+  /// Bucket times. Single-threaded scans: wall clock. Multithreaded scans:
+  /// CPU-seconds summed across workers — combine with total_seconds (always
+  /// wall clock) and the bucket shares for elapsed-time rates.
+  double ld_seconds = 0.0;     // r2 computation + Eq. (3) update of M
+  double omega_seconds = 0.0;  // omega maximization (backend)
+  double total_seconds = 0.0;  // whole scan, wall clock
+  std::uint64_t omega_evaluations = 0;
+  std::uint64_t r2_fetched = 0;
+
+  /// Fraction of compute time spent in the omega bucket.
+  [[nodiscard]] double omega_share() const noexcept {
+    const double compute = ld_seconds + omega_seconds;
+    return compute > 0.0 ? omega_seconds / compute : 0.0;
+  }
+  /// Elapsed-time omega throughput: evaluations over the omega share of the
+  /// wall clock (exact for single-threaded scans, the honest estimate for
+  /// multithreaded ones).
+  [[nodiscard]] double omega_throughput() const noexcept {
+    const double wall = total_seconds * omega_share();
+    return wall > 0.0 ? static_cast<double>(omega_evaluations) / wall : 0.0;
+  }
+  [[nodiscard]] double ld_throughput() const noexcept {
+    const double wall = total_seconds * (1.0 - omega_share());
+    return wall > 0.0 ? static_cast<double>(r2_fetched) / wall : 0.0;
+  }
+};
+
+struct ScanResult {
+  std::vector<PositionScore> scores;
+  ScanProfile profile;
+
+  /// Highest-scoring position (throws on empty scan).
+  [[nodiscard]] const PositionScore& best() const;
+  /// Scores sorted by descending omega, truncated to k.
+  [[nodiscard]] std::vector<PositionScore> top(std::size_t k) const;
+};
+
+/// Runs a scan. `backend_factory` supplies one backend per worker thread
+/// (nullptr: CPU nested loop). With options.threads > 1 the factory is
+/// invoked once per worker.
+ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
+                const std::function<std::unique_ptr<OmegaBackend>()>&
+                    backend_factory = {});
+
+}  // namespace omega::core

@@ -1,0 +1,52 @@
+#include "hw/fpga/cycle_model.h"
+
+#include <algorithm>
+
+namespace omega::hw::fpga {
+
+PositionCycles position_cycles(const FpgaDeviceSpec& spec,
+                               std::uint64_t num_left, std::uint64_t num_right,
+                               bool ts_from_dram) {
+  PositionCycles cycles;
+  if (num_left == 0 || num_right == 0) return cycles;
+  const auto unroll = static_cast<std::uint64_t>(spec.unroll_factor);
+  const std::uint64_t groups = num_right / unroll;  // full-width groups
+  const std::uint64_t remainder = num_right % unroll;
+
+  cycles.hw_omegas = num_left * groups * unroll;
+  cycles.sw_omegas = num_left * remainder;
+
+  double stall = 1.0;
+  if (ts_from_dram) {
+    // U pipelines consume U * 4 bytes/cycle of TS; the stream throttles to
+    // the effective external bandwidth.
+    const double demand_bps =
+        static_cast<double>(unroll) * 4.0 * spec.clock_hz;
+    stall = std::max(1.0, demand_bps / spec.memory_bandwidth_bps);
+  }
+  cycles.stall_factor = stall;
+
+  const double inner = static_cast<double>(num_left * groups) * stall;
+  cycles.hw_cycles = static_cast<std::uint64_t>(spec.pipeline_latency_cycles) +
+                     static_cast<std::uint64_t>(spec.prefetch_cycles) +
+                     static_cast<std::uint64_t>(inner);
+  return cycles;
+}
+
+std::uint64_t invocation_cycles(const FpgaDeviceSpec& spec,
+                                std::uint64_t iterations) {
+  const auto unroll = static_cast<std::uint64_t>(spec.unroll_factor);
+  const std::uint64_t groups = (iterations + unroll - 1) / unroll;
+  return static_cast<std::uint64_t>(spec.pipeline_latency_cycles) +
+         static_cast<std::uint64_t>(spec.prefetch_cycles) + groups;
+}
+
+double invocation_throughput(const FpgaDeviceSpec& spec,
+                             std::uint64_t iterations) {
+  if (iterations == 0) return 0.0;
+  const double seconds =
+      static_cast<double>(invocation_cycles(spec, iterations)) / spec.clock_hz;
+  return static_cast<double>(iterations) / seconds;
+}
+
+}  // namespace omega::hw::fpga

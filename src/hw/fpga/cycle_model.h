@@ -1,0 +1,44 @@
+#pragma once
+// FPGA accelerator cycle model (paper §V): U pipeline instances process the
+// right-side loop in groups of U iterations per clock; iterations the unroll
+// factor does not divide are executed in software on the host ("The
+// remaining iterations are executed in software"). The RS column is
+// prefetched once per position and reused across outer iterations (the
+// Fig. 9 memory optimization), so the per-invocation overhead is a single
+// latency + prefetch charge.
+//
+// When the TS stream comes from external DRAM (a real scan, where matrix M
+// lives in device memory), the inner loop throttles to the memory bandwidth:
+// U pipelines consume U * 4 bytes of TS per cycle. The Figs. 10/11
+// microbenchmarks stream from on-chip buffers and are not throttled.
+
+#include <cstdint>
+
+#include "hw/device_specs.h"
+
+namespace omega::hw::fpga {
+
+struct PositionCycles {
+  std::uint64_t hw_cycles = 0;   // accelerator cycles incl. latency/prefetch
+  std::uint64_t hw_omegas = 0;   // omega scores produced in hardware
+  std::uint64_t sw_omegas = 0;   // unroll-remainder scores left to the host
+  double stall_factor = 1.0;     // DRAM throttling applied to the inner loop
+};
+
+/// Cycles for one grid position: `num_left` outer iterations, `num_right`
+/// right-side iterations each.
+PositionCycles position_cycles(const FpgaDeviceSpec& spec,
+                               std::uint64_t num_left, std::uint64_t num_right,
+                               bool ts_from_dram);
+
+/// Cycles for one microbenchmark invocation processing `iterations`
+/// right-side iterations with on-chip data (Figs. 10/11 setting; the unroll
+/// factor is assumed to divide `iterations`).
+std::uint64_t invocation_cycles(const FpgaDeviceSpec& spec,
+                                std::uint64_t iterations);
+
+/// Accelerator throughput (omega/s) for a microbenchmark invocation.
+double invocation_throughput(const FpgaDeviceSpec& spec,
+                             std::uint64_t iterations);
+
+}  // namespace omega::hw::fpga

@@ -1,0 +1,100 @@
+#include "hw/fpga/fpga_backend.h"
+
+#include <vector>
+
+#include "core/omega_search.h"
+
+namespace omega::hw::fpga {
+
+FpgaOmegaBackend::FpgaOmegaBackend(const FpgaDeviceSpec& spec,
+                                   FpgaBackendOptions options)
+    : spec_(spec), options_(options) {}
+
+std::string FpgaOmegaBackend::name() const { return "fpga-sim:" + spec_.name; }
+
+core::OmegaResult FpgaOmegaBackend::max_omega(
+    const core::DpMatrix& m, const core::GridPosition& position) {
+  core::OmegaResult result;
+  if (!position.valid) return result;
+
+  const core::PositionBuffers buffers = core::pack_position(m, position);
+  const std::uint64_t combos = buffers.combinations();
+  if (combos == 0) return result;
+
+  const auto unroll = static_cast<std::size_t>(spec_.unroll_factor);
+  float best = 0.0f;
+  std::uint64_t best_flat = 0;
+  bool found = false;
+  auto consider = [&](float omega, std::uint64_t flat) {
+    if (!found || omega > best || (omega == best && flat < best_flat)) {
+      best = omega;
+      best_flat = flat;
+      found = true;
+    }
+  };
+
+  if (combos <= options_.functional_cap) {
+    std::vector<OmegaPipeline> lanes(unroll);
+    auto make_input = [&](std::size_t ai, std::size_t bi) {
+      PipelineInput input;
+      const std::uint64_t flat =
+          static_cast<std::uint64_t>(ai) * buffers.num_right + bi;
+      input.total_sum = buffers.total[flat];
+      input.left_sum = buffers.ls[ai];
+      input.right_sum = buffers.rs[bi];
+      input.k = buffers.k[ai];
+      input.m = buffers.m_binom[bi];
+      input.l = buffers.l_counts[ai];
+      input.r = buffers.r_counts[bi];
+      input.tag = flat;
+      return input;
+    };
+
+    const std::size_t groups = buffers.num_right / unroll;
+    const std::size_t remainder = buffers.num_right % unroll;
+    for (std::size_t ai = 0; ai < buffers.num_left; ++ai) {
+      // Hardware part: U lanes consume U consecutive right borders per clock.
+      for (std::size_t group = 0; group < groups; ++group) {
+        for (std::size_t lane = 0; lane < unroll; ++lane) {
+          const PipelineInput input = make_input(ai, group * unroll + lane);
+          if (const auto out = lanes[lane].tick(&input)) {
+            consider(out->omega, out->tag);
+          }
+        }
+      }
+      // Software remainder (paper §V): same arithmetic, host-side.
+      for (std::size_t bi = groups * unroll; bi < buffers.num_right; ++bi) {
+        consider(pipeline_arithmetic(make_input(ai, bi)),
+                 static_cast<std::uint64_t>(ai) * buffers.num_right + bi);
+      }
+      (void)remainder;
+    }
+    // Drain in-flight values.
+    for (auto& lane : lanes) {
+      while (!lane.drained()) {
+        if (const auto out = lane.tick(nullptr)) consider(out->omega, out->tag);
+      }
+    }
+    result.max_omega = static_cast<double>(best);
+    const std::size_t ai = static_cast<std::size_t>(best_flat / buffers.num_right);
+    const std::size_t bi = static_cast<std::size_t>(best_flat % buffers.num_right);
+    result.best_a = position.lo + ai;
+    result.best_b = position.b_min + bi;
+    result.evaluated = combos;
+  } else {
+    result = core::max_omega_search(m, position);
+  }
+
+  const PositionCycles cycles = position_cycles(
+      spec_, buffers.num_left, buffers.num_right, options_.ts_from_dram);
+  accounting_.modeled_cycles += cycles.hw_cycles;
+  accounting_.hw_omegas += cycles.hw_omegas;
+  accounting_.sw_omegas += cycles.sw_omegas;
+  accounting_.modeled_hw_seconds +=
+      static_cast<double>(cycles.hw_cycles) / spec_.clock_hz;
+  accounting_.modeled_sw_seconds +=
+      static_cast<double>(cycles.sw_omegas) / options_.software_omega_rate;
+  return result;
+}
+
+}  // namespace omega::hw::fpga

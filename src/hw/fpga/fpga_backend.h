@@ -1,0 +1,60 @@
+#pragma once
+// FPGA omega backend: drives U simulated pipeline instances through every
+// window combination of a grid position, exactly as the synthesized design
+// would — outer loop over left borders, inner right-side loop processed U
+// iterations per clock, unroll remainder handled in host software. Produces
+// bit-identical float omegas to the GPU kernels (same arithmetic order) and
+// accumulates the cycle model alongside.
+
+#include <cstdint>
+
+#include "core/scanner.h"
+#include "hw/device_specs.h"
+#include "hw/fpga/cycle_model.h"
+#include "hw/fpga/pipeline.h"
+
+namespace omega::hw::fpga {
+
+struct FpgaBackendOptions {
+  /// Model the TS stream as coming from device DRAM (true for real scans;
+  /// the Figs. 10/11 microbenchmarks use on-chip data).
+  bool ts_from_dram = true;
+  /// Host rate for the unroll-remainder omegas (scores/s); the measured
+  /// 1-core OmegaPlus rate is the right value here. Used only for modeled
+  /// seconds, never for results.
+  double software_omega_rate = 70e6;
+  /// Guard against accidentally running paper-scale positions functionally.
+  std::uint64_t functional_cap = 1ull << 26;
+};
+
+struct FpgaAccounting {
+  std::uint64_t modeled_cycles = 0;
+  std::uint64_t hw_omegas = 0;
+  std::uint64_t sw_omegas = 0;
+  double modeled_hw_seconds = 0.0;
+  double modeled_sw_seconds = 0.0;
+  [[nodiscard]] double modeled_total_seconds() const noexcept {
+    return modeled_hw_seconds + modeled_sw_seconds;
+  }
+};
+
+class FpgaOmegaBackend final : public core::OmegaBackend {
+ public:
+  explicit FpgaOmegaBackend(const FpgaDeviceSpec& spec,
+                            FpgaBackendOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  core::OmegaResult max_omega(const core::DpMatrix& m,
+                              const core::GridPosition& position) override;
+
+  [[nodiscard]] const FpgaAccounting& accounting() const noexcept {
+    return accounting_;
+  }
+
+ private:
+  FpgaDeviceSpec spec_;
+  FpgaBackendOptions options_;
+  FpgaAccounting accounting_;
+};
+
+}  // namespace omega::hw::fpga

@@ -1,0 +1,84 @@
+#include "hw/fpga/pipeline.h"
+
+#include "core/omega_config.h"
+
+namespace omega::hw::fpga {
+namespace {
+constexpr float kEps =
+    static_cast<float>(core::OmegaConfig::denominator_offset);
+// Stage positions of the Fig. 8 schedule (see header).
+constexpr int kStageAdders = 8;
+constexpr int kStageSub2 = 16;
+constexpr int kStageNum = 36;
+constexpr int kStageDen0 = 44;
+constexpr int kStageDenEps = 52;
+}  // namespace
+
+OmegaPipeline::OmegaPipeline()
+    : stages_(static_cast<std::size_t>(kPipelineDepth) + 1) {}
+
+std::optional<PipelineOutput> OmegaPipeline::tick(const PipelineInput* input) {
+  ++cycles_;
+
+  // Shift the pipeline: process back-to-front so each slot moves one stage.
+  std::optional<PipelineOutput> out;
+  Slot& last = stages_[static_cast<std::size_t>(kPipelineDepth)];
+  if (last.valid) {
+    out = PipelineOutput{last.omega, last.in.tag};
+    last.valid = false;
+    --in_flight_;
+  }
+  for (int stage = kPipelineDepth; stage > 0; --stage) {
+    Slot& dst = stages_[static_cast<std::size_t>(stage)];
+    Slot& src = stages_[static_cast<std::size_t>(stage - 1)];
+    if (!src.valid) continue;
+    dst = src;
+    src.valid = false;
+    // Perform the operations scheduled at the stage the value just reached.
+    switch (stage) {
+      case kStageAdders:
+        dst.t1 = dst.in.left_sum + dst.in.right_sum;
+        dst.t2 = dst.in.k + dst.in.m;
+        dst.lr = static_cast<float>(dst.in.l) * static_cast<float>(dst.in.r);
+        break;
+      case kStageSub2:
+        // TS - (LS + RS): symmetric in L/R, so the order switch on the GPU
+        // side and the FPGA datapath agree bitwise.
+        dst.t5 = dst.in.total_sum - dst.t1;
+        break;
+      case kStageNum:
+        dst.num = dst.t1 / dst.t2;
+        break;
+      case kStageDen0:
+        dst.den0 = dst.t5 / dst.lr;
+        break;
+      case kStageDenEps:
+        dst.den = dst.den0 + kEps;
+        break;
+      case kPipelineDepth:
+        dst.omega = dst.num / dst.den;
+        break;
+      default:
+        break;  // pure register stage
+    }
+  }
+  if (input != nullptr) {
+    Slot& head = stages_[0];
+    head.valid = true;
+    head.in = *input;
+    ++in_flight_;
+  }
+  return out;
+}
+
+float pipeline_arithmetic(const PipelineInput& input) noexcept {
+  const float t1 = input.left_sum + input.right_sum;
+  const float t2 = input.k + input.m;
+  const float lr = static_cast<float>(input.l) * static_cast<float>(input.r);
+  const float t5 = input.total_sum - t1;
+  const float num = t1 / t2;
+  const float den = t5 / lr + kEps;
+  return num / den;
+}
+
+}  // namespace omega::hw::fpga

@@ -1,0 +1,74 @@
+#pragma once
+// Cycle-stepped simulation of the custom omega processing pipeline (paper
+// Fig. 8): a fully pipelined single-precision datapath with initiation
+// interval 1 that accepts one (TS, LS, RS, k, m, l, r) tuple per clock and
+// emits one omega score per clock after a fixed latency.
+//
+// The stage schedule mirrors a Vivado-HLS mapping with standard FP operator
+// latencies (fadd/fsub 8, fmul 8, fdiv 28):
+//
+//   cycle  0  : operands registered
+//   cycle  8  : t1 = LS + RS        t2 = k + m        lr = l*r
+//   cycle 16  : t5 = TS - t1                          (t1/t2 divider busy)
+//   cycle 36  : num = t1 / t2
+//   cycle 44  : den0 = t5 / lr      (divider fed at cycle 16)
+//   cycle 52  : den = den0 + eps
+//   cycle 80  : omega = num / den   -> emitted
+//
+// Total structural latency: kPipelineDepth = 80 cycles, II = 1.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace omega::hw::fpga {
+
+struct PipelineInput {
+  float total_sum = 0.0f;  // TS  (M(b, a))
+  float left_sum = 0.0f;   // LS
+  float right_sum = 0.0f;  // RS
+  float k = 0.0f;          // C(l,2)
+  float m = 0.0f;          // C(r,2)
+  std::uint32_t l = 0;
+  std::uint32_t r = 0;
+  std::uint64_t tag = 0;   // flat combination index, carried along
+};
+
+struct PipelineOutput {
+  float omega = 0.0f;
+  std::uint64_t tag = 0;
+};
+
+class OmegaPipeline {
+ public:
+  static constexpr int kPipelineDepth = 80;
+
+  OmegaPipeline();
+
+  /// Advances one clock: optionally accepts a new input (II = 1 — one per
+  /// tick) and returns the output emerging this cycle, if any.
+  std::optional<PipelineOutput> tick(const PipelineInput* input);
+
+  /// Cycles ticked so far.
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  /// True when no in-flight values remain.
+  [[nodiscard]] bool drained() const noexcept { return in_flight_ == 0; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    PipelineInput in;
+    // Intermediates, written at their schedule stage.
+    float t1 = 0, t2 = 0, lr = 0, t5 = 0, num = 0, den0 = 0, den = 0;
+    float omega = 0;
+  };
+  std::vector<Slot> stages_;  // stages_[i] = value entering stage i
+  std::uint64_t cycles_ = 0;
+  int in_flight_ = 0;
+};
+
+/// One-shot evaluation through the same arithmetic (no timing); used for the
+/// software-remainder iterations that the unroll factor leaves to the host.
+[[nodiscard]] float pipeline_arithmetic(const PipelineInput& input) noexcept;
+
+}  // namespace omega::hw::fpga

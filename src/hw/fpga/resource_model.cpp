@@ -1,0 +1,41 @@
+#include "hw/fpga/resource_model.h"
+
+#include <algorithm>
+
+namespace omega::hw::fpga {
+
+std::vector<UtilizationRow> utilization_at(const FpgaDeviceSpec& spec,
+                                           int unroll_factor) {
+  const double u = unroll_factor;
+  return {
+      {"BRAM 8K", spec.base_cost.bram + spec.per_instance_cost.bram * u,
+       spec.available.bram},
+      {"DSP48E", spec.base_cost.dsp + spec.per_instance_cost.dsp * u,
+       spec.available.dsp},
+      {"FF", spec.base_cost.ff + spec.per_instance_cost.ff * u,
+       spec.available.ff},
+      {"LUT", spec.base_cost.lut + spec.per_instance_cost.lut * u,
+       spec.available.lut},
+  };
+}
+
+std::vector<UtilizationRow> utilization(const FpgaDeviceSpec& spec) {
+  return utilization_at(spec, spec.unroll_factor);
+}
+
+int max_unroll_factor(const FpgaDeviceSpec& spec, double budget_fraction) {
+  int unroll = 1;
+  for (int candidate = 1; candidate <= 4096; candidate *= 2) {
+    const auto rows = utilization_at(spec, candidate);
+    const bool fits = std::all_of(rows.begin(), rows.end(),
+                                  [&](const UtilizationRow& row) {
+                                    return row.used <=
+                                           budget_fraction * row.available;
+                                  });
+    if (!fits) break;
+    unroll = candidate;
+  }
+  return unroll;
+}
+
+}  // namespace omega::hw::fpga

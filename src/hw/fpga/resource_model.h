@@ -1,0 +1,36 @@
+#pragma once
+// Resource-utilization model reproducing Table I: the accelerator consumes a
+// fixed base (AXI interfaces, control FSM, RS prefetch buffer) plus a
+// per-pipeline-instance increment, both fitted to the two published design
+// points (ZCU102 @ U=4 and Alveo U200 @ U=32). Also answers the design-space
+// question the unroll-factor ablation asks: the largest unroll factor a
+// device can host.
+
+#include <string>
+#include <vector>
+
+#include "hw/device_specs.h"
+
+namespace omega::hw::fpga {
+
+struct UtilizationRow {
+  std::string resource;  // "BRAM 8K", "DSP48E", "FF", "LUT"
+  double used = 0.0;
+  double available = 0.0;
+  [[nodiscard]] double percent() const noexcept {
+    return available > 0.0 ? 100.0 * used / available : 0.0;
+  }
+};
+
+/// Utilization of `spec` at its configured unroll factor.
+std::vector<UtilizationRow> utilization(const FpgaDeviceSpec& spec);
+
+/// Utilization at an arbitrary unroll factor (ablation sweeps).
+std::vector<UtilizationRow> utilization_at(const FpgaDeviceSpec& spec,
+                                           int unroll_factor);
+
+/// Largest unroll factor whose worst-case resource stays below
+/// `budget_fraction` of the device (placement/routing headroom).
+int max_unroll_factor(const FpgaDeviceSpec& spec, double budget_fraction = 0.8);
+
+}  // namespace omega::hw::fpga

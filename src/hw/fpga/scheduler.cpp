@@ -1,0 +1,87 @@
+#include "hw/fpga/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hw/fpga/resource_model.h"
+
+namespace omega::hw::fpga {
+
+double ScheduleResult::utilization() const noexcept {
+  if (makespan_s <= 0.0 || instance_busy_s.empty()) return 0.0;
+  double busy = 0.0;
+  for (const double b : instance_busy_s) busy += b;
+  return busy / (makespan_s * static_cast<double>(instance_busy_s.size()));
+}
+
+ScheduleResult schedule_positions(const FpgaDeviceSpec& spec,
+                                  const core::ScanWorkload& workload,
+                                  const SchedulerOptions& options) {
+  if (options.instances < 1) {
+    throw std::invalid_argument("scheduler: need >= 1 instance");
+  }
+  ScheduleResult result;
+  result.instance_busy_s.assign(static_cast<std::size_t>(options.instances),
+                                0.0);
+
+  // Shared external memory: aggregate TS demand of all concurrently active
+  // instances competes for the same bandwidth, scaling the per-instance
+  // stall (pessimistically assumes all instances stream simultaneously —
+  // the steady state of a saturated schedule).
+  double shared_stall = 1.0;
+  if (options.ts_from_dram) {
+    const double demand = static_cast<double>(options.instances) *
+                          static_cast<double>(spec.unroll_factor) * 4.0 *
+                          spec.clock_hz;
+    shared_stall = std::max(1.0, demand / spec.memory_bandwidth_bps);
+  }
+  result.shared_stall_factor = shared_stall;
+
+  // Per-position durations (on-chip cycle model, then the shared stall).
+  std::vector<double> durations;
+  durations.reserve(workload.positions.size());
+  for (const auto& position : workload.positions) {
+    const auto& geometry = position.geometry;
+    if (!geometry.valid) continue;
+    const auto cycles = position_cycles(
+        spec, geometry.a_max - geometry.lo + 1,
+        geometry.hi - geometry.b_min + 1, /*ts_from_dram=*/false);
+    result.hw_omegas += cycles.hw_omegas;
+    ++result.positions;
+    durations.push_back(static_cast<double>(cycles.hw_cycles) * shared_stall /
+                        spec.clock_hz);
+  }
+  if (options.longest_first) {
+    std::sort(durations.begin(), durations.end(), std::greater<>());
+  }
+
+  // List scheduling: each position goes to the earliest-free instance.
+  for (const double duration : durations) {
+    auto earliest = std::min_element(result.instance_busy_s.begin(),
+                                     result.instance_busy_s.end());
+    *earliest += duration;
+  }
+  result.makespan_s = result.instance_busy_s.empty()
+                          ? 0.0
+                          : *std::max_element(result.instance_busy_s.begin(),
+                                              result.instance_busy_s.end());
+  return result;
+}
+
+int max_instances(const FpgaDeviceSpec& spec, double budget_fraction) {
+  int instances = 1;
+  for (int candidate = 1; candidate <= 1024; ++candidate) {
+    const auto rows =
+        utilization_at(spec, spec.unroll_factor * candidate);
+    const bool fits = std::all_of(rows.begin(), rows.end(),
+                                  [&](const UtilizationRow& row) {
+                                    return row.used <=
+                                           budget_fraction * row.available;
+                                  });
+    if (!fits) break;
+    instances = candidate;
+  }
+  return instances;
+}
+
+}  // namespace omega::hw::fpga

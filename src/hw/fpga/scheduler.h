@@ -1,0 +1,56 @@
+#pragma once
+// Host-side scheduler for multiple omega-accelerator instances on one card.
+// The LD-FPGA lineage the paper builds on runs "an iterative algorithm that
+// schedules execution on the accelerator hardware based on the available
+// number of accelerator instances" (Alachiotis & Weisz), and Bozikas et al.
+// found that *data movement*, not logic, limits multi-accelerator scaling —
+// both effects are modeled here:
+//
+//   * grid positions are list-scheduled onto the earliest-free instance
+//     (longest-processing-time order optional);
+//   * all instances share the card's external memory: the TS streaming
+//     stall factor grows with the number of concurrently active instances,
+//     so speedup saturates at bandwidth, not at area.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.h"
+#include "hw/device_specs.h"
+#include "hw/fpga/cycle_model.h"
+
+namespace omega::hw::fpga {
+
+struct ScheduleResult {
+  double makespan_s = 0.0;
+  std::vector<double> instance_busy_s;  // per accelerator instance
+  std::uint64_t positions = 0;
+  std::uint64_t hw_omegas = 0;
+  double shared_stall_factor = 1.0;
+
+  /// Mean fraction of the makespan each instance spent busy.
+  [[nodiscard]] double utilization() const noexcept;
+  [[nodiscard]] double throughput() const noexcept {
+    return makespan_s > 0.0 ? static_cast<double>(hw_omegas) / makespan_s : 0.0;
+  }
+};
+
+struct SchedulerOptions {
+  int instances = 1;
+  /// Sort positions by descending work before scheduling (classic LPT; off
+  /// reproduces in-genome-order scheduling).
+  bool longest_first = true;
+  bool ts_from_dram = true;
+};
+
+/// Schedules every valid grid position of `workload` across the instances.
+ScheduleResult schedule_positions(const FpgaDeviceSpec& spec,
+                                  const core::ScanWorkload& workload,
+                                  const SchedulerOptions& options = {});
+
+/// Largest instance count whose combined resources fit within
+/// `budget_fraction` of the device (each instance replicates the full
+/// unroll-U accelerator).
+int max_instances(const FpgaDeviceSpec& spec, double budget_fraction = 0.8);
+
+}  // namespace omega::hw::fpga

@@ -1,0 +1,111 @@
+#include "hw/gpu/gpu_backend.h"
+
+#include <utility>
+#include <vector>
+
+namespace omega::hw::gpu {
+namespace {
+
+/// Sub-region order switch: exchanges the L and R roles inside the packed
+/// buffers (transposing TS) so that the inner loop runs over the SNP-richer
+/// side. Value-neutral by the symmetry of Eq. (2).
+core::PositionBuffers swap_sides(const core::PositionBuffers& buffers) {
+  core::PositionBuffers swapped;
+  swapped.num_left = buffers.num_right;
+  swapped.num_right = buffers.num_left;
+  swapped.ls = buffers.rs;
+  swapped.rs = buffers.ls;
+  swapped.k = buffers.m_binom;
+  swapped.m_binom = buffers.k;
+  swapped.l_counts = buffers.r_counts;
+  swapped.r_counts = buffers.l_counts;
+  swapped.total.resize(buffers.total.size());
+  for (std::size_t ai = 0; ai < buffers.num_left; ++ai) {
+    for (std::size_t bi = 0; bi < buffers.num_right; ++bi) {
+      swapped.total[bi * swapped.num_right + ai] =
+          buffers.total[ai * buffers.num_right + bi];
+    }
+  }
+  return swapped;
+}
+
+}  // namespace
+
+GpuOmegaBackend::GpuOmegaBackend(const GpuDeviceSpec& spec,
+                                 par::ThreadPool& pool,
+                                 GpuBackendOptions options)
+    : spec_(spec), pool_(pool), options_(options) {}
+
+std::string GpuOmegaBackend::name() const { return "gpu-sim:" + spec_.name; }
+
+core::OmegaResult GpuOmegaBackend::max_omega(
+    const core::DpMatrix& m, const core::GridPosition& position) {
+  core::OmegaResult result;
+  if (!position.valid) return result;
+
+  core::PositionBuffers buffers = core::pack_position(m, position);
+  const std::uint64_t combos = buffers.combinations();
+  if (combos == 0) return result;
+
+  const bool swapped =
+      options_.order_switch && buffers.num_left > buffers.num_right;
+  if (swapped) buffers = swap_sides(buffers);
+
+  KernelChoice choice;
+  switch (options_.policy) {
+    case KernelPolicy::ForceKernel1:
+      choice = KernelChoice::Kernel1;
+      break;
+    case KernelPolicy::ForceKernel2:
+      choice = KernelChoice::Kernel2;
+      break;
+    case KernelPolicy::Dynamic:
+    default:
+      choice = dispatch(spec_, combos);
+      break;
+  }
+
+  // Functional execution (exact float arithmetic); guarded by the cap so a
+  // paper-scale workload falls back to the CPU loop (identical values up to
+  // float/double rounding) instead of running for hours.
+  std::uint64_t flat = 0;
+  if (combos <= options_.functional_cap) {
+    KernelResult kernel_result;
+    if (choice == KernelChoice::Kernel1) {
+      kernel_result = run_kernel1(pool_, buffers, spec_.workgroup_size);
+    } else {
+      kernel_result = run_kernel2(
+          pool_, buffers, spec_.workgroup_size,
+          default_kernel2_work_items(spec_.compute_units, spec_.warp_size));
+    }
+    result.max_omega = static_cast<double>(kernel_result.max_omega);
+    flat = kernel_result.flat_index;
+    result.evaluated = kernel_result.evaluated;
+    std::size_t ai = static_cast<std::size_t>(flat / buffers.num_right);
+    std::size_t bi = static_cast<std::size_t>(flat % buffers.num_right);
+    if (swapped) std::swap(ai, bi);
+    result.best_a = position.lo + ai;
+    result.best_b = position.b_min + bi;
+  } else {
+    const core::OmegaResult cpu = core::max_omega_search(m, position);
+    result = cpu;
+  }
+
+  // Device-model accounting.
+  if (choice == KernelChoice::Kernel1) {
+    ++accounting_.positions_kernel1;
+  } else {
+    ++accounting_.positions_kernel2;
+  }
+  const CompleteCost cost = complete_position_cost(
+      spec_, choice, combos, buffers.payload_bytes());
+  accounting_.modeled_kernel_seconds += cost.kernel_s;
+  accounting_.modeled_prep_seconds += cost.prep_s;
+  accounting_.modeled_transfer_seconds += cost.transfer_s;
+  accounting_.modeled_total_seconds += cost.total_s;
+  accounting_.omega_evaluations += combos;
+  accounting_.bytes_moved += padded_bytes(spec_, buffers.payload_bytes());
+  return result;
+}
+
+}  // namespace omega::hw::gpu

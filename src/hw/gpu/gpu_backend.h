@@ -1,0 +1,69 @@
+#pragma once
+// GPU omega backend: plugs the simulated device into the scanner. Per grid
+// position it mirrors the paper's host flow (Fig. 3, GPU side):
+//   1. sub-region order-switch — the SNP-richer sub-region becomes the inner
+//      loop to maximize coalesced accesses (§IV-B);
+//   2. pack the LR / km / TS buffers from M (core::pack_position);
+//   3. dynamic two-kernel dispatch on Nthr (Eq. 4);
+//   4. run the chosen functional kernel on the thread pool;
+//   5. account modeled device time (timing_model.h) alongside the result.
+//
+// The order switch is value-neutral (Eq. (2) is symmetric in L and R), so
+// results stay comparable with the CPU backend; it matters for the modeled
+// memory pattern and is exposed as an ablation toggle.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/scanner.h"
+#include "hw/device_specs.h"
+#include "hw/gpu/omega_kernels.h"
+#include "hw/gpu/timing_model.h"
+#include "par/thread_pool.h"
+
+namespace omega::hw::gpu {
+
+enum class KernelPolicy { Dynamic, ForceKernel1, ForceKernel2 };
+
+struct GpuBackendOptions {
+  KernelPolicy policy = KernelPolicy::Dynamic;
+  bool order_switch = true;
+  /// Cap on functionally executed combinations per position; above it the
+  /// kernel samples... never: functional execution is exact. The cap guards
+  /// against accidentally running paper-scale workloads functionally.
+  std::uint64_t functional_cap = 1ull << 26;
+};
+
+/// Accumulated device-model accounting for a scan.
+struct GpuAccounting {
+  double modeled_kernel_seconds = 0.0;
+  double modeled_prep_seconds = 0.0;
+  double modeled_transfer_seconds = 0.0;
+  double modeled_total_seconds = 0.0;
+  std::uint64_t positions_kernel1 = 0;
+  std::uint64_t positions_kernel2 = 0;
+  std::uint64_t omega_evaluations = 0;
+  std::uint64_t bytes_moved = 0;
+};
+
+class GpuOmegaBackend final : public core::OmegaBackend {
+ public:
+  GpuOmegaBackend(const GpuDeviceSpec& spec, par::ThreadPool& pool,
+                  GpuBackendOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  core::OmegaResult max_omega(const core::DpMatrix& m,
+                              const core::GridPosition& position) override;
+
+  [[nodiscard]] const GpuAccounting& accounting() const noexcept {
+    return accounting_;
+  }
+
+ private:
+  GpuDeviceSpec spec_;
+  par::ThreadPool& pool_;
+  GpuBackendOptions options_;
+  GpuAccounting accounting_;
+};
+
+}  // namespace omega::hw::gpu

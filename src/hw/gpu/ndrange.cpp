@@ -1,0 +1,22 @@
+#include "hw/gpu/ndrange.h"
+
+namespace omega::hw::gpu {
+
+void enqueue_ndrange(par::ThreadPool& pool, const NdRange& range,
+                     const std::function<void(const WorkItem&)>& kernel) {
+  if (range.global_size == 0) return;
+  const std::size_t groups = range.num_groups();
+  par::parallel_for(pool, 0, groups, 1, [&](std::size_t group) {
+    WorkItem item;
+    item.group_id = group;
+    item.global_size = range.padded_global();
+    item.local_size = range.local_size;
+    for (std::size_t lane = 0; lane < range.local_size; ++lane) {
+      item.local_id = lane;
+      item.global_id = group * range.local_size + lane;
+      kernel(item);
+    }
+  });
+}
+
+}  // namespace omega::hw::gpu

@@ -1,0 +1,43 @@
+#pragma once
+// OpenCL-like NDRange execution model, simulated on the host thread pool.
+// Work-items are grouped into work-groups of `local_size`; work-groups are
+// distributed over the pool's workers (each worker plays a compute unit).
+// Kernels are C++ callables receiving a WorkItem context — the functional
+// half of the GPU substitution (timing is modeled separately, see
+// timing_model.h).
+
+#include <cstdint>
+#include <functional>
+
+#include "par/thread_pool.h"
+
+namespace omega::hw::gpu {
+
+struct WorkItem {
+  std::size_t global_id = 0;
+  std::size_t local_id = 0;
+  std::size_t group_id = 0;
+  std::size_t global_size = 0;
+  std::size_t local_size = 0;
+};
+
+struct NdRange {
+  std::size_t global_size = 0;
+  std::size_t local_size = 256;
+
+  /// OpenCL requires global % local == 0; padded_global rounds up, the
+  /// kernel must mask off the padding itself (as the paper's kernels do).
+  [[nodiscard]] std::size_t padded_global() const noexcept {
+    return (global_size + local_size - 1) / local_size * local_size;
+  }
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return padded_global() / local_size;
+  }
+};
+
+/// Executes `kernel` for every work-item of the padded range. Work-groups
+/// are scheduled dynamically over the pool.
+void enqueue_ndrange(par::ThreadPool& pool, const NdRange& range,
+                     const std::function<void(const WorkItem&)>& kernel);
+
+}  // namespace omega::hw::gpu

@@ -1,0 +1,141 @@
+#include "hw/gpu/omega_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/omega_config.h"
+#include "hw/gpu/ndrange.h"
+
+namespace omega::hw::gpu {
+namespace {
+
+constexpr float kEps = static_cast<float>(core::OmegaConfig::denominator_offset);
+
+/// The device-side arithmetic shared by both kernels: consumes the packed
+/// buffers exactly as the OpenCL kernels do (LR sums, km binomials, TS).
+inline float omega_at(const core::PositionBuffers& buffers,
+                      std::uint64_t flat) noexcept {
+  const std::size_t ai = static_cast<std::size_t>(flat / buffers.num_right);
+  const std::size_t bi = static_cast<std::size_t>(flat % buffers.num_right);
+  const float ls = buffers.ls[ai];
+  const float rs = buffers.rs[bi];
+  const float within = ls + rs;
+  const float numerator = within / (buffers.k[ai] + buffers.m_binom[bi]);
+  // total - (ls + rs), not (total - ls) - rs: the symmetric form makes the
+  // sub-region order switch bitwise value-neutral.
+  const float cross = buffers.total[flat] - within;
+  const float lr = static_cast<float>(buffers.l_counts[ai]) *
+                   static_cast<float>(buffers.r_counts[bi]);
+  return numerator / (cross / lr + kEps);
+}
+
+/// Host-side reduction preferring the lowest flat index on ties, which makes
+/// the result order-identical to the sequential CPU loop.
+KernelResult reduce(const std::vector<float>& omegas,
+                    const std::vector<std::uint64_t>& indices,
+                    std::uint64_t evaluated) {
+  KernelResult result;
+  result.max_omega = 0.0f;
+  result.flat_index = 0;
+  result.evaluated = evaluated;
+  bool found = false;
+  for (std::size_t i = 0; i < omegas.size(); ++i) {
+    const float value = omegas[i];
+    if (!std::isfinite(value)) continue;
+    if (!found || value > result.max_omega ||
+        (value == result.max_omega && indices[i] < result.flat_index)) {
+      result.max_omega = value;
+      result.flat_index = indices[i];
+      found = true;
+    }
+  }
+  if (!found) result.max_omega = 0.0f;
+  return result;
+}
+
+}  // namespace
+
+std::size_t default_kernel2_work_items(int compute_units,
+                                       int warp_size) noexcept {
+  // Full-occupancy work-item count: 32 wavefronts/warps per CU is the
+  // optimal-occupancy ceiling both vendors document (paper Eq. (4)).
+  return static_cast<std::size_t>(compute_units) *
+         static_cast<std::size_t>(warp_size) * 32;
+}
+
+KernelResult run_kernel1(par::ThreadPool& pool,
+                         const core::PositionBuffers& buffers,
+                         std::size_t workgroup_size) {
+  const std::uint64_t combos = buffers.combinations();
+  if (combos == 0) return {};
+  NdRange range;
+  range.global_size = static_cast<std::size_t>(combos);
+  range.local_size = workgroup_size;
+
+  // The omega output buffer, one slot per work-item (padding lanes hold
+  // -inf so the reduction ignores them).
+  std::vector<float> omegas(range.padded_global(),
+                            -std::numeric_limits<float>::infinity());
+  enqueue_ndrange(pool, range, [&](const WorkItem& item) {
+    if (item.global_id >= combos) return;  // padding lane
+    omegas[item.global_id] = omega_at(buffers, item.global_id);
+  });
+
+  std::vector<std::uint64_t> indices(omegas.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  return reduce(omegas, indices, combos);
+}
+
+KernelResult run_kernel2(par::ThreadPool& pool,
+                         const core::PositionBuffers& buffers,
+                         std::size_t workgroup_size,
+                         std::size_t target_work_items) {
+  const std::uint64_t combos = buffers.combinations();
+  if (combos == 0) return {};
+  const std::size_t items =
+      std::min<std::uint64_t>(combos, std::max<std::size_t>(1, target_work_items));
+
+  NdRange range;
+  range.global_size = items;
+  range.local_size = workgroup_size;
+  const std::size_t stride = range.padded_global();
+
+  std::vector<float> omegas(stride, -std::numeric_limits<float>::infinity());
+  std::vector<std::uint64_t> indices(stride, 0);
+
+  enqueue_ndrange(pool, range, [&](const WorkItem& item) {
+    // Strided loop: work-item g handles flats g, g+Gs, g+2Gs, ... so that
+    // consecutive work-items touch consecutive TS elements (coalescing).
+    float best = -std::numeric_limits<float>::infinity();
+    std::uint64_t best_flat = 0;
+    std::uint64_t flat = item.global_id;
+    // x4 unrolled main loop (the paper's empirically chosen unroll factor).
+    const std::uint64_t stride4 = 4ull * stride;
+    for (; flat + 3ull * stride < combos; flat += stride4) {
+      for (int u = 0; u < 4; ++u) {
+        const std::uint64_t f = flat + static_cast<std::uint64_t>(u) * stride;
+        const float value = omega_at(buffers, f);
+        if (value > best || (value == best && f < best_flat)) {
+          best = value;
+          best_flat = f;
+        }
+      }
+    }
+    for (; flat < combos; flat += stride) {
+      const float value = omega_at(buffers, flat);
+      if (value > best || (value == best && flat < best_flat)) {
+        best = value;
+        best_flat = flat;
+      }
+    }
+    if (item.global_id < stride) {
+      omegas[item.global_id] = best;
+      indices[item.global_id] = best_flat;
+    }
+  });
+  return reduce(omegas, indices, combos);
+}
+
+}  // namespace omega::hw::gpu

@@ -1,0 +1,45 @@
+#pragma once
+// Functional implementations of the paper's two GPU omega kernels (§IV-B,
+// §IV-C). Both consume the per-position host buffers (LR = ls/rs, km =
+// binomials, TS = total sums) packed by core::pack_position and produce the
+// position's maximum omega and its flat combination index.
+//
+//   Kernel I  — one omega per work-item (small workloads, Fig. 4);
+//   Kernel II — `wild` omegas per work-item with a x4-unrolled inner loop,
+//               per-item running maximum, strided accesses arranged so
+//               consecutive work-items read consecutive elements (Fig. 5).
+//
+// Arithmetic is single-precision (omega_from_sums_f), matching the device
+// datapath, so CPU/GPU results can be compared exactly in tests.
+
+#include <cstdint>
+
+#include "core/omega_search.h"
+#include "par/thread_pool.h"
+
+namespace omega::hw::gpu {
+
+struct KernelResult {
+  float max_omega = 0.0f;
+  std::uint64_t flat_index = 0;  // ai * num_right + bi
+  std::uint64_t evaluated = 0;
+};
+
+/// Kernel I: global size = #combinations (padded to the work-group size).
+KernelResult run_kernel1(par::ThreadPool& pool,
+                         const core::PositionBuffers& buffers,
+                         std::size_t workgroup_size);
+
+/// Kernel II: global size ~ target_work_items, each handling
+/// ceil(#combinations / global) combinations ("work-item load", WILD).
+KernelResult run_kernel2(par::ThreadPool& pool,
+                         const core::PositionBuffers& buffers,
+                         std::size_t workgroup_size,
+                         std::size_t target_work_items);
+
+/// Default Kernel II work-item count ("initialized with an empirically
+/// determined constant", §IV-C): enough work-items for full occupancy.
+[[nodiscard]] std::size_t default_kernel2_work_items(int compute_units,
+                                                     int warp_size) noexcept;
+
+}  // namespace omega::hw::gpu

@@ -1,0 +1,66 @@
+#include "hw/gpu/timeline_pipeline.h"
+
+namespace omega::hw::gpu {
+
+TimelineSummary schedule_complete_omega(const GpuDeviceSpec& spec,
+                                        par::ThreadPool& pool,
+                                        const core::ScanWorkload& workload) {
+  CommandQueue queue(spec, pool);
+  TimelineSummary summary;
+
+  // One reusable device buffer pair (double buffering): writes for position
+  // i+1 may start once the kernel of position i-1 released its buffer. With
+  // an in-order transfer engine the constraint reduces to "write_{i+1} waits
+  // on kernel_{i-1}".
+  Buffer device_buffer(1);  // contents irrelevant to the timeline
+  std::byte scratch{};
+  std::vector<EventId> kernel_events;
+
+  for (const auto& position : workload.positions) {
+    if (position.combinations == 0) continue;
+    ++summary.positions;
+    summary.omega_evaluations += position.combinations;
+
+    const double prep = host_prep_seconds(spec, position.omega_payload_bytes);
+    const EventId packed = queue.enqueue_host("pack", prep);
+
+    std::vector<EventId> write_deps{packed};
+    if (kernel_events.size() >= 2) {
+      write_deps.push_back(kernel_events[kernel_events.size() - 2]);
+    }
+    // The timeline only needs byte counts; route the padded payload through
+    // a 1-byte scratch transfer and scale the modeled duration by hand via
+    // repeated accounting — instead, simplest correct route: enqueue the
+    // write with the real byte count against a buffer of that size.
+    const std::uint64_t wire = padded_bytes(spec, position.omega_payload_bytes);
+    Buffer wire_buffer(wire);
+    std::vector<std::byte> staging(wire);
+    const EventId written =
+        queue.enqueue_write(wire_buffer, staging.data(), wire, write_deps);
+
+    const auto choice = dispatch(spec, position.combinations);
+    const double kernel_s = kernel_time(spec, choice, position.combinations);
+    NdRange range;
+    range.global_size = 1;  // timing-only launch
+    const EventId kernel = queue.enqueue_kernel(
+        choice == KernelChoice::Kernel1 ? "omega-k1" : "omega-k2", range,
+        [](const WorkItem&) {}, kernel_s, {written});
+    kernel_events.push_back(kernel);
+
+    // Result read: the per-position maxima are tiny; one float4-ish record.
+    queue.enqueue_read(device_buffer, &scratch, 1, {kernel});
+  }
+
+  summary.makespan_s = queue.finish_time();
+  summary.transfer_busy_s = queue.transfer_busy_seconds();
+  summary.compute_busy_s = queue.compute_busy_seconds();
+  summary.overlap_s = queue.overlap_seconds();
+  for (std::size_t id = 0; id < queue.commands(); ++id) {
+    if (queue.event(id).kind == Event::Kind::HostWork) {
+      summary.host_busy_s += queue.event(id).duration();
+    }
+  }
+  return summary;
+}
+
+}  // namespace omega::hw::gpu

@@ -1,0 +1,66 @@
+#include "hw/gpu/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omega::hw::gpu {
+
+double kernel_time(const GpuDeviceSpec& spec, KernelChoice kernel,
+                   std::uint64_t n_omega) {
+  if (n_omega == 0) return 0.0;
+  const double n = static_cast<double>(n_omega);
+  const bool k1 = kernel == KernelChoice::Kernel1;
+  const double peak = k1 ? spec.peak_k1_omega_per_s : spec.peak_k2_omega_per_s;
+  const double ramp = k1 ? spec.ramp_scale_k1 : spec.ramp_scale_k2;
+  const double overhead =
+      k1 ? spec.launch_overhead_k1_s : spec.launch_overhead_k2_s;
+  const double rate = peak * n / (n + ramp);
+  return overhead + n / rate;
+}
+
+KernelChoice dispatch(const GpuDeviceSpec& spec, std::uint64_t n_omega) {
+  return n_omega < spec.nthr() ? KernelChoice::Kernel1 : KernelChoice::Kernel2;
+}
+
+std::uint64_t padded_bytes(const GpuDeviceSpec& spec,
+                           std::uint64_t payload_bytes) noexcept {
+  const std::uint64_t granule = spec.workgroup_size * sizeof(float);
+  // 5 device buffers (ls, rs, k, m, TS), each individually padded upward.
+  const std::uint64_t padded =
+      (payload_bytes + granule - 1) / granule * granule + 4 * granule;
+  return padded;
+}
+
+double host_prep_seconds(const GpuDeviceSpec& spec,
+                         std::uint64_t payload_bytes) noexcept {
+  // Streaming writes of the TS matrix; once the per-position working set
+  // spills the LLC the effective bandwidth degrades (the observed Fig. 13
+  // droop past ~7,000 SNPs).
+  double pack_bw = spec.host_pack_bandwidth_bps;
+  const double bytes = static_cast<double>(payload_bytes);
+  if (bytes > spec.host_llc_bytes) {
+    pack_bw /= 1.0 + spec.pack_cache_beta * std::log2(bytes / spec.host_llc_bytes);
+  }
+  return bytes / pack_bw;
+}
+
+CompleteCost complete_position_cost(const GpuDeviceSpec& spec,
+                                    KernelChoice kernel, std::uint64_t n_omega,
+                                    std::uint64_t payload_bytes) {
+  CompleteCost cost;
+  if (n_omega == 0) return cost;
+  const std::uint64_t wire_bytes = padded_bytes(spec, payload_bytes);
+  cost.prep_s = host_prep_seconds(spec, payload_bytes);
+  cost.transfer_s = spec.pcie_latency_s +
+                    static_cast<double>(wire_bytes) / spec.pcie_bandwidth_bps;
+  cost.kernel_s = kernel_time(spec, kernel, n_omega);
+
+  // A fraction of the transfer overlaps kernel execution of the previous
+  // position; the overlap cannot exceed the kernel time itself.
+  const double hidden =
+      std::min(cost.transfer_s * spec.transfer_overlap_hidden, cost.kernel_s);
+  cost.total_s = cost.prep_s + cost.transfer_s + cost.kernel_s - hidden;
+  return cost;
+}
+
+}  // namespace omega::hw::gpu

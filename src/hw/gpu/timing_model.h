@@ -1,0 +1,54 @@
+#pragma once
+// Analytical GPU timing model. The functional kernels (omega_kernels.h)
+// establish *what* is computed; this model establishes *how long* the real
+// device would take, from first principles:
+//
+//   kernel time(position)  = launch overhead + n / rate(n)
+//   rate(n)                = peak * n / (n + ramp)        (occupancy ramp)
+//
+// with per-kernel peaks/ramps/overheads from the device spec (see
+// device_specs.cpp for the calibration anchors). The complete-omega model
+// (Fig. 13) adds host buffer preparation (cache-sensitive), padding, and the
+// PCIe transfer with partial compute overlap (Fig. 14 caption).
+
+#include <cstdint>
+
+#include "hw/device_specs.h"
+
+namespace omega::hw::gpu {
+
+enum class KernelChoice { Kernel1, Kernel2 };
+
+/// Device seconds for one position's omega maximization on the given kernel.
+double kernel_time(const GpuDeviceSpec& spec, KernelChoice kernel,
+                   std::uint64_t n_omega);
+
+/// The dynamic two-kernel dispatch rule, Eq. (4).
+[[nodiscard]] KernelChoice dispatch(const GpuDeviceSpec& spec,
+                                    std::uint64_t n_omega);
+
+/// Per-position cost breakdown of the complete GPU-accelerated omega
+/// computation, i.e. including data preparation and movement (Fig. 13).
+struct CompleteCost {
+  double prep_s = 0.0;      // host-side packing of LR/km/TS from M
+  double transfer_s = 0.0;  // PCIe, after padding
+  double kernel_s = 0.0;    // device compute
+  double total_s = 0.0;     // with transfer/compute overlap applied
+};
+
+CompleteCost complete_position_cost(const GpuDeviceSpec& spec,
+                                    KernelChoice kernel, std::uint64_t n_omega,
+                                    std::uint64_t payload_bytes);
+
+/// Buffer padding applied before transfer: every buffer is padded to a
+/// multiple of the work-group size (paper §IV-C). Approximated as one
+/// work-group worth of floats per buffer (5 buffers).
+[[nodiscard]] std::uint64_t padded_bytes(const GpuDeviceSpec& spec,
+                                         std::uint64_t payload_bytes) noexcept;
+
+/// Host-side buffer-packing time for one position (cache-sensitive; the
+/// Fig. 13 droop). Shared by the closed-form model and the event timeline.
+[[nodiscard]] double host_prep_seconds(const GpuDeviceSpec& spec,
+                                       std::uint64_t payload_bytes) noexcept;
+
+}  // namespace omega::hw::gpu

@@ -1,0 +1,41 @@
+#include "hw/ld_models.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace omega::hw {
+
+double gpu_ld_speedup(std::size_t samples) {
+  const double n = std::max<std::size_t>(samples, 2);
+  // Fitted to Table III (see header). Clamped below at 1: the GPU never
+  // loses to a single core on GEMM-shaped work at realistic sizes.
+  return std::max(1.0, 0.056 * std::pow(n, 0.6));
+}
+
+double fpga_ld_throughput(std::size_t samples) {
+  // Published operating points (Table III, FPGA LD column): throughput in
+  // r2 scores/second at the three evaluated sample counts.
+  struct Point {
+    double samples;
+    double throughput;
+  };
+  static constexpr std::array<Point, 3> points{{
+      {500.0, 535.0e6},
+      {7'000.0, 38.2e6},
+      {60'000.0, 4.5e6},
+  }};
+  const double n = std::clamp(static_cast<double>(samples), points.front().samples,
+                              points.back().samples);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    if (n <= points[i + 1].samples) {
+      const double t = (std::log(n) - std::log(points[i].samples)) /
+                       (std::log(points[i + 1].samples) - std::log(points[i].samples));
+      return std::exp(std::log(points[i].throughput) * (1.0 - t) +
+                      std::log(points[i + 1].throughput) * t);
+    }
+  }
+  return points.back().throughput;
+}
+
+}  // namespace omega::hw

@@ -1,0 +1,127 @@
+#include "io/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace omega::io {
+
+Dataset::Dataset(std::vector<std::int64_t> positions_bp,
+                 std::vector<std::vector<std::uint8_t>> site_alleles,
+                 std::int64_t locus_length_bp)
+    : positions_(std::move(positions_bp)),
+      sites_(std::move(site_alleles)),
+      locus_length_bp_(locus_length_bp) {
+  validate();
+}
+
+std::size_t Dataset::derived_count(std::size_t site) const {
+  const auto& row = sites_.at(site);
+  return static_cast<std::size_t>(std::count(row.begin(), row.end(), 1));
+}
+
+std::size_t Dataset::valid_count(std::size_t site) const {
+  const auto& row = sites_.at(site);
+  return row.size() -
+         static_cast<std::size_t>(std::count(row.begin(), row.end(), kMissing));
+}
+
+bool Dataset::has_missing() const {
+  for (const auto& row : sites_) {
+    if (std::count(row.begin(), row.end(), kMissing) > 0) return true;
+  }
+  return false;
+}
+
+std::size_t Dataset::remove_monomorphic() {
+  std::size_t removed = 0;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < sites_.size(); ++read) {
+    const std::size_t derived = derived_count(read);
+    if (derived == 0 || derived == valid_count(read)) {
+      ++removed;
+      continue;
+    }
+    if (write != read) {
+      sites_[write] = std::move(sites_[read]);
+      positions_[write] = positions_[read];
+    }
+    ++write;
+  }
+  sites_.resize(write);
+  positions_.resize(write);
+  return removed;
+}
+
+std::size_t Dataset::filter_minor_allele(double min_frequency) {
+  if (min_frequency < 0.0 || min_frequency > 0.5) {
+    throw std::invalid_argument("filter_minor_allele: frequency outside [0, 0.5]");
+  }
+  std::size_t removed = 0;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < sites_.size(); ++read) {
+    const double valid = static_cast<double>(valid_count(read));
+    const double derived = static_cast<double>(derived_count(read));
+    const double maf =
+        valid > 0.0 ? std::min(derived, valid - derived) / valid : 0.0;
+    if (maf < min_frequency) {
+      ++removed;
+      continue;
+    }
+    if (write != read) {
+      sites_[write] = std::move(sites_[read]);
+      positions_[write] = positions_[read];
+    }
+    ++write;
+  }
+  sites_.resize(write);
+  positions_.resize(write);
+  return removed;
+}
+
+Dataset Dataset::slice_bp(std::int64_t from_bp, std::int64_t to_bp) const {
+  const auto lo = std::lower_bound(positions_.begin(), positions_.end(), from_bp);
+  const auto hi = std::upper_bound(positions_.begin(), positions_.end(), to_bp);
+  const auto lo_i = static_cast<std::size_t>(lo - positions_.begin());
+  const auto hi_i = static_cast<std::size_t>(hi - positions_.begin());
+  Dataset out;
+  out.positions_.assign(positions_.begin() + lo_i, positions_.begin() + hi_i);
+  out.sites_.assign(sites_.begin() + lo_i, sites_.begin() + hi_i);
+  out.locus_length_bp_ = locus_length_bp_;
+  return out;
+}
+
+void Dataset::validate() const {
+  if (positions_.size() != sites_.size()) {
+    throw std::invalid_argument("dataset: positions/sites size mismatch");
+  }
+  for (std::size_t i = 1; i < positions_.size(); ++i) {
+    if (positions_[i] <= positions_[i - 1]) {
+      throw std::invalid_argument("dataset: positions must strictly increase");
+    }
+  }
+  const std::size_t samples = num_samples();
+  for (const auto& row : sites_) {
+    if (row.size() != samples) {
+      throw std::invalid_argument("dataset: ragged site matrix");
+    }
+    for (const auto allele : row) {
+      if (allele > kMissing) {
+        throw std::invalid_argument("dataset: invalid allele code");
+      }
+    }
+  }
+  if (!positions_.empty() &&
+      (positions_.front() < 0 || positions_.back() > locus_length_bp_)) {
+    throw std::invalid_argument("dataset: position outside locus");
+  }
+}
+
+std::string Dataset::shape_string() const {
+  std::ostringstream out;
+  out << num_samples() << " samples x " << num_sites() << " SNPs over "
+      << locus_length_bp_ << " bp";
+  return out.str();
+}
+
+}  // namespace omega::io

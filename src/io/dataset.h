@@ -1,0 +1,86 @@
+#pragma once
+// In-memory representation of a binary SNP alignment: the unit of input for
+// the whole library. Sites are biallelic (0 = ancestral, 1 = derived,
+// kMissing = unknown call), stored site-major because every downstream
+// consumer (LD, omega) iterates over SNP pairs.
+//
+// Missing data follows OmegaPlus's handling: r2 between two SNPs is computed
+// over the pairwise-complete samples (see ld::SnpMatrix), so a missing call
+// removes that sample from every pair the site participates in.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omega::io {
+
+class Dataset {
+ public:
+  /// Allele code for a missing/unknown call.
+  static constexpr std::uint8_t kMissing = 2;
+
+  Dataset() = default;
+
+  /// `positions_bp` must be strictly increasing; each row of `site_alleles`
+  /// holds one site's alleles across all samples (values 0/1/kMissing).
+  Dataset(std::vector<std::int64_t> positions_bp,
+          std::vector<std::vector<std::uint8_t>> site_alleles,
+          std::int64_t locus_length_bp);
+
+  [[nodiscard]] std::size_t num_sites() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t num_samples() const noexcept {
+    return sites_.empty() ? 0 : sites_.front().size();
+  }
+  [[nodiscard]] std::int64_t locus_length_bp() const noexcept { return locus_length_bp_; }
+
+  [[nodiscard]] const std::vector<std::int64_t>& positions() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] std::int64_t position(std::size_t site) const {
+    return positions_.at(site);
+  }
+  /// Alleles of one site across samples.
+  [[nodiscard]] const std::vector<std::uint8_t>& site(std::size_t index) const {
+    return sites_.at(index);
+  }
+
+  [[nodiscard]] std::uint8_t allele(std::size_t site, std::size_t sample) const {
+    return sites_.at(site).at(sample);
+  }
+
+  /// Count of derived alleles at a site (missing calls excluded).
+  [[nodiscard]] std::size_t derived_count(std::size_t site) const;
+
+  /// Count of non-missing calls at a site.
+  [[nodiscard]] std::size_t valid_count(std::size_t site) const;
+
+  /// True if any site has a missing call.
+  [[nodiscard]] bool has_missing() const;
+
+  /// Drops monomorphic sites (all-0 or all-1 across samples); OmegaPlus does
+  /// the same during parsing since they carry no LD information.
+  /// Returns the number of sites removed.
+  std::size_t remove_monomorphic();
+
+  /// Drops sites whose minor-allele frequency (over valid calls) is below
+  /// `min_frequency` — the common pre-filter for LD analyses (rare variants
+  /// carry noisy r2). Returns the number of sites removed.
+  std::size_t filter_minor_allele(double min_frequency);
+
+  /// Restrict to the subrange of sites with positions in [from_bp, to_bp].
+  [[nodiscard]] Dataset slice_bp(std::int64_t from_bp, std::int64_t to_bp) const;
+
+  /// Validates the invariants (sorted positions, rectangular matrix, binary
+  /// alleles); throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// Human-readable shape summary for logs.
+  [[nodiscard]] std::string shape_string() const;
+
+ private:
+  std::vector<std::int64_t> positions_;
+  std::vector<std::vector<std::uint8_t>> sites_;
+  std::int64_t locus_length_bp_ = 0;
+};
+
+}  // namespace omega::io

@@ -1,0 +1,101 @@
+#include "io/fasta.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+namespace omega::io {
+
+std::vector<FastaRecord> read_fasta(std::istream& in, bool require_alignment) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      records.push_back({line.substr(1), {}});
+      continue;
+    }
+    if (records.empty()) {
+      throw std::runtime_error("fasta: sequence data before first header");
+    }
+    records.back().sequence += line;
+  }
+  if (require_alignment) {
+    if (records.empty()) throw std::runtime_error("fasta: empty input");
+    const std::size_t width = records.front().sequence.size();
+    for (const auto& record : records) {
+      if (record.sequence.size() != width) {
+        throw std::runtime_error("fasta: ragged alignment at " + record.name);
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         bool require_alignment) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("fasta: cannot open " + path);
+  return read_fasta(in, require_alignment);
+}
+
+Dataset fasta_to_dataset(const std::vector<FastaRecord>& records,
+                         const FastaOptions& options) {
+  if (records.empty()) throw std::invalid_argument("fasta: no records");
+  const std::size_t samples = records.size();
+  const std::size_t width = records.front().sequence.size();
+
+  std::vector<std::int64_t> positions;
+  std::vector<std::vector<std::uint8_t>> sites;
+
+  for (std::size_t col = 0; col < width; ++col) {
+    std::array<std::size_t, 4> counts{};  // A C G T
+    auto code_of = [](char c) -> int {
+      switch (std::toupper(static_cast<unsigned char>(c))) {
+        case 'A': return 0;
+        case 'C': return 1;
+        case 'G': return 2;
+        case 'T': return 3;
+        default: return -1;  // gap / ambiguity
+      }
+    };
+    for (const auto& record : records) {
+      const int code = code_of(record.sequence[col]);
+      if (code >= 0) ++counts[static_cast<std::size_t>(code)];
+    }
+    const std::size_t distinct =
+        static_cast<std::size_t>(std::count_if(counts.begin(), counts.end(),
+                                               [](std::size_t c) { return c > 0; }));
+    if (distinct != 2) continue;  // monomorphic or >biallelic: not a usable SNP
+
+    // Identify major and minor alleles.
+    int major = 0;
+    for (int code = 1; code < 4; ++code) {
+      if (counts[static_cast<std::size_t>(code)] >
+          counts[static_cast<std::size_t>(major)]) {
+        major = code;
+      }
+    }
+    std::vector<std::uint8_t> alleles(samples);
+    for (std::size_t row = 0; row < samples; ++row) {
+      const int code = code_of(records[row].sequence[col]);
+      if (code < 0) {
+        // Gap/ambiguity: impute as major allele (OmegaPlus binary-mode
+        // policy) or keep as a missing call.
+        alleles[row] = options.impute_missing_as_major ? 0 : Dataset::kMissing;
+      } else {
+        alleles[row] = static_cast<std::uint8_t>(code != major);
+      }
+    }
+    positions.push_back(static_cast<std::int64_t>(col) + 1);
+    sites.push_back(std::move(alleles));
+  }
+  return Dataset(std::move(positions), std::move(sites),
+                 static_cast<std::int64_t>(width));
+}
+
+}  // namespace omega::io

@@ -1,0 +1,39 @@
+#pragma once
+// Minimal FASTA alignment importer. OmegaPlus accepts FASTA alignments and
+// reduces them to binary SNPs against a reference sequence; we reproduce that
+// reduction: a column is a usable SNP when exactly two distinct nucleotides
+// occur (ignoring gaps/N, which are treated as the majority allele, matching
+// OmegaPlus's imputation of missing data in binary mode).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/dataset.h"
+
+namespace omega::io {
+
+struct FastaRecord {
+  std::string name;
+  std::string sequence;
+};
+
+/// Parses all records. Throws std::runtime_error on ragged alignments or
+/// empty input when `require_alignment` is set.
+std::vector<FastaRecord> read_fasta(std::istream& in, bool require_alignment = true);
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         bool require_alignment = true);
+
+struct FastaOptions {
+  /// Gaps/ambiguity codes: impute as the column's major allele (OmegaPlus's
+  /// binary-mode default, and ours) or keep as missing calls so r2 uses
+  /// pairwise-complete samples.
+  bool impute_missing_as_major = true;
+};
+
+/// Converts an aligned set of sequences to a binary SNP dataset.
+/// Column i maps to position i+1 bp; the minor allele is coded as derived (1).
+Dataset fasta_to_dataset(const std::vector<FastaRecord>& records,
+                         const FastaOptions& options = {});
+
+}  // namespace omega::io

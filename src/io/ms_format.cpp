@@ -1,0 +1,156 @@
+#include "io/ms_format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omega::io {
+namespace {
+
+std::string strip(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = line.find_last_not_of(" \t\r\n");
+  return line.substr(first, last - first + 1);
+}
+
+Dataset finish_replicate(const std::vector<double>& fractions,
+                         const std::vector<std::string>& haplotypes,
+                         const MsReadOptions& options) {
+  const std::size_t sites = fractions.size();
+  for (const auto& hap : haplotypes) {
+    if (hap.size() != sites) {
+      throw std::runtime_error("ms: haplotype width " + std::to_string(hap.size()) +
+                               " != segsites " + std::to_string(sites));
+    }
+  }
+  std::vector<std::int64_t> positions(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    if (fractions[s] < 0.0 || fractions[s] > 1.0) {
+      throw std::runtime_error("ms: position outside [0,1]");
+    }
+    positions[s] = static_cast<std::int64_t>(
+        std::llround(fractions[s] * static_cast<double>(options.locus_length_bp)));
+  }
+  if (options.deduplicate_positions) {
+    for (std::size_t s = 1; s < sites; ++s) {
+      if (positions[s] <= positions[s - 1]) positions[s] = positions[s - 1] + 1;
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> matrix(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    matrix[s].resize(haplotypes.size());
+    for (std::size_t h = 0; h < haplotypes.size(); ++h) {
+      const char c = haplotypes[h][s];
+      if (c != '0' && c != '1') {
+        throw std::runtime_error(std::string("ms: invalid allele character '") + c + "'");
+      }
+      matrix[s][h] = static_cast<std::uint8_t>(c - '0');
+    }
+  }
+  const std::int64_t length =
+      std::max<std::int64_t>(options.locus_length_bp,
+                             positions.empty() ? 0 : positions.back());
+  Dataset dataset(std::move(positions), std::move(matrix), length);
+  if (options.drop_monomorphic) dataset.remove_monomorphic();
+  return dataset;
+}
+
+}  // namespace
+
+std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
+  std::vector<Dataset> replicates;
+  std::string line;
+  bool in_replicate = false;
+  std::size_t expected_sites = 0;
+  std::vector<double> fractions;
+  std::vector<std::string> haplotypes;
+
+  auto flush = [&] {
+    if (in_replicate) {
+      replicates.push_back(finish_replicate(fractions, haplotypes, options));
+      fractions.clear();
+      haplotypes.clear();
+      in_replicate = false;
+    }
+  };
+
+  while (std::getline(in, line)) {
+    const std::string text = strip(line);
+    if (text == "//") {
+      flush();
+      in_replicate = true;
+      expected_sites = 0;
+      continue;
+    }
+    if (!in_replicate) continue;  // header / seeds / blank prologue
+    if (text.empty()) continue;
+    if (text.rfind("segsites:", 0) == 0) {
+      expected_sites = static_cast<std::size_t>(std::stoull(strip(text.substr(9))));
+      continue;
+    }
+    if (text.rfind("positions:", 0) == 0) {
+      std::istringstream fields(text.substr(10));
+      double value = 0.0;
+      while (fields >> value) fractions.push_back(value);
+      if (expected_sites != 0 && fractions.size() != expected_sites) {
+        throw std::runtime_error("ms: positions count != segsites");
+      }
+      continue;
+    }
+    // Haplotype row.
+    haplotypes.push_back(text);
+  }
+  flush();
+  return replicates;
+}
+
+std::vector<Dataset> read_ms_file(const std::string& path,
+                                  const MsReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ms: cannot open " + path);
+  return read_ms(in, options);
+}
+
+void write_ms(std::ostream& out, const std::vector<Dataset>& replicates,
+              const std::string& command_line) {
+  const std::size_t samples = replicates.empty() ? 0 : replicates.front().num_samples();
+  out << command_line << ' ' << samples << ' ' << replicates.size() << "\n";
+  out << "0 0 0\n";
+  for (const auto& dataset : replicates) {
+    if (dataset.has_missing()) {
+      throw std::runtime_error(
+          "ms: the format cannot represent missing calls; filter or impute "
+          "before writing");
+    }
+    out << "\n//\n";
+    out << "segsites: " << dataset.num_sites() << "\n";
+    out << "positions:";
+    out << std::setprecision(6) << std::fixed;
+    const double length = static_cast<double>(std::max<std::int64_t>(1, dataset.locus_length_bp()));
+    for (std::size_t s = 0; s < dataset.num_sites(); ++s) {
+      out << ' ' << static_cast<double>(dataset.position(s)) / length;
+    }
+    out << "\n";
+    for (std::size_t h = 0; h < dataset.num_samples(); ++h) {
+      for (std::size_t s = 0; s < dataset.num_sites(); ++s) {
+        out << static_cast<char>('0' + dataset.allele(s, h));
+      }
+      out << "\n";
+    }
+  }
+}
+
+void write_ms_file(const std::string& path, const std::vector<Dataset>& replicates,
+                   const std::string& command_line) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ms: cannot open for write " + path);
+  write_ms(out, replicates, command_line);
+}
+
+}  // namespace omega::io

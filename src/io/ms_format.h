@@ -1,0 +1,44 @@
+#pragma once
+// Reader/writer for Hudson's `ms` output format, the interchange format used
+// by the paper's experiments ("We generated simulated datasets using
+// Hudson's ms"). A replicate looks like:
+//
+//   //
+//   segsites: 4
+//   positions: 0.0110 0.2504 0.2592 0.8951
+//   0101
+//   1100
+//   ...
+//
+// Positions are fractions of the locus; we convert to integer bp with the
+// caller-provided locus length (matching OmegaPlus's handling of ms input).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/dataset.h"
+
+namespace omega::io {
+
+struct MsReadOptions {
+  std::int64_t locus_length_bp = 1'000'000;
+  bool drop_monomorphic = true;
+  /// When two fractional positions collide after bp rounding, nudge the later
+  /// site forward one bp (OmegaPlus requires strictly increasing positions).
+  bool deduplicate_positions = true;
+};
+
+/// Parses every replicate in the stream. Throws std::runtime_error on
+/// malformed input (wrong haplotype widths, bad counts, invalid characters).
+std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options = {});
+std::vector<Dataset> read_ms_file(const std::string& path,
+                                  const MsReadOptions& options = {});
+
+/// Writes replicates in ms format (fractional positions with 6 digits).
+void write_ms(std::ostream& out, const std::vector<Dataset>& replicates,
+              const std::string& command_line = "ms (libomega writer)");
+void write_ms_file(const std::string& path, const std::vector<Dataset>& replicates,
+                   const std::string& command_line = "ms (libomega writer)");
+
+}  // namespace omega::io

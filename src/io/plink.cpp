@@ -1,0 +1,120 @@
+#include "io/plink.h"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace omega::io {
+namespace {
+
+struct MapEntry {
+  std::string snp_id;
+  std::int64_t position_bp = 0;
+};
+
+std::vector<MapEntry> parse_map(std::istream& in) {
+  std::vector<MapEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string chrom, snp_id;
+    double genetic_distance = 0.0;
+    std::int64_t position = 0;
+    if (!(fields >> chrom >> snp_id >> genetic_distance >> position)) {
+      throw std::runtime_error("plink: malformed .map line: " + line);
+    }
+    entries.push_back({snp_id, position});
+  }
+  return entries;
+}
+
+}  // namespace
+
+Dataset read_plink(std::istream& ped_in, std::istream& map_in,
+                   PlinkLoadReport* report) {
+  PlinkLoadReport local;
+  const auto map_entries = parse_map(map_in);
+  const std::size_t sites = map_entries.size();
+  local.sites_total = sites;
+
+  // Collect raw allele characters per haplotype, site-major.
+  // alleles[s] holds one char per haplotype.
+  std::vector<std::string> alleles(sites);
+  std::string line;
+  while (std::getline(ped_in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string fid, iid, pat, mat, sex, phenotype;
+    if (!(fields >> fid >> iid >> pat >> mat >> sex >> phenotype)) {
+      throw std::runtime_error("plink: malformed .ped prologue: " + line);
+    }
+    ++local.individuals;
+    for (std::size_t s = 0; s < sites; ++s) {
+      std::string a1, a2;
+      if (!(fields >> a1 >> a2) || a1.size() != 1 || a2.size() != 1) {
+        throw std::runtime_error("plink: .ped genotype count mismatch for " +
+                                 iid);
+      }
+      alleles[s].push_back(a1[0]);
+      alleles[s].push_back(a2[0]);
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::runtime_error("plink: trailing genotype fields for " + iid);
+    }
+  }
+
+  const std::size_t haplotypes = 2 * local.individuals;
+  std::vector<std::int64_t> positions;
+  std::vector<std::vector<std::uint8_t>> rows;
+  std::int64_t previous_position = -1;
+  for (std::size_t s = 0; s < sites; ++s) {
+    // Count distinct non-missing alleles.
+    std::map<char, std::size_t> counts;
+    for (const char c : alleles[s]) {
+      if (c != '0') ++counts[c];
+    }
+    if (counts.size() != 2) {
+      ++local.sites_dropped;  // monomorphic handled later; multi-allelic here
+      if (counts.size() < 2) continue;
+      continue;
+    }
+    // Minor allele = derived.
+    const auto major = std::max_element(
+        counts.begin(), counts.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::vector<std::uint8_t> row(haplotypes);
+    for (std::size_t h = 0; h < haplotypes; ++h) {
+      const char c = alleles[s][h];
+      row[h] = c == '0' ? Dataset::kMissing
+                        : static_cast<std::uint8_t>(c != major->first);
+    }
+    std::int64_t position = map_entries[s].position_bp;
+    if (position <= previous_position) position = previous_position + 1;
+    previous_position = position;
+    positions.push_back(position);
+    rows.push_back(std::move(row));
+  }
+
+  if (report != nullptr) *report = local;
+  const std::int64_t length = positions.empty() ? 0 : positions.back();
+  Dataset dataset(std::move(positions), std::move(rows), length);
+  dataset.remove_monomorphic();
+  return dataset;
+}
+
+Dataset read_plink_files(const std::string& stem, PlinkLoadReport* report) {
+  std::ifstream ped(stem + ".ped");
+  if (!ped) throw std::runtime_error("plink: cannot open " + stem + ".ped");
+  std::ifstream map_file(stem + ".map");
+  if (!map_file) throw std::runtime_error("plink: cannot open " + stem + ".map");
+  return read_plink(ped, map_file, report);
+}
+
+}  // namespace omega::io

@@ -1,0 +1,38 @@
+#pragma once
+// PLINK text-format (.ped/.map) importer. PLINK 1.9 is the CPU baseline of
+// the LD-acceleration lineage the paper builds on (Alachiotis & Weisz and
+// Bozikas et al. both benchmark against it; quickLD compares to it), so
+// loading its native format lets the same inputs drive this library.
+//
+//   .map — one line per SNP:  chrom  snp-id  genetic-distance  bp-position
+//   .ped — one line per individual:
+//            FID IID PAT MAT SEX PHENO  a1 a2  a1 a2 ...   (2 alleles/SNP)
+//
+// Diploid genotypes contribute two haplotypes per individual. Alleles may be
+// ACGT or 1/2 coded; '0' is a missing call. Sites are reduced to binary with
+// the minor allele as derived, multi-allelic sites are dropped (counted in
+// the report).
+
+#include <iosfwd>
+#include <string>
+
+#include "io/dataset.h"
+
+namespace omega::io {
+
+struct PlinkLoadReport {
+  std::size_t individuals = 0;
+  std::size_t sites_total = 0;
+  std::size_t sites_dropped = 0;  // multi-allelic or all-missing
+};
+
+/// Parses from streams (testable) — `map_in` fixes the site count and
+/// positions, `ped_in` supplies genotypes.
+Dataset read_plink(std::istream& ped_in, std::istream& map_in,
+                   PlinkLoadReport* report = nullptr);
+
+/// Convenience file wrapper: `stem.ped` + `stem.map`.
+Dataset read_plink_files(const std::string& stem,
+                         PlinkLoadReport* report = nullptr);
+
+}  // namespace omega::io

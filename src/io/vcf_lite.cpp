@@ -1,0 +1,173 @@
+#include "io/vcf_lite.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omega::io {
+namespace {
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, '\t')) fields.push_back(field);
+  return fields;
+}
+
+/// Parses one GT field ("0", "1", "0|1", "./1") into haplotype alleles;
+/// '.' becomes a missing call (pairwise-complete r2 downstream). Returns
+/// false for unparseable fields (multi-digit allele indices etc.).
+bool parse_gt(const std::string& gt, std::vector<std::uint8_t>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    const char c = gt[i];
+    if (c == '0' || c == '1') {
+      out.push_back(static_cast<std::uint8_t>(c - '0'));
+    } else if (c == '.') {
+      out.push_back(Dataset::kMissing);
+    } else if (c == '|' || c == '/') {
+      continue;
+    } else {
+      return false;  // multi-digit allele index, malformed field
+    }
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+Dataset read_vcf(std::istream& in, VcfLoadReport* report) {
+  VcfLoadReport local;
+  std::string line;
+  std::string contig;
+  std::size_t haplotypes = 0;
+  std::vector<std::int64_t> positions;
+  std::vector<std::vector<std::uint8_t>> sites;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = split_tabs(line);
+    if (fields.size() < 10) continue;
+    ++local.records_total;
+
+    if (contig.empty()) {
+      contig = fields[0];
+    } else if (fields[0] != contig) {
+      break;  // only the first contig
+    }
+    const std::string& ref = fields[3];
+    const std::string& alt = fields[4];
+    if (ref.size() != 1 || alt.size() != 1 || alt == "." || alt[0] == '<') {
+      ++local.records_skipped;
+      continue;
+    }
+    // FORMAT must start with GT.
+    if (fields[8].rfind("GT", 0) != 0) {
+      ++local.records_skipped;
+      continue;
+    }
+    std::vector<std::uint8_t> row;
+    std::vector<std::uint8_t> gt_alleles;
+    bool bad = false;
+    for (std::size_t f = 9; f < fields.size(); ++f) {
+      const auto colon = fields[f].find(':');
+      const std::string gt =
+          colon == std::string::npos ? fields[f] : fields[f].substr(0, colon);
+      if (!parse_gt(gt, gt_alleles)) {
+        bad = true;
+        break;
+      }
+      row.insert(row.end(), gt_alleles.begin(), gt_alleles.end());
+    }
+    if (bad) {
+      ++local.records_skipped;
+      continue;
+    }
+    if (haplotypes == 0) {
+      haplotypes = row.size();
+    } else if (row.size() != haplotypes) {
+      ++local.records_skipped;
+      continue;  // inconsistent ploidy: skip rather than abort
+    }
+    const std::int64_t pos = std::stoll(fields[1]);
+    if (!positions.empty() && pos <= positions.back()) {
+      ++local.records_skipped;
+      continue;  // unsorted/duplicate positions
+    }
+    positions.push_back(pos);
+    sites.push_back(std::move(row));
+  }
+
+  if (report != nullptr) *report = local;
+  const std::int64_t length = positions.empty() ? 0 : positions.back();
+  Dataset dataset(std::move(positions), std::move(sites), length);
+  dataset.remove_monomorphic();
+  return dataset;
+}
+
+Dataset read_vcf_file(const std::string& path, VcfLoadReport* report) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("vcf: cannot open " + path);
+  return read_vcf(in, report);
+}
+
+namespace {
+
+char gt_char(std::uint8_t allele) {
+  return allele == Dataset::kMissing ? '.'
+                                     : static_cast<char>('0' + allele);
+}
+
+}  // namespace
+
+void write_vcf(std::ostream& out, const Dataset& dataset,
+               const VcfWriteOptions& options) {
+  const std::size_t haplotypes = dataset.num_samples();
+  const std::size_t diploids =
+      options.pair_into_diploids ? haplotypes / 2 : 0;
+  const bool trailing_haploid =
+      options.pair_into_diploids && (haplotypes % 2) == 1;
+
+  out << "##fileformat=VCFv4.2\n";
+  out << "##source=libomega\n";
+  out << "##contig=<ID=" << options.contig << ">\n";
+  out << "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT";
+  if (options.pair_into_diploids) {
+    for (std::size_t s = 0; s < diploids + (trailing_haploid ? 1 : 0); ++s) {
+      out << "\tS" << s;
+    }
+  } else {
+    for (std::size_t h = 0; h < haplotypes; ++h) out << "\tH" << h;
+  }
+  out << "\n";
+
+  for (std::size_t site = 0; site < dataset.num_sites(); ++site) {
+    out << options.contig << '\t' << dataset.position(site)
+        << "\t.\tA\tT\t.\tPASS\t.\tGT";
+    if (options.pair_into_diploids) {
+      for (std::size_t s = 0; s < diploids; ++s) {
+        out << '\t' << gt_char(dataset.allele(site, 2 * s)) << '|'
+            << gt_char(dataset.allele(site, 2 * s + 1));
+      }
+      if (trailing_haploid) {
+        out << '\t' << gt_char(dataset.allele(site, haplotypes - 1));
+      }
+    } else {
+      for (std::size_t h = 0; h < haplotypes; ++h) {
+        out << '\t' << gt_char(dataset.allele(site, h));
+      }
+    }
+    out << "\n";
+  }
+}
+
+void write_vcf_file(const std::string& path, const Dataset& dataset,
+                    const VcfWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("vcf: cannot open for write " + path);
+  write_vcf(out, dataset, options);
+}
+
+}  // namespace omega::io

@@ -1,0 +1,41 @@
+#pragma once
+// "VCF-lite" importer: enough of VCF 4.x to load biallelic haploid/phased
+// genotype records into a Dataset. Supports the subset produced by common
+// simulators and by bcftools view on phased panels:
+//   #CHROM POS ID REF ALT QUAL FILTER INFO FORMAT S1 S2 ...
+// with GT fields like 0, 1, 0|1, 1/1. Multi-allelic records and records with
+// symbolic ALT alleles are skipped (counted, reported).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/dataset.h"
+
+namespace omega::io {
+
+struct VcfLoadReport {
+  std::size_t records_total = 0;
+  std::size_t records_skipped = 0;  // multi-allelic / symbolic / malformed GT
+};
+
+/// Loads the first contig's records (or all records if they share a contig).
+/// Phased diploid GTs contribute two haplotypes per sample.
+Dataset read_vcf(std::istream& in, VcfLoadReport* report = nullptr);
+Dataset read_vcf_file(const std::string& path, VcfLoadReport* report = nullptr);
+
+struct VcfWriteOptions {
+  std::string contig = "1";
+  /// Haplotypes are paired into phased diploid samples (hap 2i | hap 2i+1);
+  /// with an odd haplotype count the last sample is haploid.
+  bool pair_into_diploids = true;
+};
+
+/// Writes the dataset as VCF 4.2 (REF=A, ALT=T placeholder alleles; missing
+/// calls become '.'). Round-trips through read_vcf.
+void write_vcf(std::ostream& out, const Dataset& dataset,
+               const VcfWriteOptions& options = {});
+void write_vcf_file(const std::string& path, const Dataset& dataset,
+                    const VcfWriteOptions& options = {});
+
+}  // namespace omega::io

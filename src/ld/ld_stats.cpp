@@ -1,0 +1,167 @@
+#include "ld/ld_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace omega::ld {
+namespace {
+
+/// Should the unordered pair (a, b) be evaluated in this traversal?
+/// Region overlap rule: evaluate once, never the self-pair.
+bool admissible(std::size_t a, std::size_t b, std::size_t b_begin,
+                std::size_t b_end) {
+  if (a == b) return false;
+  // If the mirrored pair (b as an 'a' index, a as a 'b' index) is also part
+  // of the traversal, keep only the a < b orientation.
+  const bool mirrored = b >= b_begin && b < b_end && a >= b_begin && a < b_end;
+  return !mirrored || a < b;
+}
+
+/// Accumulator merged across tiles.
+struct Accumulator {
+  std::uint64_t pairs = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t high = 0;
+  double sum_r2 = 0.0;
+  double max_r2 = 0.0;
+  std::vector<LdPair> top;  // unsorted pool, pruned to capacity
+
+  void add(const Accumulator& other, std::size_t capacity) {
+    pairs += other.pairs;
+    skipped += other.skipped;
+    high += other.high;
+    sum_r2 += other.sum_r2;
+    max_r2 = std::max(max_r2, other.max_r2);
+    top.insert(top.end(), other.top.begin(), other.top.end());
+    prune(capacity);
+  }
+
+  void prune(std::size_t capacity) {
+    if (top.size() <= capacity) return;
+    std::partial_sort(top.begin(), top.begin() + static_cast<std::ptrdiff_t>(capacity),
+                      top.end(), [](const LdPair& x, const LdPair& y) {
+                        return x.stats.r2 > y.stats.r2;
+                      });
+    top.resize(capacity);
+  }
+};
+
+double site_maf(const SnpMatrix& snps, std::size_t site) {
+  const double valid = snps.valid_count(site);
+  if (valid <= 0.0) return 0.0;
+  const double derived = snps.derived_count(site);
+  return std::min(derived, valid - derived) / valid;
+}
+
+void scan_tile(const SnpMatrix& snps, std::size_t a0, std::size_t a1,
+               std::size_t b0, std::size_t b1, std::size_t region_b_begin,
+               std::size_t region_b_end, const LdScanOptions& options,
+               Accumulator& acc) {
+  for (std::size_t a = a0; a < a1; ++a) {
+    if (site_maf(snps, a) < options.min_maf) {
+      for (std::size_t b = b0; b < b1; ++b) {
+        if (admissible(a, b, region_b_begin, region_b_end)) ++acc.skipped;
+      }
+      continue;
+    }
+    for (std::size_t b = b0; b < b1; ++b) {
+      if (!admissible(a, b, region_b_begin, region_b_end)) continue;
+      if (site_maf(snps, b) < options.min_maf) {
+        ++acc.skipped;
+        continue;
+      }
+      const auto stats = ld_statistics(snps.pair_counts_complete(a, b));
+      ++acc.pairs;
+      acc.sum_r2 += stats.r2;
+      acc.max_r2 = std::max(acc.max_r2, stats.r2);
+      if (stats.r2 >= options.high_ld_threshold) {
+        ++acc.high;
+        acc.top.push_back({a, b, stats});
+        if (acc.top.size() > 4 * options.top_pairs + 16) {
+          acc.prune(options.top_pairs);
+        }
+      }
+    }
+  }
+}
+
+LdScanResult finish(Accumulator acc, const LdScanOptions& options) {
+  acc.prune(options.top_pairs);
+  std::sort(acc.top.begin(), acc.top.end(),
+            [](const LdPair& x, const LdPair& y) {
+              if (x.stats.r2 != y.stats.r2) return x.stats.r2 > y.stats.r2;
+              if (x.site_a != y.site_a) return x.site_a < y.site_a;
+              return x.site_b < y.site_b;
+            });
+  LdScanResult result;
+  result.pairs_evaluated = acc.pairs;
+  result.pairs_skipped_maf = acc.skipped;
+  result.high_ld_pairs = acc.high;
+  result.mean_r2 = acc.pairs > 0 ? acc.sum_r2 / static_cast<double>(acc.pairs) : 0.0;
+  result.max_r2 = acc.max_r2;
+  result.top = std::move(acc.top);
+  return result;
+}
+
+}  // namespace
+
+LdStatistics ld_statistics(const PairCounts& counts) noexcept {
+  LdStatistics stats;
+  if (counts.samples < 2) return stats;
+  const double n = counts.samples;
+  const double pi = counts.ni / n;
+  const double pj = counts.nj / n;
+  const double pij = counts.nij / n;
+  const double d = pij - pi * pj;
+  stats.d = d;
+  const double denominator = pi * (1.0 - pi) * pj * (1.0 - pj);
+  if (denominator > 0.0) {
+    stats.r2 = d * d / denominator;
+    const double d_max = d >= 0.0
+                             ? std::min(pi * (1.0 - pj), pj * (1.0 - pi))
+                             : std::min(pi * pj, (1.0 - pi) * (1.0 - pj));
+    stats.d_prime = d_max > 0.0 ? d / d_max : 0.0;
+  }
+  return stats;
+}
+
+LdScanResult ld_region_scan(const SnpMatrix& snps, std::size_t a_begin,
+                            std::size_t a_end, std::size_t b_begin,
+                            std::size_t b_end, const LdScanOptions& options) {
+  Accumulator acc;
+  const std::size_t tile = std::max<std::size_t>(1, options.tile);
+  for (std::size_t a0 = a_begin; a0 < a_end; a0 += tile) {
+    const std::size_t a1 = std::min(a_end, a0 + tile);
+    for (std::size_t b0 = b_begin; b0 < b_end; b0 += tile) {
+      const std::size_t b1 = std::min(b_end, b0 + tile);
+      scan_tile(snps, a0, a1, b0, b1, b_begin, b_end, options, acc);
+    }
+  }
+  return finish(std::move(acc), options);
+}
+
+LdScanResult ld_region_scan_parallel(par::ThreadPool& pool,
+                                     const SnpMatrix& snps, std::size_t a_begin,
+                                     std::size_t a_end, std::size_t b_begin,
+                                     std::size_t b_end,
+                                     const LdScanOptions& options) {
+  const std::size_t tile = std::max<std::size_t>(1, options.tile);
+  const std::size_t a_tiles = (a_end - a_begin + tile - 1) / tile;
+  if (a_end <= a_begin) return finish(Accumulator{}, options);
+
+  std::vector<Accumulator> partials(a_tiles);
+  par::parallel_for(pool, 0, a_tiles, 1, [&](std::size_t index) {
+    const std::size_t a0 = a_begin + index * tile;
+    const std::size_t a1 = std::min(a_end, a0 + tile);
+    for (std::size_t b0 = b_begin; b0 < b_end; b0 += tile) {
+      const std::size_t b1 = std::min(b_end, b0 + tile);
+      scan_tile(snps, a0, a1, b0, b1, b_begin, b_end, options, partials[index]);
+    }
+  });
+  Accumulator merged;
+  for (auto& partial : partials) merged.add(partial, options.top_pairs);
+  return finish(std::move(merged), options);
+}
+
+}  // namespace omega::ld

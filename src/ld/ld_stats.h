@@ -1,0 +1,75 @@
+#pragma once
+// quickLD-style LD analysis (Theodoris et al., the paper's LD substrate
+// lineage): the full set of classical pairwise LD statistics (D, D', r2)
+// and a tiled region-by-region scan that handles pairs between *distant*
+// genomic regions without materializing a quadratic matrix — the two-step
+// parse/process design quickLD introduced to scale past memory limits.
+//
+// Summaries (mean r2, high-LD fraction, top pairs) are accumulated per tile,
+// so a scan of two regions with hundreds of thousands of pairs needs O(tile)
+// memory.
+
+#include <cstdint>
+#include <vector>
+
+#include "ld/r2.h"
+#include "ld/snp_matrix.h"
+#include "par/thread_pool.h"
+
+namespace omega::ld {
+
+/// The classical pairwise statistics for one SNP pair.
+struct LdStatistics {
+  double d = 0.0;        // coefficient of disequilibrium p_ij - p_i p_j
+  double d_prime = 0.0;  // Lewontin's normalization, in [-1, 1]
+  double r2 = 0.0;       // squared correlation, in [0, 1]
+};
+
+/// From pairwise-complete counts. Monomorphic pairs yield all-zero stats.
+[[nodiscard]] LdStatistics ld_statistics(const PairCounts& counts) noexcept;
+
+/// A high-LD pair surfaced by the scan.
+struct LdPair {
+  std::size_t site_a = 0;
+  std::size_t site_b = 0;
+  LdStatistics stats;
+};
+
+struct LdScanOptions {
+  /// Pairs with r2 >= this threshold count as "high LD" and are eligible
+  /// for the top list.
+  double high_ld_threshold = 0.2;
+  /// Number of top-r2 pairs retained.
+  std::size_t top_pairs = 10;
+  /// Tile edge for the blocked traversal.
+  std::size_t tile = 128;
+  /// Sites with minor-allele frequency below this are skipped (quickLD's
+  /// --maf pre-filter).
+  double min_maf = 0.0;
+};
+
+struct LdScanResult {
+  std::uint64_t pairs_evaluated = 0;
+  std::uint64_t pairs_skipped_maf = 0;
+  std::uint64_t high_ld_pairs = 0;
+  double mean_r2 = 0.0;
+  double max_r2 = 0.0;
+  /// Descending by r2.
+  std::vector<LdPair> top;
+};
+
+/// Scans all pairs (a, b) with a in [a_begin, a_end), b in [b_begin, b_end).
+/// Overlapping ranges are handled: self-pairs and duplicate unordered pairs
+/// are evaluated once (a < b within the overlap).
+LdScanResult ld_region_scan(const SnpMatrix& snps, std::size_t a_begin,
+                            std::size_t a_end, std::size_t b_begin,
+                            std::size_t b_end, const LdScanOptions& options = {});
+
+/// Tile-parallel variant; identical result up to top-list tie order.
+LdScanResult ld_region_scan_parallel(par::ThreadPool& pool,
+                                     const SnpMatrix& snps, std::size_t a_begin,
+                                     std::size_t a_end, std::size_t b_begin,
+                                     std::size_t b_end,
+                                     const LdScanOptions& options = {});
+
+}  // namespace omega::ld

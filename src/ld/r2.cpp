@@ -1,0 +1,46 @@
+#include "ld/r2.h"
+
+namespace omega::ld {
+
+double r2_from_counts(const PairCounts& counts) noexcept {
+  if (counts.samples < 2) return 0.0;  // no pairwise-complete information
+  const double n = counts.samples;
+  const double pi = counts.ni / n;
+  const double pj = counts.nj / n;
+  const double pij = counts.nij / n;
+  const double denom = pi * (1.0 - pi) * pj * (1.0 - pj);
+  if (denom <= 0.0) return 0.0;
+  const double d = pij - pi * pj;
+  return d * d / denom;
+}
+
+float r2_from_counts_f(const PairCounts& counts) noexcept {
+  if (counts.samples < 2) return 0.0f;  // no pairwise-complete information
+  const float n = static_cast<float>(counts.samples);
+  const float pi = static_cast<float>(counts.ni) / n;
+  const float pj = static_cast<float>(counts.nj) / n;
+  const float pij = static_cast<float>(counts.nij) / n;
+  const float denom = pi * (1.0f - pi) * pj * (1.0f - pj);
+  if (denom <= 0.0f) return 0.0f;
+  const float d = pij - pi * pj;
+  return d * d / denom;
+}
+
+double r2_naive(const io::Dataset& dataset, std::size_t i, std::size_t j) {
+  const auto& a = dataset.site(i);
+  const auto& b = dataset.site(j);
+  // Pairwise-complete: only samples called at both sites contribute.
+  PairCounts counts{0, 0, 0, 0};
+  for (std::size_t h = 0; h < a.size(); ++h) {
+    if (a[h] == io::Dataset::kMissing || b[h] == io::Dataset::kMissing) {
+      continue;
+    }
+    ++counts.samples;
+    counts.ni += a[h];
+    counts.nj += b[h];
+    counts.nij += static_cast<std::int32_t>(a[h] & b[h]);
+  }
+  return r2_from_counts(counts);
+}
+
+}  // namespace omega::ld

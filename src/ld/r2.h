@@ -1,0 +1,36 @@
+#pragma once
+// Pearson-correlation LD measure, Eq. (1) of the paper:
+//
+//   r2_ij = (p_ij - p_i p_j)^2 / ( p_i (1-p_i) p_j (1-p_j) )
+//
+// computed from integer counts. Monomorphic sites (p == 0 or 1) make the
+// denominator vanish; following OmegaPlus, r2 is defined as 0 in that case
+// (such sites contribute no linkage information).
+
+#include <cstdint>
+
+#include "io/dataset.h"
+
+namespace omega::ld {
+
+struct PairCounts {
+  /// Pairwise-complete sample count (== total samples when no data is
+  /// missing at either SNP).
+  std::int32_t samples;
+  std::int32_t ni;   // derived count at SNP i over those samples
+  std::int32_t nj;   // derived count at SNP j over those samples
+  std::int32_t nij;  // co-occurrence count
+};
+
+/// Eq. (1) in double precision (reference / CPU path).
+[[nodiscard]] double r2_from_counts(const PairCounts& counts) noexcept;
+
+/// Eq. (1) in single precision (accelerator paths; the paper's FPGA/GPU
+/// datapaths are float).
+[[nodiscard]] float r2_from_counts_f(const PairCounts& counts) noexcept;
+
+/// Direct evaluation from an unpacked dataset; O(samples). Test oracle.
+[[nodiscard]] double r2_naive(const io::Dataset& dataset, std::size_t i,
+                              std::size_t j);
+
+}  // namespace omega::ld

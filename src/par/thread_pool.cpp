@@ -1,0 +1,140 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace omega::par {
+
+struct ThreadPool::Batch {
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  void finish_one() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::pair<Batch*, std::function<void()>> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      item.second();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(item.first->error_mutex);
+      if (!item.first->error) item.first->error = std::current_exception();
+    }
+    item.first->finish_one();
+  }
+}
+
+void ThreadPool::run_blocking(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  Batch batch;
+  batch.remaining.store(tasks.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& task : tasks) {
+      queue_.emplace_back(&batch, std::move(task));
+    }
+  }
+  cv_.notify_all();
+
+  // The caller drains tasks belonging to any batch; this keeps a 1-thread
+  // pool (or a pool saturated by other callers) deadlock-free.
+  for (;;) {
+    std::pair<Batch*, std::function<void()>> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      item.second();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(item.first->error_mutex);
+      if (!item.first->error) item.first->error = std::current_exception();
+    }
+    item.first->finish_one();
+  }
+
+  std::unique_lock<std::mutex> lock(batch.done_mutex);
+  batch.done_cv.wait(lock, [&batch] {
+    return batch.remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t lanes = pool.size() + 1;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    tasks.emplace_back([next, begin, end, grain, &body] {
+      (void)begin;
+      for (;;) {
+        const std::size_t start = next->fetch_add(grain, std::memory_order_relaxed);
+        if (start >= end) return;
+        const std::size_t stop = std::min(end, start + grain);
+        for (std::size_t i = start; i < stop; ++i) body(i);
+      }
+    });
+  }
+  pool.run_blocking(std::move(tasks));
+}
+
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body) {
+  if (begin >= end) return;
+  const std::size_t lanes = pool.size() + 1;
+  const std::size_t total = end - begin;
+  const std::size_t chunk = (total + lanes - 1) / lanes;
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::size_t lo = begin + lane * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    tasks.emplace_back([lo, hi, &chunk_body] { chunk_body(lo, hi); });
+  }
+  pool.run_blocking(std::move(tasks));
+}
+
+}  // namespace omega::par

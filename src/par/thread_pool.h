@@ -1,0 +1,61 @@
+#pragma once
+// Fixed-size thread pool shared by the multithreaded CPU scanner (Table IV)
+// and the GPU execution-model simulator (each worker plays one compute unit).
+//
+// Design notes:
+//  * one condition variable, one mutex, FIFO queue — contention is irrelevant
+//    because tasks are coarse (a grid position or a work-group batch);
+//  * `run_blocking` lets the submitting thread participate in draining its
+//    own batch, so a pool of size 1 still makes progress without deadlock and
+//    single-core machines are not oversubscribed.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omega::par {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads == 0` means "hardware concurrency".
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs `tasks` to completion; the calling thread also executes tasks.
+  /// Exceptions from tasks are rethrown (first one wins) after the batch
+  /// drains, so no task is left running when this returns.
+  void run_blocking(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::pair<Batch*, std::function<void()>>> queue_;
+  bool stopping_ = false;
+};
+
+/// Parallel loop over [begin, end) with dynamic chunking.
+/// `body(i)` is invoked exactly once per index, in unspecified order.
+/// `grain` indices are claimed per atomic fetch to amortize overhead.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, const std::function<void(std::size_t)>& body);
+
+/// Parallel loop handing each worker a contiguous [chunk_begin, chunk_end)
+/// range; used when the body wants to keep per-thread scratch state.
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body);
+
+}  // namespace omega::par

@@ -1,0 +1,27 @@
+#include "sim/dataset_factory.h"
+
+#include <stdexcept>
+
+#include "sim/coalescent.h"
+
+namespace omega::sim {
+
+io::Dataset make_dataset(const DatasetSpec& spec) {
+  if (spec.snps == 0) throw std::invalid_argument("dataset spec: snps == 0");
+  CoalescentConfig config;
+  config.samples = spec.samples;
+  config.rho = spec.rho;
+  config.locus_length_bp = spec.locus_length_bp;
+  config.fixed_segsites = spec.snps;
+  config.seed = spec.seed;
+  config.demography = spec.demography;
+  io::Dataset dataset = simulate(config);
+  // Fixed-S simulation always yields polymorphic sites (every mutation sits
+  // below the root), so the count is exact by construction.
+  if (dataset.num_sites() != spec.snps) {
+    throw std::logic_error("dataset factory: segsites mismatch");
+  }
+  return dataset;
+}
+
+}  // namespace omega::sim

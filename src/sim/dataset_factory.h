@@ -1,0 +1,29 @@
+#pragma once
+// Convenience layer producing the exact dataset shapes used throughout the
+// paper's evaluation (e.g. "50 sequences, 1,000..20,000 SNPs", "13,000 SNPs
+// and 7,000 sequences"). Wraps the coalescent with ms's -s (fixed segregating
+// sites) semantics so benches get deterministic shapes.
+
+#include <cstdint>
+
+#include "io/dataset.h"
+#include "sim/demography.h"
+
+namespace omega::sim {
+
+struct DatasetSpec {
+  std::size_t snps = 1'000;
+  std::size_t samples = 50;
+  std::int64_t locus_length_bp = 1'000'000;
+  /// Expected recombination breakpoints; controls SNP-density non-uniformity
+  /// and the number of distinct marginal genealogies.
+  double rho = 50.0;
+  std::uint64_t seed = 1;
+  /// Population-size history (default: equilibrium).
+  Demography demography;
+};
+
+/// Simulates a neutral dataset with exactly `spec.snps` polymorphic sites.
+io::Dataset make_dataset(const DatasetSpec& spec);
+
+}  // namespace omega::sim

@@ -1,0 +1,262 @@
+#include "sim/sweep_coalescent.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace omega::sim {
+namespace {
+
+/// Establishment frequency: below this the beneficial lineage behaves
+/// neutrally and the sweep phase ends.
+double establishment(double alpha) { return std::min(0.4, 1.0 / alpha); }
+
+/// Local genealogy under construction: leaves 0..n-1, internal nodes append.
+struct LocalTree {
+  std::vector<int> parent;
+  std::vector<double> time;
+  std::vector<std::array<int, 2>> children;
+
+  explicit LocalTree(std::size_t leaves)
+      : parent(2 * leaves - 1, -1),
+        time(2 * leaves - 1, 0.0),
+        children(2 * leaves - 1, {-1, -1}) {}
+
+  int next_node = 0;
+
+  int merge(int a, int b, double at) {
+    const int node = next_node++;
+    parent[static_cast<std::size_t>(a)] = node;
+    parent[static_cast<std::size_t>(b)] = node;
+    time[static_cast<std::size_t>(node)] = at;
+    children[static_cast<std::size_t>(node)] = {a, b};
+    return node;
+  }
+
+  double total_length(int root) const {
+    double length = 0.0;
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+      if (parent[v] >= 0) {
+        length += time[static_cast<std::size_t>(parent[v])] - time[v];
+      }
+    }
+    (void)root;
+    return length;
+  }
+
+  void leaves_below(int node, std::vector<int>& out) const {
+    out.clear();
+    std::vector<int> stack{node};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      if (children[static_cast<std::size_t>(v)][0] < 0) {
+        out.push_back(v);
+      } else {
+        stack.push_back(children[static_cast<std::size_t>(v)][0]);
+        stack.push_back(children[static_cast<std::size_t>(v)][1]);
+      }
+    }
+  }
+};
+
+/// Removes index `i` from `v` by swap-remove and returns the element.
+int take(std::vector<int>& v, std::size_t i) {
+  const int value = v[i];
+  v[i] = v.back();
+  v.pop_back();
+  return value;
+}
+
+}  // namespace
+
+double sweep_trajectory(double tau, double alpha, double final_frequency) {
+  const double x0 = std::min(final_frequency, 1.0 - 1e-9);
+  return x0 / (x0 + (1.0 - x0) * std::exp(alpha * tau));
+}
+
+double sweep_duration(double alpha, double final_frequency) {
+  const double x0 = std::min(final_frequency, 1.0 - 1e-9);
+  const double eps = establishment(alpha);
+  if (x0 <= eps) return 0.0;
+  return std::log(x0 * (1.0 - eps) / (eps * (1.0 - x0))) / alpha;
+}
+
+io::Dataset simulate_sweep_coalescent(const SweepCoalescentConfig& config) {
+  if (config.samples < 2) {
+    throw std::invalid_argument("sweep coalescent: need >= 2 samples");
+  }
+  if (config.alpha <= 2.0) {
+    throw std::invalid_argument("sweep coalescent: alpha must exceed 2");
+  }
+  if (config.final_frequency <= 0.0 || config.final_frequency > 1.0) {
+    throw std::invalid_argument("sweep coalescent: final_frequency in (0,1]");
+  }
+  util::Xoshiro256 rng(config.seed);
+  const std::size_t n = config.samples;
+  const double tau_end = sweep_duration(config.alpha, config.final_frequency);
+
+  // Carrier set: fixed across segments (the beneficial site is one locus).
+  const double x0 = std::min(config.final_frequency, 1.0 - 1e-9);
+  std::vector<char> carrier(n, 0);
+  {
+    auto count = static_cast<std::size_t>(
+        std::llround(x0 * static_cast<double>(n)));
+    count = std::max<std::size_t>(1, std::min(n, count));
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.bounded(i)]);
+    }
+    for (std::size_t i = 0; i < count; ++i) carrier[order[i]] = 1;
+  }
+
+  struct Mutation {
+    double fraction;
+    std::vector<int> carriers;
+  };
+  std::vector<Mutation> mutations;
+  std::vector<int> scratch_leaves;
+
+  const double locus = static_cast<double>(config.locus_length_bp);
+  for (std::size_t segment = 0; segment < config.segments; ++segment) {
+    const double lo = static_cast<double>(segment) /
+                      static_cast<double>(config.segments);
+    const double hi = static_cast<double>(segment + 1) /
+                      static_cast<double>(config.segments);
+    const double midpoint_bp = 0.5 * (lo + hi) * locus;
+    const double distance_bp =
+        std::abs(midpoint_bp - static_cast<double>(config.sweep_position_bp));
+    // Background-switch rate for this segment's lineages.
+    const double recomb_rate = config.rho * distance_bp / locus;
+
+    LocalTree tree(n);
+    tree.next_node = static_cast<int>(n);
+    std::vector<int> linked, unlinked;
+    for (std::size_t h = 0; h < n; ++h) {
+      (carrier[h] ? linked : unlinked).push_back(static_cast<int>(h));
+    }
+
+    // --- Sweep phase: time-inhomogeneous Gillespie with a rate-refresh
+    // grid over the deterministic trajectory. ---------------------------
+    const int grid_steps = 512;
+    double tau = 0.0;
+    for (int step = 0; step < grid_steps; ++step) {
+      const double grid_next =
+          tau_end * static_cast<double>(step + 1) / grid_steps;
+      while (tau < grid_next) {
+        const double x =
+            std::max(establishment(config.alpha),
+                     sweep_trajectory(tau, config.alpha, config.final_frequency));
+        const auto kb_linked = static_cast<double>(linked.size());
+        const auto kb_free = static_cast<double>(unlinked.size());
+        const double coal_linked =
+            kb_linked * (kb_linked - 1.0) / 2.0 / x;
+        const double coal_free =
+            kb_free * (kb_free - 1.0) / 2.0 / std::max(1e-9, 1.0 - x);
+        const double escape = kb_linked * recomb_rate * (1.0 - x);
+        const double recapture = kb_free * recomb_rate * x;
+        const double total = coal_linked + coal_free + escape + recapture;
+        if (total <= 0.0) {
+          tau = grid_next;
+          break;
+        }
+        const double wait = rng.exponential(total);
+        if (tau + wait > grid_next) {
+          tau = grid_next;  // rates change; redraw beyond the grid point
+          break;
+        }
+        tau += wait;
+        const double pick = rng.uniform() * total;
+        if (pick < coal_linked) {
+          const int a = take(linked, rng.bounded(linked.size()));
+          const int b = take(linked, rng.bounded(linked.size()));
+          linked.push_back(tree.merge(a, b, tau));
+        } else if (pick < coal_linked + coal_free) {
+          const int a = take(unlinked, rng.bounded(unlinked.size()));
+          const int b = take(unlinked, rng.bounded(unlinked.size()));
+          unlinked.push_back(tree.merge(a, b, tau));
+        } else if (pick < coal_linked + coal_free + escape) {
+          unlinked.push_back(take(linked, rng.bounded(linked.size())));
+        } else {
+          linked.push_back(take(unlinked, rng.bounded(unlinked.size())));
+        }
+      }
+      if (linked.size() + unlinked.size() <= 1) break;
+    }
+
+    // Establishment: surviving beneficial lineages descend from the single
+    // founder — coalesce them at tau_end (star approximation).
+    while (linked.size() > 1) {
+      const int a = take(linked, rng.bounded(linked.size()));
+      const int b = take(linked, rng.bounded(linked.size()));
+      linked.push_back(tree.merge(a, b, tau_end));
+    }
+    std::vector<int> active = unlinked;
+    active.insert(active.end(), linked.begin(), linked.end());
+
+    // --- Neutral phase: standard Kingman to the MRCA. -------------------
+    double now = std::max(tau, tau_end);
+    while (active.size() > 1) {
+      const auto k = static_cast<double>(active.size());
+      now += rng.exponential(k * (k - 1.0) / 2.0);
+      const int a = take(active, rng.bounded(active.size()));
+      const int b = take(active, rng.bounded(active.size()));
+      active.push_back(tree.merge(a, b, now));
+    }
+
+    // --- Mutations on the segment's genealogy. ---------------------------
+    const double segment_theta = config.theta * (hi - lo);
+    const double length = tree.total_length(active.front());
+    const std::uint64_t count = rng.poisson(segment_theta / 2.0 * length);
+    for (std::uint64_t m = 0; m < count; ++m) {
+      // Branch proportional to length.
+      double target = rng.uniform() * length;
+      int chosen = -1;
+      for (std::size_t v = 0; v < tree.parent.size() && chosen < 0; ++v) {
+        if (tree.parent[v] < 0) continue;
+        const double branch =
+            tree.time[static_cast<std::size_t>(tree.parent[v])] - tree.time[v];
+        if (target <= branch) {
+          chosen = static_cast<int>(v);
+        } else {
+          target -= branch;
+        }
+      }
+      if (chosen < 0) continue;  // floating-point tail
+      tree.leaves_below(chosen, scratch_leaves);
+      if (scratch_leaves.empty() || scratch_leaves.size() >= n) continue;
+      Mutation mutation;
+      mutation.fraction = lo + rng.uniform() * (hi - lo);
+      mutation.carriers = scratch_leaves;
+      mutations.push_back(std::move(mutation));
+    }
+  }
+
+  std::sort(mutations.begin(), mutations.end(),
+            [](const Mutation& a, const Mutation& b) {
+              return a.fraction < b.fraction;
+            });
+  std::vector<std::int64_t> positions;
+  std::vector<std::vector<std::uint8_t>> sites;
+  positions.reserve(mutations.size());
+  sites.reserve(mutations.size());
+  for (const auto& mutation : mutations) {
+    auto bp = static_cast<std::int64_t>(std::llround(mutation.fraction * locus));
+    if (!positions.empty() && bp <= positions.back()) bp = positions.back() + 1;
+    positions.push_back(bp);
+    std::vector<std::uint8_t> row(n, 0);
+    for (const int leaf : mutation.carriers) {
+      row[static_cast<std::size_t>(leaf)] = 1;
+    }
+    sites.push_back(std::move(row));
+  }
+  const std::int64_t length_bp =
+      std::max<std::int64_t>(config.locus_length_bp,
+                             positions.empty() ? 0 : positions.back());
+  return io::Dataset(std::move(positions), std::move(sites), length_bp);
+}
+
+}  // namespace omega::sim

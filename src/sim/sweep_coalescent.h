@@ -1,0 +1,66 @@
+#pragma once
+// Structured-coalescent selective sweep simulator (msms/mbs-style): instead
+// of overlaying a hitchhiking signature on neutral data (sweep_overlay.h),
+// genealogies are simulated backward in time *through* the sweep,
+// conditioning on a deterministic logistic trajectory of the beneficial
+// allele frequency x(tau):
+//
+//   * lineages are structured into the beneficial background (linked, B) and
+//     the wild-type background (unlinked, b);
+//   * within-B pairs coalesce at rate C(kB,2)/x(tau) — explosive as x -> 0,
+//     which is what produces the star-like genealogy and diversity loss;
+//   * within-b pairs coalesce at rate C(kb,2)/(1 - x(tau));
+//   * a lineage at recombination distance R from the sweep site switches
+//     background at rate R * (1-x) (escape) or R * x (recapture) — escape is
+//     what lets flanking variation survive, with independent escape times on
+//     the two flanks producing the Kim-Nielsen LD pattern the omega
+//     statistic targets;
+//   * after the sweep phase (x below ~1/alpha) the remaining lineages finish
+//     under the standard Kingman coalescent.
+//
+// The locus is discretized into segments, each with its own genealogy
+// (linked to the others through the shared carrier set and trajectory but
+// otherwise independent — the standard approximation of trajectory-
+// conditioned sweep simulators without a full ARG).
+
+#include <cstdint>
+
+#include "io/dataset.h"
+#include "util/prng.h"
+
+namespace omega::sim {
+
+struct SweepCoalescentConfig {
+  std::size_t samples = 50;
+  /// Selection strength alpha = 2Ns. Larger alpha = faster sweep = smaller
+  /// escape probability = wider footprint.
+  double alpha = 1'000.0;
+  /// Beneficial-allele frequency at sampling time (1.0 = complete sweep).
+  double final_frequency = 0.99;
+  /// Population-scaled mutation rate for the whole locus (as ms -t).
+  double theta = 100.0;
+  /// Population-scaled recombination rate for the whole locus (as ms -r);
+  /// a lineage in a segment at distance d bp from the sweep site switches
+  /// backgrounds at rate rho * d / locus_length.
+  double rho = 500.0;
+  std::int64_t locus_length_bp = 1'000'000;
+  std::int64_t sweep_position_bp = 500'000;
+  /// Locus discretization (genealogies simulated per segment).
+  std::size_t segments = 40;
+  std::uint64_t seed = 1;
+};
+
+/// Simulates one replicate. The derived dataset contains only the neutral
+/// polymorphisms (the beneficial site itself is not emitted).
+io::Dataset simulate_sweep_coalescent(const SweepCoalescentConfig& config);
+
+/// The deterministic logistic trajectory used by the simulator, exposed for
+/// tests: frequency of the beneficial allele at backward time tau, starting
+/// from `final_frequency` at tau = 0.
+double sweep_trajectory(double tau, double alpha, double final_frequency);
+
+/// Backward time at which the trajectory reaches the establishment
+/// frequency 1/alpha (the end of the sweep phase).
+double sweep_duration(double alpha, double final_frequency);
+
+}  // namespace omega::sim

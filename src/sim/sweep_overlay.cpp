@@ -1,0 +1,80 @@
+#include "sim/sweep_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace omega::sim {
+
+io::Dataset apply_sweep(const io::Dataset& neutral, const SweepConfig& config) {
+  if (config.carrier_fraction <= 0.0 || config.carrier_fraction > 1.0) {
+    throw std::invalid_argument("sweep: carrier_fraction must be in (0,1]");
+  }
+  util::Xoshiro256 rng(config.seed);
+  const std::size_t samples = neutral.num_samples();
+  const std::size_t sites = neutral.num_sites();
+
+  // Choose the donor haplotype and the carrier set.
+  const auto donor = static_cast<std::size_t>(rng.bounded(samples));
+  std::vector<std::size_t> order(samples);
+  for (std::size_t i = 0; i < samples; ++i) order[i] = i;
+  for (std::size_t i = samples; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.bounded(i)]);
+  }
+  const auto carrier_count = static_cast<std::size_t>(
+      std::llround(config.carrier_fraction * static_cast<double>(samples)));
+  std::vector<std::uint8_t> is_carrier(samples, 0);
+  for (std::size_t i = 0; i < carrier_count && i < samples; ++i) {
+    is_carrier[order[i]] = 1;
+  }
+  is_carrier[donor] = 1;
+
+  // Per-carrier tract bounds around the sweep position.
+  std::vector<std::int64_t> tract_lo(samples, 0);
+  std::vector<std::int64_t> tract_hi(samples, 0);
+  for (std::size_t h = 0; h < samples; ++h) {
+    if (!is_carrier[h]) continue;
+    const double left = rng.exponential(1.0 / config.tract_mean_bp);
+    const double right = rng.exponential(1.0 / config.tract_mean_bp);
+    tract_lo[h] = config.sweep_position_bp - static_cast<std::int64_t>(left);
+    tract_hi[h] = config.sweep_position_bp + static_cast<std::int64_t>(right);
+  }
+  // The donor trivially carries its own full haplotype.
+  tract_lo[donor] = 0;
+  tract_hi[donor] = neutral.locus_length_bp();
+
+  std::vector<std::int64_t> positions;
+  std::vector<std::vector<std::uint8_t>> out_sites;
+  positions.reserve(sites);
+  out_sites.reserve(sites);
+
+  for (std::size_t s = 0; s < sites; ++s) {
+    const std::int64_t pos = neutral.position(s);
+    const double dist = std::abs(static_cast<double>(pos - config.sweep_position_bp));
+
+    // Signature (a): thin SNPs near the sweep site.
+    const double drop_probability =
+        config.thinning_max * std::exp(-dist / config.thinning_scale_bp);
+    if (rng.uniform() < drop_probability) continue;
+
+    std::vector<std::uint8_t> row(samples);
+    const std::uint8_t donor_allele = neutral.allele(s, donor);
+    for (std::size_t h = 0; h < samples; ++h) {
+      const bool within_tract =
+          is_carrier[h] && pos >= tract_lo[h] && pos <= tract_hi[h];
+      row[h] = within_tract ? donor_allele : neutral.allele(s, h);
+    }
+    positions.push_back(pos);
+    out_sites.push_back(std::move(row));
+  }
+
+  io::Dataset out(std::move(positions), std::move(out_sites),
+                  neutral.locus_length_bp());
+  out.remove_monomorphic();
+  return out;
+}
+
+}  // namespace omega::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Hitchhiking sweep overlay: transforms a neutral dataset so that it carries
+// the three sweep signatures of the selective sweep theory (paper §II):
+//   a) reduced variation near the sweep site (SNP thinning),
+//   b) SFS shift toward high-frequency derived variants among carriers,
+//   c) the Kim-Nielsen LD pattern: elevated LD within each flank, reduced LD
+//      across the sweep site.
+//
+// Mechanism: a fraction of haplotypes ("carriers") descend from the single
+// haplotype on which the beneficial mutation arose. Each carrier inherits the
+// donor haplotype over a contiguous tract [p - L_i, p + R_i] around the sweep
+// position p, with L_i and R_i independent exponentials — the standard
+// recombination-escape model. Independence of the two tract lengths is what
+// produces low LD *across* the site while both flanks individually show high
+// LD, exactly the signal the omega statistic targets.
+//
+// This substitutes for running a sweep simulator (mssel/msms), which the
+// paper's authors used only implicitly via prior power studies; the overlay
+// exercises the identical detection code path.
+
+#include <cstdint>
+
+#include "io/dataset.h"
+
+namespace omega::sim {
+
+struct SweepConfig {
+  std::int64_t sweep_position_bp = 500'000;
+  /// Fraction of haplotypes carrying the beneficial allele (1.0 = complete
+  /// sweep; slightly below 1 models an incomplete/ongoing sweep).
+  double carrier_fraction = 0.95;
+  /// Mean one-sided length (bp) of the homogenized tract around the sweep.
+  double tract_mean_bp = 150'000.0;
+  /// Probability of removing a SNP exactly at the sweep site; decays
+  /// exponentially with distance (signature (a)).
+  double thinning_max = 0.7;
+  double thinning_scale_bp = 75'000.0;
+  std::uint64_t seed = 7;
+};
+
+/// Returns a transformed copy; the input is untouched. Monomorphic sites
+/// created by the homogenization are removed.
+io::Dataset apply_sweep(const io::Dataset& neutral, const SweepConfig& config);
+
+}  // namespace omega::sim

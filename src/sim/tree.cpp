@@ -1,0 +1,272 @@
+#include "sim/tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace omega::sim {
+
+Tree::Tree(std::size_t leaves)
+    : leaves_(leaves),
+      parent_(2 * leaves - 1, -1),
+      child_(2 * leaves - 1, {-1, -1}),
+      time_(2 * leaves - 1, 0.0) {}
+
+Tree Tree::kingman(std::size_t samples, util::Xoshiro256& rng,
+                   const Demography& demography) {
+  if (samples < 2) throw std::invalid_argument("kingman: need >= 2 samples");
+  Tree tree(samples);
+  std::vector<int> active(samples);
+  for (std::size_t i = 0; i < samples; ++i) active[i] = static_cast<int>(i);
+
+  double now = 0.0;
+  int next_node = static_cast<int>(samples);
+  while (active.size() > 1) {
+    const auto k = static_cast<double>(active.size());
+    now += demography.waiting_time(now, k * (k - 1.0) / 2.0, rng);
+    // Choose an unordered pair uniformly.
+    const auto i = static_cast<std::size_t>(rng.bounded(active.size()));
+    auto j = static_cast<std::size_t>(rng.bounded(active.size() - 1));
+    if (j >= i) ++j;
+    const int a = active[i];
+    const int b = active[j];
+    const int u = next_node++;
+    tree.time_[static_cast<std::size_t>(u)] = now;
+    tree.set_children(u, a, b);
+    // Replace the pair by the new node with swap-removes (order within the
+    // active set is irrelevant; erase() would make the build O(n^2)).
+    const std::size_t hi_index = std::max(i, j);
+    const std::size_t lo_index = std::min(i, j);
+    active[hi_index] = active.back();
+    active.pop_back();
+    active[lo_index] = u;
+  }
+  tree.root_ = active.front();
+  return tree;
+}
+
+void Tree::set_children(int node, int a, int b) {
+  child_[static_cast<std::size_t>(node)] = {a, b};
+  parent_[static_cast<std::size_t>(a)] = node;
+  parent_[static_cast<std::size_t>(b)] = node;
+}
+
+void Tree::replace_child(int node, int old_child, int new_child) {
+  auto& kids = child_[static_cast<std::size_t>(node)];
+  if (kids[0] == old_child) {
+    kids[0] = new_child;
+  } else if (kids[1] == old_child) {
+    kids[1] = new_child;
+  } else {
+    throw std::logic_error("replace_child: not a child");
+  }
+  parent_[static_cast<std::size_t>(new_child)] = node;
+}
+
+double Tree::total_length() const {
+  double length = 0.0;
+  for (std::size_t v = 0; v < parent_.size(); ++v) {
+    const int p = parent_[v];
+    if (p >= 0) {
+      length += time_[static_cast<std::size_t>(p)] - time_[v];
+    }
+  }
+  return length;
+}
+
+void Tree::descendant_leaves(int node, std::vector<int>& out) const {
+  out.clear();
+  std::vector<int> stack{node};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    const auto& kids = child_[static_cast<std::size_t>(v)];
+    if (kids[0] < 0) {
+      out.push_back(v);
+    } else {
+      stack.push_back(kids[0]);
+      stack.push_back(kids[1]);
+    }
+  }
+}
+
+Tree::BranchPoint Tree::sample_branch_point(util::Xoshiro256& rng) const {
+  const double target = rng.uniform() * total_length();
+  double cumulative = 0.0;
+  for (std::size_t v = 0; v < parent_.size(); ++v) {
+    const int p = parent_[v];
+    if (p < 0) continue;
+    const double len = time_[static_cast<std::size_t>(p)] - time_[v];
+    if (cumulative + len >= target) {
+      return {static_cast<int>(v), time_[v] + (target - cumulative)};
+    }
+    cumulative += len;
+  }
+  // Floating-point slack: fall back to the last real edge.
+  for (std::size_t v = parent_.size(); v-- > 0;) {
+    if (parent_[v] >= 0) {
+      return {static_cast<int>(v), time_[v]};
+    }
+  }
+  throw std::logic_error("sample_branch_point: no edges");
+}
+
+void Tree::smc_prune_recoalesce(util::Xoshiro256& rng,
+                                const Demography& demography) {
+  const BranchPoint cut = sample_branch_point(rng);
+  const int v = cut.node;
+  const int p = parent_[static_cast<std::size_t>(v)];
+  const auto& pkids = child_[static_cast<std::size_t>(p)];
+  const int sibling = pkids[0] == v ? pkids[1] : pkids[0];
+  const int grand = parent_[static_cast<std::size_t>(p)];
+
+  // Splice p out of the remaining tree; v floats from height cut.height.
+  if (grand >= 0) {
+    replace_child(grand, p, sibling);
+  } else {
+    root_ = sibling;
+    parent_[static_cast<std::size_t>(sibling)] = -1;
+  }
+  // Detach both the floating lineage and the recycled node so neither shows
+  // up as a phantom edge while we scan the remaining genealogy.
+  parent_[static_cast<std::size_t>(v)] = -1;
+  parent_[static_cast<std::size_t>(p)] = -1;
+
+  // Collect the remaining tree's edges as (start, end] time intervals, plus
+  // the open-ended lineage above the remaining root.
+  struct Edge {
+    int node;
+    double lo, hi;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(parent_.size());
+  for (std::size_t u = 0; u < parent_.size(); ++u) {
+    const int q = parent_[u];
+    if (q < 0) continue;
+    if (static_cast<int>(u) == v) continue;
+    edges.push_back({static_cast<int>(u), time_[u],
+                     time_[static_cast<std::size_t>(q)]});
+  }
+  const double root_time = time_[static_cast<std::size_t>(root_)];
+
+  // Event times where the lineage count changes, at or above the cut height.
+  std::vector<double> events;
+  events.reserve(2 * edges.size() + 2);
+  events.push_back(cut.height);
+  for (const auto& e : edges) {
+    if (e.lo > cut.height) events.push_back(e.lo);
+    if (e.hi > cut.height) events.push_back(e.hi);
+  }
+  events.push_back(root_time);
+  // Epoch boundaries are rate-change points for the interval walk.
+  const double last_edge_time =
+      events.empty() ? cut.height : *std::max_element(events.begin(), events.end());
+  for (const double boundary :
+       demography.boundaries_between(cut.height, last_edge_time)) {
+    events.push_back(boundary);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  auto lineages_at = [&](double t) {
+    // Number of remaining-tree lineages crossing time t (root lineage counts
+    // as 1 for t >= root_time).
+    if (t >= root_time) return std::size_t{1};
+    std::size_t k = 0;
+    for (const auto& e : edges) {
+      if (e.lo <= t && t < e.hi) ++k;
+    }
+    return k;
+  };
+
+  // Walk intervals upward; within each, the floating lineage coalesces at
+  // rate k (pairwise rate 1 with each of k lineages).
+  double t = cut.height;
+  double coal_time = -1.0;
+  for (std::size_t idx = 0; idx + 1 <= events.size(); ++idx) {
+    const double hi = idx + 1 < events.size()
+                          ? events[idx + 1]
+                          : std::numeric_limits<double>::infinity();
+    if (events[idx] < t) continue;
+    t = std::max(t, events[idx]);
+    const std::size_t k = lineages_at(t);
+    if (k == 0) continue;  // defensive; cannot happen below root
+    // Constant rate k / size(t) within the interval (epoch boundaries are
+    // events too).
+    const double wait =
+        rng.exponential(static_cast<double>(k) / demography.size_at(t));
+    if (t + wait < hi) {
+      coal_time = t + wait;
+      break;
+    }
+    t = hi;
+  }
+  if (coal_time < 0.0) {
+    // Above the last event only the root lineage remains: base rate 1,
+    // time-changed through any remaining epochs.
+    t = std::max(t, root_time);
+    coal_time = t + demography.waiting_time(t, 1.0, rng);
+  }
+
+  // Pick the partner lineage uniformly among those crossing coal_time.
+  int partner = -1;
+  if (coal_time >= root_time) {
+    partner = root_;
+  } else {
+    std::vector<int> crossing;
+    for (const auto& e : edges) {
+      if (e.lo <= coal_time && coal_time < e.hi) crossing.push_back(e.node);
+    }
+    partner = crossing[rng.bounded(crossing.size())];
+  }
+
+  // Reuse p as the new internal node at coal_time.
+  time_[static_cast<std::size_t>(p)] = coal_time;
+  const int partner_parent = parent_[static_cast<std::size_t>(partner)];
+  if (partner_parent >= 0) {
+    replace_child(partner_parent, partner, p);
+  } else {
+    parent_[static_cast<std::size_t>(p)] = -1;
+    root_ = p;
+  }
+  set_children(p, v, partner);
+}
+
+void Tree::check_invariants() const {
+  std::size_t root_count = 0;
+  for (std::size_t v = 0; v < parent_.size(); ++v) {
+    const int p = parent_[v];
+    if (p < 0) {
+      ++root_count;
+      if (static_cast<int>(v) != root_) {
+        throw std::logic_error("tree: stray parentless node");
+      }
+      continue;
+    }
+    if (time_[static_cast<std::size_t>(p)] < time_[v]) {
+      throw std::logic_error("tree: parent older-than-child violated");
+    }
+    const auto& kids = child_[static_cast<std::size_t>(p)];
+    if (kids[0] != static_cast<int>(v) && kids[1] != static_cast<int>(v)) {
+      throw std::logic_error("tree: parent/child link mismatch");
+    }
+  }
+  if (root_count != 1) throw std::logic_error("tree: must have exactly one root");
+  for (std::size_t v = leaves_; v < child_.size(); ++v) {
+    if (child_[v][0] < 0 || child_[v][1] < 0) {
+      throw std::logic_error("tree: internal node missing children");
+    }
+  }
+  // Every leaf reaches the root.
+  for (std::size_t leaf = 0; leaf < leaves_; ++leaf) {
+    int v = static_cast<int>(leaf);
+    std::size_t hops = 0;
+    while (parent_[static_cast<std::size_t>(v)] >= 0) {
+      v = parent_[static_cast<std::size_t>(v)];
+      if (++hops > parent_.size()) throw std::logic_error("tree: cycle");
+    }
+    if (v != root_) throw std::logic_error("tree: leaf detached from root");
+  }
+}
+
+}  // namespace omega::sim

@@ -1,0 +1,74 @@
+#pragma once
+// Binary coalescent genealogy over n sampled haplotypes.
+//
+// Node layout: ids [0, n) are leaves at time 0; internal nodes occupy
+// [n, 2n-1). The tree supports the two operations the simulator needs:
+//   * Kingman simulation (build from scratch),
+//   * SMC'-style subtree-prune-and-recoalesce, which transforms the marginal
+//     genealogy at a recombination breakpoint while preserving the Kingman
+//     marginal distribution (McVean & Cardin 2005).
+// Times are in coalescent units of 2N generations, so the pairwise
+// coalescence rate is 1 and E[total length] = 2 * H_{n-1}.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/demography.h"
+#include "util/prng.h"
+
+namespace omega::sim {
+
+class Tree {
+ public:
+  /// Builds a Kingman coalescent tree over `samples` leaves. A non-trivial
+  /// demography rescales coalescence rates by 1/size(t).
+  static Tree kingman(std::size_t samples, util::Xoshiro256& rng,
+                      const Demography& demography = {});
+
+  [[nodiscard]] std::size_t num_leaves() const noexcept { return leaves_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return parent_.size(); }
+  [[nodiscard]] int root() const noexcept { return root_; }
+  [[nodiscard]] double node_time(int node) const { return time_[static_cast<std::size_t>(node)]; }
+  [[nodiscard]] int parent(int node) const { return parent_[static_cast<std::size_t>(node)]; }
+
+  /// Sum of all branch lengths.
+  [[nodiscard]] double total_length() const;
+
+  /// Leaves below `node`, appended to `out` (cleared first).
+  void descendant_leaves(int node, std::vector<int>& out) const;
+
+  /// Samples a point uniformly on the branches: returns (node, height) where
+  /// the point is on the edge from `node` to its parent.
+  struct BranchPoint {
+    int node;
+    double height;
+  };
+  [[nodiscard]] BranchPoint sample_branch_point(util::Xoshiro256& rng) const;
+
+  /// One SMC'-style recombination transition: detach the lineage at a
+  /// uniformly chosen branch point and re-coalesce it into the remaining
+  /// genealogy at the Kingman rate (scaled by 1/size(t) under a non-trivial
+  /// demography). Node count stays 2n-1.
+  void smc_prune_recoalesce(util::Xoshiro256& rng,
+                            const Demography& demography = {});
+
+  /// Structural invariants (binary internal nodes, child/parent coherence,
+  /// increasing times along root paths). Throws std::logic_error on failure.
+  void check_invariants() const;
+
+ private:
+  Tree(std::size_t leaves);
+
+  void set_children(int node, int a, int b);
+  /// Replaces child `old_child` of `node` with `new_child`.
+  void replace_child(int node, int old_child, int new_child);
+
+  std::size_t leaves_ = 0;
+  int root_ = -1;
+  std::vector<int> parent_;                 // -1 for root
+  std::vector<std::array<int, 2>> child_;   // {-1,-1} for leaves
+  std::vector<double> time_;
+};
+
+}  // namespace omega::sim

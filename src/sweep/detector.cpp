@@ -1,0 +1,80 @@
+#include "sweep/detector.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "hw/device_specs.h"
+#include "hw/fpga/fpga_backend.h"
+#include "hw/gpu/gemm_ld_kernel.h"
+#include "hw/gpu/gpu_backend.h"
+#include "par/thread_pool.h"
+
+namespace omega::sweep {
+
+std::vector<Candidate> DetectionReport::above(double threshold) const {
+  std::vector<Candidate> out;
+  std::copy_if(candidates.begin(), candidates.end(), std::back_inserter(out),
+               [&](const Candidate& c) { return c.omega >= threshold; });
+  return out;
+}
+
+DetectionReport detect_sweeps(const io::Dataset& dataset,
+                              const DetectorOptions& options,
+                              std::size_t max_candidates) {
+  core::ScannerOptions scanner_options;
+  scanner_options.config = options.config;
+  scanner_options.ld = options.ld;
+
+  DetectionReport report;
+  core::ScanResult scan_result;
+
+  switch (options.backend) {
+    case Backend::Cpu: {
+      report.backend_name = "cpu";
+      scan_result = core::scan(dataset, scanner_options);
+      break;
+    }
+    case Backend::CpuThreaded: {
+      report.backend_name = "cpu-mt";
+      scanner_options.threads = options.threads;
+      scan_result = core::scan(dataset, scanner_options);
+      break;
+    }
+    case Backend::GpuSim: {
+      // Complete GPU-accelerated OmegaPlus: GEMM LD kernel + omega kernels
+      // on the simulated device (one shared pool; single scan worker).
+      static par::ThreadPool pool;  // sized to hardware concurrency
+      const auto spec = hw::tesla_k80();
+      report.backend_name = "gpu-sim:" + spec.name;
+      scanner_options.ld_factory = [&](const ld::SnpMatrix& snps) {
+        return std::make_unique<hw::gpu::GpuLdEngine>(snps, pool, spec);
+      };
+      scan_result = core::scan(dataset, scanner_options, [&] {
+        return std::make_unique<hw::gpu::GpuOmegaBackend>(spec, pool);
+      });
+      break;
+    }
+    case Backend::FpgaSim: {
+      const auto spec = hw::alveo_u200();
+      report.backend_name = "fpga-sim:" + spec.name;
+      scan_result = core::scan(dataset, scanner_options, [&] {
+        return std::make_unique<hw::fpga::FpgaOmegaBackend>(spec);
+      });
+      break;
+    }
+  }
+
+  report.profile = scan_result.profile;
+  for (const auto& score : scan_result.top(max_candidates)) {
+    if (!score.valid) continue;
+    Candidate candidate;
+    candidate.position_bp = score.position_bp;
+    candidate.omega = score.max_omega;
+    candidate.window_start_bp = dataset.position(score.best_a);
+    candidate.window_end_bp = dataset.position(score.best_b);
+    report.candidates.push_back(candidate);
+  }
+  return report;
+}
+
+}  // namespace omega::sweep

@@ -1,0 +1,52 @@
+#pragma once
+// Top-level convenience API: one call from a dataset to ranked sweep
+// candidates, selecting the compute backend by enum. This is the entry point
+// the examples and downstream users consume; everything underneath is the
+// composable layer (core::scan + backends).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scanner.h"
+#include "io/dataset.h"
+
+namespace omega::sweep {
+
+enum class Backend {
+  Cpu,          // OmegaPlus nested loop, double precision
+  CpuThreaded,  // chunked multithreaded scan (Table IV scheme)
+  GpuSim,       // simulated GPU (Tesla K80 profile), dynamic two-kernel
+  FpgaSim,      // simulated FPGA (Alveo U200 profile)
+};
+
+struct DetectorOptions {
+  core::OmegaConfig config;
+  Backend backend = Backend::Cpu;
+  std::size_t threads = 4;  // CpuThreaded only
+  core::LdBackendKind ld = core::LdBackendKind::Popcount;
+};
+
+struct Candidate {
+  std::int64_t position_bp = 0;
+  double omega = 0.0;
+  /// Window achieving the maximum (bp bounds of the best a..b SNP range).
+  std::int64_t window_start_bp = 0;
+  std::int64_t window_end_bp = 0;
+};
+
+struct DetectionReport {
+  std::vector<Candidate> candidates;  // descending omega
+  core::ScanProfile profile;
+  std::string backend_name;
+
+  /// Candidates with omega at least `threshold`.
+  [[nodiscard]] std::vector<Candidate> above(double threshold) const;
+};
+
+/// Scans and returns the top `max_candidates` scoring positions.
+DetectionReport detect_sweeps(const io::Dataset& dataset,
+                              const DetectorOptions& options = {},
+                              std::size_t max_candidates = 10);
+
+}  // namespace omega::sweep

@@ -1,0 +1,49 @@
+#pragma once
+// Bit-level helpers for the packed SNP representation. The LD hot loop is a
+// stream of AND+popcount over 64-bit words; keeping these as tiny inline
+// functions lets the compiler vectorize the word loop.
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace omega::util {
+
+[[nodiscard]] inline int popcount64(std::uint64_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// Number of 64-bit words needed to hold `bits` bits.
+[[nodiscard]] constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+/// Mask selecting the low `bits % 64` bits of the last word (all ones when
+/// `bits` is a multiple of 64 and nonzero).
+[[nodiscard]] constexpr std::uint64_t tail_mask(std::size_t bits) noexcept {
+  const std::size_t rem = bits % 64;
+  return rem == 0 ? ~0ull : ((1ull << rem) - 1);
+}
+
+/// Popcount of the AND of two word ranges of equal length.
+[[nodiscard]] inline std::int64_t and_popcount(const std::uint64_t* a,
+                                               const std::uint64_t* b,
+                                               std::size_t words) noexcept {
+  std::int64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += std::popcount(a[w] & b[w]);
+  }
+  return total;
+}
+
+/// Popcount of a single word range.
+[[nodiscard]] inline std::int64_t popcount_range(const std::uint64_t* a,
+                                                 std::size_t words) noexcept {
+  std::int64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += std::popcount(a[w]);
+  }
+  return total;
+}
+
+}  // namespace omega::util

@@ -1,0 +1,42 @@
+#include "util/prng.h"
+
+#include <cmath>
+
+namespace omega::util {
+
+double Xoshiro256::exponential(double rate) noexcept {
+  // Inverse CDF; uniform() < 1 so the log argument is strictly positive.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Xoshiro256::normal() noexcept {
+  for (;;) {
+    const double u = 2.0 * uniform() - 1.0;
+    const double v = 2.0 * uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::uint64_t Xoshiro256::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion, numerically safe for small means.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // mutation counts (mean is the expected number of mutations on a branch).
+  const double value = mean + std::sqrt(mean) * normal() + 0.5;
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
+}
+
+}  // namespace omega::util

@@ -1,0 +1,80 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omega::util {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile_sorted(const std::vector<double>& sorted_values, double q) {
+  if (sorted_values.empty()) {
+    throw std::invalid_argument("percentile of empty sample");
+  }
+  if (q <= 0.0) return sorted_values.front();
+  if (q >= 1.0) return sorted_values.back();
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_values.size()) return sorted_values.back();
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac;
+}
+
+double percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, q);
+}
+
+double harmonic(std::size_t n) {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument("pearson: size mismatch or empty");
+  }
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+namespace {
+
+/// Average ranks (1-based), ties share the mean rank.
+std::vector<double> ranks(const std::vector<double>& values) {
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> rank(values.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    const double average = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = average;
+    i = j + 1;
+  }
+  return rank;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  return pearson(ranks(x), ranks(y));
+}
+
+}  // namespace omega::util

@@ -1,0 +1,49 @@
+#pragma once
+// Small statistics helpers shared by tests (distribution checks on the
+// coalescent simulator) and benches (summarizing repeated measurements).
+
+#include <cstddef>
+#include <vector>
+
+namespace omega::util {
+
+/// Streaming mean/variance via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `q` in [0,1]. The input vector is copied; callers in hot paths should sort
+/// once and use `percentile_sorted`.
+double percentile(std::vector<double> values, double q);
+double percentile_sorted(const std::vector<double>& sorted_values, double q);
+
+/// Harmonic number H_{n} = sum_{i=1..n} 1/i (used by Watterson's estimator
+/// checks: E[segregating sites] = theta * H_{n-1}).
+double harmonic(std::size_t n);
+
+/// Pearson correlation of two equally sized samples (test helper).
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson over average ranks; ties averaged).
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace omega::util

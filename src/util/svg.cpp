@@ -1,0 +1,189 @@
+#include "util/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omega::util {
+namespace {
+
+constexpr double kWidth = 720, kHeight = 440;
+constexpr double kLeft = 80, kRight = 660, kTop = 50, kBottom = 380;
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#9467bd", "#ff7f0e", "#8c564b"};
+
+std::string fmt(double value) {
+  char buffer[64];
+  if (std::abs(value) >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.3g", value);
+  } else if (std::abs(value - std::round(value)) < 1e-9) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  }
+  return buffer;
+}
+
+/// "Nice" tick positions covering [lo, hi].
+std::vector<double> ticks(double lo, double hi, int target = 6) {
+  if (hi <= lo) return {lo};
+  const double raw_step = (hi - lo) / target;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (const double multiplier : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+    if (magnitude * multiplier >= raw_step) {
+      step = magnitude * multiplier;
+      break;
+    }
+  }
+  std::vector<double> values;
+  for (double tick = std::ceil(lo / step) * step; tick <= hi + step * 1e-9;
+       tick += step) {
+    values.push_back(tick);
+  }
+  return values;
+}
+
+}  // namespace
+
+SvgChart::SvgChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgChart::add_series(std::string name,
+                          std::vector<std::pair<double, double>> points) {
+  series_.push_back({std::move(name), std::move(points)});
+}
+
+void SvgChart::add_hline(double y, std::string label) {
+  hlines_.push_back({y, std::move(label)});
+}
+
+std::string SvgChart::str() const {
+  double x_min = 1e300, x_max = -1e300, y_min = 0.0, y_max = -1e300;
+  bool any = false;
+  for (const auto& series : series_) {
+    for (const auto& [x, y] : series.points) {
+      any = true;
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (!any) throw std::logic_error("svg: no data points");
+  for (const auto& hline : hlines_) y_max = std::max(y_max, hline.y);
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= y_min) y_max = y_min + 1.0;
+  y_max *= 1.05;
+
+  auto map_x = [&](double x) {
+    double t;
+    if (log_x_) {
+      t = (std::log10(x) - std::log10(x_min)) /
+          (std::log10(x_max) - std::log10(x_min));
+    } else {
+      t = (x - x_min) / (x_max - x_min);
+    }
+    return kLeft + t * (kRight - kLeft);
+  };
+  auto map_y = [&](double y) {
+    return kBottom - (y - y_min) / (y_max - y_min) * (kBottom - kTop);
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << kWidth
+      << "' height='" << kHeight << "' viewBox='0 0 " << kWidth << " "
+      << kHeight << "'>\n";
+  out << "<rect width='100%' height='100%' fill='white'/>\n";
+  out << "<text x='" << kWidth / 2 << "' y='28' text-anchor='middle' "
+      << "font-family='sans-serif' font-size='16'>" << title_ << "</text>\n";
+
+  // Axes.
+  out << "<line x1='" << kLeft << "' y1='" << kBottom << "' x2='" << kRight
+      << "' y2='" << kBottom << "' stroke='black'/>\n";
+  out << "<line x1='" << kLeft << "' y1='" << kTop << "' x2='" << kLeft
+      << "' y2='" << kBottom << "' stroke='black'/>\n";
+  out << "<text x='" << (kLeft + kRight) / 2 << "' y='" << kBottom + 36
+      << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
+      << x_label_ << "</text>\n";
+  out << "<text x='18' y='" << (kTop + kBottom) / 2
+      << "' text-anchor='middle' font-family='sans-serif' font-size='12' "
+      << "transform='rotate(-90 18 " << (kTop + kBottom) / 2 << ")'>"
+      << y_label_ << "</text>\n";
+
+  // Ticks.
+  std::vector<double> x_ticks;
+  if (log_x_) {
+    for (double decade = std::pow(10.0, std::floor(std::log10(x_min)));
+         decade <= x_max * 1.0001; decade *= 10.0) {
+      if (decade >= x_min * 0.9999) x_ticks.push_back(decade);
+    }
+    if (x_ticks.size() < 2) x_ticks = {x_min, x_max};
+  } else {
+    x_ticks = ticks(x_min, x_max);
+  }
+  for (const double tick : x_ticks) {
+    const double x = map_x(tick);
+    out << "<line x1='" << x << "' y1='" << kBottom << "' x2='" << x
+        << "' y2='" << kBottom + 5 << "' stroke='black'/>\n";
+    out << "<text x='" << x << "' y='" << kBottom + 18
+        << "' text-anchor='middle' font-family='sans-serif' font-size='10'>"
+        << fmt(tick) << "</text>\n";
+  }
+  for (const double tick : ticks(y_min, y_max)) {
+    const double y = map_y(tick);
+    out << "<line x1='" << kLeft - 5 << "' y1='" << y << "' x2='" << kLeft
+        << "' y2='" << y << "' stroke='black'/>\n";
+    out << "<line x1='" << kLeft << "' y1='" << y << "' x2='" << kRight
+        << "' y2='" << y << "' stroke='#dddddd'/>\n";
+    out << "<text x='" << kLeft - 8 << "' y='" << y + 3
+        << "' text-anchor='end' font-family='sans-serif' font-size='10'>"
+        << fmt(tick) << "</text>\n";
+  }
+
+  // Reference lines.
+  for (const auto& hline : hlines_) {
+    const double y = map_y(hline.y);
+    out << "<line x1='" << kLeft << "' y1='" << y << "' x2='" << kRight
+        << "' y2='" << y << "' stroke='#555555' stroke-dasharray='6,4'/>\n";
+    out << "<text x='" << kRight - 4 << "' y='" << y - 4
+        << "' text-anchor='end' font-family='sans-serif' font-size='10' "
+        << "fill='#555555'>" << hline.label << "</text>\n";
+  }
+
+  // Series.
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char* color = kPalette[s % (sizeof(kPalette) / sizeof(kPalette[0]))];
+    std::ostringstream path;
+    for (const auto& [x, y] : series_[s].points) {
+      path << (path.tellp() == 0 ? "" : " ") << map_x(x) << ',' << map_y(y);
+    }
+    out << "<polyline fill='none' stroke='" << color
+        << "' stroke-width='2' points='" << path.str() << "'/>\n";
+    for (const auto& [x, y] : series_[s].points) {
+      out << "<circle cx='" << map_x(x) << "' cy='" << map_y(y)
+          << "' r='3' fill='" << color << "'/>\n";
+    }
+    // Legend entry.
+    const double ly = kTop + 16.0 * static_cast<double>(s);
+    out << "<line x1='" << kRight - 150 << "' y1='" << ly << "' x2='"
+        << kRight - 126 << "' y2='" << ly << "' stroke='" << color
+        << "' stroke-width='2'/>\n";
+    out << "<text x='" << kRight - 120 << "' y='" << ly + 4
+        << "' font-family='sans-serif' font-size='11'>" << series_[s].name
+        << "</text>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+void SvgChart::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("svg: cannot write " + path);
+  out << str();
+}
+
+}  // namespace omega::util

@@ -1,0 +1,47 @@
+#pragma once
+// Dependency-free SVG line-chart writer used by the figure benches to emit
+// Fig. 10-13 as actual images next to the console tables. Supports multiple
+// series, linear or log10 x-axis, horizontal reference lines (the "90% of
+// theoretical max" lines in Figs. 10/11), tick labels, and a legend.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omega::util {
+
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds a polyline series; points are (x, y) in data coordinates.
+  void add_series(std::string name,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Horizontal dashed reference line with a right-margin label.
+  void add_hline(double y, std::string label);
+
+  void set_log_x(bool log_x) { log_x_ = log_x; }
+
+  /// Renders the document. Throws std::logic_error when no series has
+  /// points.
+  [[nodiscard]] std::string str() const;
+  void write(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+  struct HLine {
+    double y;
+    std::string label;
+  };
+
+  std::string title_, x_label_, y_label_;
+  std::vector<Series> series_;
+  std::vector<HLine> hlines_;
+  bool log_x_ = false;
+};
+
+}  // namespace omega::util

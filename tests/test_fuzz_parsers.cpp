@@ -1,0 +1,169 @@
+// Robustness fuzzing for the text parsers: random garbage, truncations, and
+// structured mutations must produce either a parsed result or a typed
+// exception — never a crash, hang, or invariant-violating Dataset.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "io/fasta.h"
+#include "io/ms_format.h"
+#include "io/plink.h"
+#include "core/report.h"
+#include "io/vcf_lite.h"
+#include "util/prng.h"
+
+namespace {
+
+using omega::util::Xoshiro256;
+
+std::string random_garbage(Xoshiro256& rng, std::size_t length) {
+  static constexpr char alphabet[] =
+      "01acgtACGT \t\n.|/>#-:;,segsitespositions0123456789";
+  std::string text;
+  text.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    text.push_back(alphabet[rng.bounded(sizeof(alphabet) - 1)]);
+  }
+  return text;
+}
+
+/// A structurally plausible ms replicate that mutations can corrupt.
+std::string valid_ms() {
+  return "//\nsegsites: 4\npositions: 0.1 0.2 0.5 0.9\n"
+         "0101\n1100\n0011\n";
+}
+
+template <typename Parser>
+void expect_no_crash(const std::string& text, Parser parse) {
+  std::istringstream in(text);
+  try {
+    parse(in);
+  } catch (const std::exception&) {
+    // Typed failure is acceptable; crashes/UB are what the fuzz hunts.
+  }
+}
+
+TEST(FuzzParsers, MsRandomGarbage) {
+  Xoshiro256 rng(0xF00D);
+  for (int round = 0; round < 300; ++round) {
+    expect_no_crash(random_garbage(rng, 20 + rng.bounded(400)),
+                    [](std::istream& in) { (void)omega::io::read_ms(in); });
+  }
+}
+
+TEST(FuzzParsers, MsStructuredMutations) {
+  Xoshiro256 rng(0xBEEF);
+  for (int round = 0; round < 300; ++round) {
+    std::string text = valid_ms();
+    // Mutate a few random bytes.
+    const std::size_t edits = 1 + rng.bounded(5);
+    for (std::size_t e = 0; e < edits; ++e) {
+      text[rng.bounded(text.size())] =
+          static_cast<char>(32 + rng.bounded(90));
+    }
+    std::istringstream in(text);
+    try {
+      const auto replicates = omega::io::read_ms(in);
+      for (const auto& dataset : replicates) {
+        dataset.validate();  // anything parsed must satisfy invariants
+      }
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, MsTruncations) {
+  const std::string text = valid_ms();
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    std::istringstream in(text.substr(0, cut));
+    try {
+      for (const auto& dataset : omega::io::read_ms(in)) dataset.validate();
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, FastaRandomGarbage) {
+  Xoshiro256 rng(0xCAFE);
+  for (int round = 0; round < 300; ++round) {
+    expect_no_crash(random_garbage(rng, 20 + rng.bounded(300)),
+                    [](std::istream& in) {
+                      const auto records = omega::io::read_fasta(in, false);
+                      if (!records.empty() &&
+                          !records.front().sequence.empty()) {
+                        bool aligned = true;
+                        for (const auto& record : records) {
+                          aligned &= record.sequence.size() ==
+                                     records.front().sequence.size();
+                        }
+                        if (aligned) {
+                          omega::io::fasta_to_dataset(records).validate();
+                        }
+                      }
+                    });
+  }
+}
+
+TEST(FuzzParsers, VcfRandomGarbage) {
+  Xoshiro256 rng(0xD00D);
+  for (int round = 0; round < 300; ++round) {
+    std::string text =
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\n";
+    text += random_garbage(rng, 30 + rng.bounded(300));
+    expect_no_crash(text, [](std::istream& in) {
+      omega::io::read_vcf(in).validate();
+    });
+  }
+}
+
+TEST(FuzzParsers, VcfStructuredMutations) {
+  Xoshiro256 rng(0xABBA);
+  const std::string base =
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\tS2\n"
+      "1\t100\t.\tA\tT\t.\t.\t.\tGT\t0|1\t1|1\n"
+      "1\t200\t.\tC\tG\t.\t.\t.\tGT\t0|0\t.|1\n";
+  for (int round = 0; round < 300; ++round) {
+    std::string text = base;
+    const std::size_t edits = 1 + rng.bounded(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      text[rng.bounded(text.size())] = static_cast<char>(32 + rng.bounded(90));
+    }
+    expect_no_crash(text, [](std::istream& in) {
+      omega::io::read_vcf(in).validate();
+    });
+  }
+}
+
+TEST(FuzzParsers, PlinkStructuredMutations) {
+  Xoshiro256 rng(0x1234);
+  const std::string map_base = "1 rs1 0 100\n1 rs2 0 200\n";
+  const std::string ped_base =
+      "f1 i1 0 0 1 0  A G  C C\nf2 i2 0 0 1 0  A A  C T\n";
+  for (int round = 0; round < 300; ++round) {
+    std::string ped = ped_base, map_text = map_base;
+    ped[rng.bounded(ped.size())] = static_cast<char>(32 + rng.bounded(90));
+    if (round % 3 == 0) {
+      map_text[rng.bounded(map_text.size())] =
+          static_cast<char>(32 + rng.bounded(90));
+    }
+    std::istringstream ped_in(ped), map_in(map_text);
+    try {
+      omega::io::read_plink(ped_in, map_in).validate();
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, ReportRoundRobin) {
+  Xoshiro256 rng(0x5678);
+  for (int round = 0; round < 200; ++round) {
+    expect_no_crash(random_garbage(rng, 10 + rng.bounded(200)),
+                    [](std::istream& in) {
+                      (void)omega::core::read_report(in);
+                    });
+  }
+}
+
+}  // namespace

@@ -1,0 +1,288 @@
+// Tests for the LD substrate: Eq. (1) arithmetic, bit-packing, and agreement
+// of all three engines (naive / popcount / BLIS-style GEMM) across shapes
+// that stress the blocking edges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "io/dataset.h"
+#include "ld/gemm.h"
+#include "ld/ld_engine.h"
+#include "ld/r2.h"
+#include "ld/snp_matrix.h"
+#include "sim/dataset_factory.h"
+#include "util/prng.h"
+
+namespace {
+
+using omega::io::Dataset;
+using omega::ld::PairCounts;
+
+Dataset random_dataset(std::size_t sites, std::size_t samples,
+                       std::uint64_t seed) {
+  omega::util::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> positions(sites);
+  std::vector<std::vector<std::uint8_t>> rows(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    positions[s] = static_cast<std::int64_t>(s + 1) * 10;
+    rows[s].resize(samples);
+    // Random derived frequency per site to cover the spectrum.
+    const double p = 0.05 + 0.9 * rng.uniform();
+    for (std::size_t h = 0; h < samples; ++h) {
+      rows[s][h] = rng.uniform() < p ? 1 : 0;
+    }
+  }
+  return Dataset(std::move(positions), std::move(rows),
+                 static_cast<std::int64_t>(sites + 1) * 10);
+}
+
+TEST(R2, HandComputedCase) {
+  // 4 samples; SNP i = 1100, SNP j = 1010.
+  // pi = pj = 0.5, pij = 0.25 -> r2 = (0.25 - 0.25)^2 / (0.25 * 0.25) = 0.
+  PairCounts counts{4, 2, 2, 1};
+  EXPECT_DOUBLE_EQ(omega::ld::r2_from_counts(counts), 0.0);
+
+  // Perfect correlation: identical SNPs 1100 and 1100.
+  PairCounts perfect{4, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(omega::ld::r2_from_counts(perfect), 1.0);
+
+  // Perfect anti-correlation: 1100 vs 0011.
+  PairCounts anti{4, 2, 2, 0};
+  EXPECT_DOUBLE_EQ(omega::ld::r2_from_counts(anti), 1.0);
+}
+
+TEST(R2, MonomorphicIsZero) {
+  EXPECT_DOUBLE_EQ(omega::ld::r2_from_counts({4, 0, 2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(omega::ld::r2_from_counts({4, 4, 2, 2}), 0.0);
+  EXPECT_EQ(omega::ld::r2_from_counts_f({8, 8, 3, 3}), 0.0f);
+}
+
+TEST(R2, RangeAndSymmetryProperty) {
+  const Dataset d = random_dataset(40, 37, 5);
+  for (std::size_t i = 0; i < d.num_sites(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double value = omega::ld::r2_naive(d, i, j);
+      ASSERT_GE(value, 0.0);
+      ASSERT_LE(value, 1.0 + 1e-12);
+      ASSERT_DOUBLE_EQ(value, omega::ld::r2_naive(d, j, i));
+    }
+  }
+}
+
+TEST(R2, SelfCorrelationIsOne) {
+  const Dataset d = random_dataset(10, 25, 6);
+  for (std::size_t i = 0; i < d.num_sites(); ++i) {
+    EXPECT_NEAR(omega::ld::r2_naive(d, i, i), 1.0, 1e-12);
+  }
+}
+
+TEST(SnpMatrix, PackingPreservesCounts) {
+  const Dataset d = random_dataset(30, 130, 7);  // >2 words per site
+  const omega::ld::SnpMatrix snps(d);
+  EXPECT_EQ(snps.num_sites(), d.num_sites());
+  EXPECT_EQ(snps.num_samples(), d.num_samples());
+  EXPECT_EQ(snps.words_per_site(), 3u);
+  for (std::size_t s = 0; s < d.num_sites(); ++s) {
+    EXPECT_EQ(static_cast<std::size_t>(snps.derived_count(s)),
+              d.derived_count(s));
+  }
+  std::vector<std::uint8_t> unpacked(d.num_samples());
+  for (std::size_t s = 0; s < d.num_sites(); ++s) {
+    snps.unpack_row(s, unpacked.data());
+    EXPECT_EQ(unpacked, d.site(s));
+  }
+}
+
+TEST(SnpMatrix, PairCountMatchesDirectCount) {
+  const Dataset d = random_dataset(20, 70, 8);
+  const omega::ld::SnpMatrix snps(d);
+  for (std::size_t i = 0; i < d.num_sites(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      std::int32_t direct = 0;
+      for (std::size_t h = 0; h < d.num_samples(); ++h) {
+        direct += d.allele(i, h) & d.allele(j, h);
+      }
+      ASSERT_EQ(snps.pair_count(i, j), direct) << i << "," << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine agreement sweep: (sites, samples) combinations chosen to hit GEMM
+// microkernel edges (non-multiples of MR/NR/KC) and multi-word popcounts.
+// ---------------------------------------------------------------------------
+
+class EngineAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(EngineAgreement, AllEnginesMatchNaive) {
+  const auto [sites, samples] = GetParam();
+  const Dataset d = random_dataset(sites, samples, sites * 131 + samples);
+  const omega::ld::SnpMatrix snps(d);
+  const omega::ld::NaiveLd naive(d);
+  const omega::ld::PopcountLd popcount(snps);
+  const omega::ld::GemmLd gemm(snps);
+
+  std::vector<float> expected(sites * sites), pop(sites * sites),
+      gem(sites * sites);
+  naive.r2_block(0, sites, 0, sites, expected.data(), sites);
+  popcount.r2_block(0, sites, 0, sites, pop.data(), sites);
+  gemm.r2_block(0, sites, 0, sites, gem.data(), sites);
+  for (std::size_t idx = 0; idx < expected.size(); ++idx) {
+    // Naive computes in double then narrows; the engines compute in float —
+    // agreement to a couple of ulps. Popcount and GEMM share the exact same
+    // float path and must match bitwise.
+    ASSERT_NEAR(pop[idx], expected[idx], 2e-6f) << "popcount idx " << idx;
+    ASSERT_EQ(gem[idx], pop[idx]) << "gemm idx " << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineAgreement,
+    ::testing::Values(std::make_tuple(8, 8), std::make_tuple(9, 65),
+                      std::make_tuple(17, 33), std::make_tuple(31, 128),
+                      std::make_tuple(64, 63), std::make_tuple(70, 200),
+                      std::make_tuple(13, 1027)));
+
+TEST(Gemm, RectangularAndOffsetBlocks) {
+  const Dataset d = random_dataset(50, 90, 17);
+  const omega::ld::SnpMatrix snps(d);
+  std::vector<std::int32_t> expected(12 * 20), actual(12 * 20);
+  omega::ld::pair_count_block_popcount(snps, 5, 17, 20, 40, expected.data(), 20);
+  omega::ld::pair_count_block_gemm(snps, 5, 17, 20, 40, actual.data(), 20);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(Gemm, SmallBlockingParametersStillCorrect) {
+  const Dataset d = random_dataset(40, 150, 19);
+  const omega::ld::SnpMatrix snps(d);
+  omega::ld::GemmBlocking blocking;
+  blocking.mc = 16;
+  blocking.nc = 24;
+  blocking.kc = 32;  // force many KC passes and edge tiles
+  std::vector<std::int32_t> expected(40 * 40), actual(40 * 40);
+  omega::ld::pair_count_block_popcount(snps, 0, 40, 0, 40, expected.data(), 40);
+  omega::ld::pair_count_block_gemm(snps, 0, 40, 0, 40, actual.data(), 40,
+                                   blocking);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(Gemm, EmptyBlocksAreNoops) {
+  const Dataset d = random_dataset(10, 30, 23);
+  const omega::ld::SnpMatrix snps(d);
+  std::vector<std::int32_t> out(4, -1);
+  omega::ld::pair_count_block_gemm(snps, 3, 3, 0, 4, out.data(), 4);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{-1, -1, -1, -1}));
+}
+
+TEST(LdEngine, SinglePairConvenience) {
+  const Dataset d = random_dataset(12, 44, 29);
+  const omega::ld::SnpMatrix snps(d);
+  const omega::ld::PopcountLd engine(snps);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      ASSERT_NEAR(engine.r2(i, j), omega::ld::r2_naive(d, i, j), 2e-6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Missing data: pairwise-complete counting across all engines
+// ---------------------------------------------------------------------------
+
+Dataset random_missing_dataset(std::size_t sites, std::size_t samples,
+                               double missing_rate, std::uint64_t seed) {
+  Dataset base = random_dataset(sites, samples, seed);
+  omega::util::Xoshiro256 rng(seed ^ 0xfeed);
+  std::vector<std::int64_t> positions(base.positions());
+  std::vector<std::vector<std::uint8_t>> rows(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    rows[s] = base.site(s);
+    for (auto& allele : rows[s]) {
+      if (rng.uniform() < missing_rate) allele = Dataset::kMissing;
+    }
+  }
+  return Dataset(std::move(positions), std::move(rows),
+                 base.locus_length_bp());
+}
+
+TEST(MissingData, HandComputedPairwiseComplete) {
+  // SNP i: 1 0 . 1 ; SNP j: 1 1 0 .
+  // Pairwise-complete samples: {0, 1} -> n=2, ni=1, nj=2 (monomorphic j) -> 0.
+  const Dataset d({10, 20},
+                  {{1, 0, Dataset::kMissing, 1}, {1, 1, 0, Dataset::kMissing}},
+                  100);
+  EXPECT_DOUBLE_EQ(omega::ld::r2_naive(d, 0, 1), 0.0);
+
+  // SNP i: 1 0 1 0 . ; SNP j: 1 0 1 0 1 -> complete set {0..3}, identical.
+  const Dataset e({10, 20},
+                  {{1, 0, 1, 0, Dataset::kMissing}, {1, 0, 1, 0, 1}}, 100);
+  EXPECT_DOUBLE_EQ(omega::ld::r2_naive(e, 0, 1), 1.0);
+}
+
+TEST(MissingData, SnpMatrixCompleteCounts) {
+  const Dataset d = random_missing_dataset(25, 90, 0.15, 41);
+  const omega::ld::SnpMatrix snps(d);
+  EXPECT_TRUE(snps.has_missing());
+  for (std::size_t i = 0; i < d.num_sites(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(snps.valid_count(i)), d.valid_count(i));
+    EXPECT_EQ(static_cast<std::size_t>(snps.derived_count(i)),
+              d.derived_count(i));
+    for (std::size_t j = 0; j <= i; ++j) {
+      const auto counts = snps.pair_counts_complete(i, j);
+      omega::ld::PairCounts direct{0, 0, 0, 0};
+      for (std::size_t h = 0; h < d.num_samples(); ++h) {
+        const auto a = d.allele(i, h);
+        const auto b = d.allele(j, h);
+        if (a == Dataset::kMissing || b == Dataset::kMissing) continue;
+        ++direct.samples;
+        direct.ni += a;
+        direct.nj += b;
+        direct.nij += static_cast<std::int32_t>(a & b);
+      }
+      ASSERT_EQ(counts.samples, direct.samples) << i << "," << j;
+      ASSERT_EQ(counts.ni, direct.ni) << i << "," << j;
+      ASSERT_EQ(counts.nj, direct.nj) << i << "," << j;
+      ASSERT_EQ(counts.nij, direct.nij) << i << "," << j;
+    }
+  }
+}
+
+class MissingEngineAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(MissingEngineAgreement, AllEnginesAgree) {
+  const Dataset d = random_missing_dataset(40, 130, GetParam(), 47);
+  const omega::ld::SnpMatrix snps(d);
+  const omega::ld::NaiveLd naive(d);
+  const omega::ld::PopcountLd popcount(snps);
+  const omega::ld::GemmLd gemm(snps);
+  std::vector<float> expected(40 * 40), pop(40 * 40), gem(40 * 40);
+  naive.r2_block(0, 40, 0, 40, expected.data(), 40);
+  popcount.r2_block(0, 40, 0, 40, pop.data(), 40);
+  gemm.r2_block(0, 40, 0, 40, gem.data(), 40);
+  for (std::size_t idx = 0; idx < expected.size(); ++idx) {
+    ASSERT_NEAR(pop[idx], expected[idx], 2e-6f) << idx;
+    ASSERT_EQ(gem[idx], pop[idx]) << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MissingEngineAgreement,
+                         ::testing::Values(0.0, 0.02, 0.1, 0.35, 0.8));
+
+TEST(LdEngine, CoalescentDataAgreement) {
+  // Real simulator output (skewed frequency spectrum) rather than uniform
+  // random sites.
+  const auto d = omega::sim::make_dataset(
+      {.snps = 60, .samples = 100, .locus_length_bp = 100'000, .rho = 5.0, .seed = 31});
+  const omega::ld::SnpMatrix snps(d);
+  const omega::ld::PopcountLd popcount(snps);
+  const omega::ld::GemmLd gemm(snps);
+  std::vector<float> a(60 * 60), b(60 * 60);
+  popcount.r2_block(0, 60, 0, 60, a.data(), 60);
+  gemm.r2_block(0, 60, 0, 60, b.data(), 60);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

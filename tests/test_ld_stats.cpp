@@ -1,0 +1,166 @@
+// Tests for the quickLD-style LD statistics and region scans: hand cases for
+// D/D'/r2, bounds, overlap handling, MAF filtering, tile-size invariance,
+// and parallel == serial.
+
+#include <gtest/gtest.h>
+
+#include "io/dataset.h"
+#include "ld/ld_stats.h"
+#include "ld/snp_matrix.h"
+#include "par/thread_pool.h"
+#include "sim/dataset_factory.h"
+
+namespace {
+
+using omega::ld::LdScanOptions;
+using omega::ld::PairCounts;
+
+TEST(LdStatistics, HandComputedCases) {
+  // Perfect coupling: haplotypes 11 and 00 only (2 each of 4).
+  // pi = pj = 0.5, pij = 0.5 -> D = 0.25, D' = 1, r2 = 1.
+  const auto coupled = omega::ld::ld_statistics({4, 2, 2, 2});
+  EXPECT_DOUBLE_EQ(coupled.d, 0.25);
+  EXPECT_DOUBLE_EQ(coupled.d_prime, 1.0);
+  EXPECT_DOUBLE_EQ(coupled.r2, 1.0);
+
+  // Perfect repulsion: 10 and 01 only -> D = -0.25, D' = -1, r2 = 1.
+  const auto repulsed = omega::ld::ld_statistics({4, 2, 2, 0});
+  EXPECT_DOUBLE_EQ(repulsed.d, -0.25);
+  EXPECT_DOUBLE_EQ(repulsed.d_prime, -1.0);
+  EXPECT_DOUBLE_EQ(repulsed.r2, 1.0);
+
+  // Linkage equilibrium: pij = pi * pj exactly.
+  const auto equilibrium = omega::ld::ld_statistics({8, 4, 4, 2});
+  EXPECT_DOUBLE_EQ(equilibrium.d, 0.0);
+  EXPECT_DOUBLE_EQ(equilibrium.r2, 0.0);
+
+  // |D'| = 1 with unequal frequencies but r2 < 1 (the classic D' vs r2 gap).
+  // 6 samples: pi = 1/6, pj = 3/6, pij = 1/6 (derived-i always with j).
+  const auto partial = omega::ld::ld_statistics({6, 1, 3, 1});
+  EXPECT_NEAR(partial.d_prime, 1.0, 1e-12);
+  EXPECT_LT(partial.r2, 1.0);
+  EXPECT_GT(partial.r2, 0.0);
+}
+
+TEST(LdStatistics, MonomorphicAndDegenerate) {
+  EXPECT_DOUBLE_EQ(omega::ld::ld_statistics({4, 0, 2, 0}).r2, 0.0);
+  EXPECT_DOUBLE_EQ(omega::ld::ld_statistics({1, 1, 1, 1}).r2, 0.0);
+}
+
+TEST(LdStatistics, BoundsProperty) {
+  // All count configurations on 6 samples: statistics stay in bounds.
+  for (std::int32_t ni = 0; ni <= 6; ++ni) {
+    for (std::int32_t nj = 0; nj <= 6; ++nj) {
+      for (std::int32_t nij = std::max(0, ni + nj - 6);
+           nij <= std::min(ni, nj); ++nij) {
+        const auto stats = omega::ld::ld_statistics({6, ni, nj, nij});
+        ASSERT_GE(stats.r2, 0.0);
+        ASSERT_LE(stats.r2, 1.0 + 1e-12);
+        ASSERT_GE(stats.d_prime, -1.0 - 1e-12);
+        ASSERT_LE(stats.d_prime, 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+struct ScanFixture : ::testing::Test {
+  void SetUp() override {
+    dataset = omega::sim::make_dataset({.snps = 150,
+                                        .samples = 60,
+                                        .locus_length_bp = 500'000,
+                                        .rho = 15.0,
+                                        .seed = 61});
+    snps = std::make_unique<omega::ld::SnpMatrix>(dataset);
+  }
+  omega::io::Dataset dataset;
+  std::unique_ptr<omega::ld::SnpMatrix> snps;
+};
+
+TEST_F(ScanFixture, DisjointRegionsCountEveryPairOnce) {
+  LdScanOptions options;
+  const auto result = omega::ld::ld_region_scan(*snps, 0, 40, 60, 110, options);
+  EXPECT_EQ(result.pairs_evaluated, 40u * 50u);
+  EXPECT_GE(result.max_r2, result.mean_r2);
+}
+
+TEST_F(ScanFixture, SelfRegionCountsUnorderedPairs) {
+  const auto result = omega::ld::ld_region_scan(*snps, 0, 50, 0, 50, {});
+  EXPECT_EQ(result.pairs_evaluated, 50u * 49u / 2u);
+}
+
+TEST_F(ScanFixture, PartialOverlapDeduplicates) {
+  // A = [0, 60), B = [40, 100): overlap [40, 60) pairs counted once.
+  const auto result = omega::ld::ld_region_scan(*snps, 0, 60, 40, 100, {});
+  // Total admissible: all (a,b) minus self-pairs minus mirrored duplicates.
+  // a in [0,40): 60 b's each; a in [40,60): b in [40,60) keeps a<b
+  // (190 pairs) + b in [60,100) (40 each).
+  const std::uint64_t expected = 40u * 60u + (20u * 19u / 2u) + 20u * 40u;
+  EXPECT_EQ(result.pairs_evaluated, expected);
+}
+
+TEST_F(ScanFixture, TileSizeDoesNotChangeResults) {
+  LdScanOptions small_tiles, big_tiles;
+  small_tiles.tile = 7;
+  big_tiles.tile = 512;
+  const auto a = omega::ld::ld_region_scan(*snps, 0, 150, 0, 150, small_tiles);
+  const auto b = omega::ld::ld_region_scan(*snps, 0, 150, 0, 150, big_tiles);
+  EXPECT_EQ(a.pairs_evaluated, b.pairs_evaluated);
+  EXPECT_DOUBLE_EQ(a.mean_r2, b.mean_r2);
+  EXPECT_DOUBLE_EQ(a.max_r2, b.max_r2);
+  EXPECT_EQ(a.high_ld_pairs, b.high_ld_pairs);
+  ASSERT_EQ(a.top.size(), b.top.size());
+  for (std::size_t i = 0; i < a.top.size(); ++i) {
+    EXPECT_EQ(a.top[i].site_a, b.top[i].site_a);
+    EXPECT_EQ(a.top[i].site_b, b.top[i].site_b);
+  }
+}
+
+TEST_F(ScanFixture, ParallelMatchesSerial) {
+  omega::par::ThreadPool pool(3);
+  LdScanOptions options;
+  options.tile = 16;
+  const auto serial = omega::ld::ld_region_scan(*snps, 0, 150, 0, 150, options);
+  const auto parallel =
+      omega::ld::ld_region_scan_parallel(pool, *snps, 0, 150, 0, 150, options);
+  EXPECT_EQ(serial.pairs_evaluated, parallel.pairs_evaluated);
+  EXPECT_NEAR(serial.mean_r2, parallel.mean_r2, 1e-12);
+  EXPECT_DOUBLE_EQ(serial.max_r2, parallel.max_r2);
+  EXPECT_EQ(serial.high_ld_pairs, parallel.high_ld_pairs);
+  ASSERT_EQ(serial.top.size(), parallel.top.size());
+  for (std::size_t i = 0; i < serial.top.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.top[i].stats.r2, parallel.top[i].stats.r2);
+  }
+}
+
+TEST_F(ScanFixture, TopListIsDescendingAndCorrectSize) {
+  LdScanOptions options;
+  options.top_pairs = 5;
+  options.high_ld_threshold = 0.0;
+  const auto result = omega::ld::ld_region_scan(*snps, 0, 150, 0, 150, options);
+  ASSERT_EQ(result.top.size(), 5u);
+  for (std::size_t i = 1; i < result.top.size(); ++i) {
+    EXPECT_GE(result.top[i - 1].stats.r2, result.top[i].stats.r2);
+  }
+  EXPECT_DOUBLE_EQ(result.top.front().stats.r2, result.max_r2);
+}
+
+TEST_F(ScanFixture, MafFilterSkipsRareSites) {
+  LdScanOptions strict;
+  strict.min_maf = 0.2;
+  const auto filtered = omega::ld::ld_region_scan(*snps, 0, 150, 0, 150, strict);
+  const auto unfiltered = omega::ld::ld_region_scan(*snps, 0, 150, 0, 150, {});
+  EXPECT_LT(filtered.pairs_evaluated, unfiltered.pairs_evaluated);
+  EXPECT_EQ(filtered.pairs_evaluated + filtered.pairs_skipped_maf,
+            unfiltered.pairs_evaluated);
+}
+
+TEST(LdScan, EmptyRegions) {
+  const auto dataset = omega::sim::make_dataset(
+      {.snps = 20, .samples = 20, .locus_length_bp = 10'000, .rho = 1.0, .seed = 62});
+  const omega::ld::SnpMatrix snps(dataset);
+  const auto result = omega::ld::ld_region_scan(snps, 5, 5, 0, 20, {});
+  EXPECT_EQ(result.pairs_evaluated, 0u);
+  EXPECT_DOUBLE_EQ(result.mean_r2, 0.0);
+}
+
+}  // namespace

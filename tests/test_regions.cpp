@@ -1,0 +1,108 @@
+// Tests for landscape post-processing: region merging, gap bridging, and
+// quantile thresholds.
+
+#include <gtest/gtest.h>
+
+#include "core/regions.h"
+#include "core/scanner.h"
+#include "sim/dataset_factory.h"
+#include "sim/sweep_overlay.h"
+
+namespace {
+
+omega::core::ScanResult synthetic_landscape(const std::vector<double>& omegas) {
+  omega::core::ScanResult result;
+  for (std::size_t i = 0; i < omegas.size(); ++i) {
+    omega::core::PositionScore score;
+    score.position_bp = static_cast<std::int64_t>(i) * 1'000;
+    score.max_omega = omegas[i];
+    score.valid = omegas[i] >= 0.0;  // negative marks invalid positions
+    result.scores.push_back(score);
+  }
+  return result;
+}
+
+TEST(Regions, MergesContiguousRuns) {
+  const auto result =
+      synthetic_landscape({1, 5, 6, 2, 1, 7, 8, 9, 1, 1, 4});
+  const auto regions = omega::core::merge_regions(result, 4.0);
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0].start_bp, 1'000);
+  EXPECT_EQ(regions[0].end_bp, 2'000);
+  EXPECT_EQ(regions[0].peak_bp, 2'000);
+  EXPECT_DOUBLE_EQ(regions[0].peak_omega, 6.0);
+  EXPECT_EQ(regions[0].grid_positions, 2u);
+  EXPECT_EQ(regions[1].start_bp, 5'000);
+  EXPECT_EQ(regions[1].end_bp, 7'000);
+  EXPECT_DOUBLE_EQ(regions[1].peak_omega, 9.0);
+  EXPECT_EQ(regions[2].start_bp, 10'000);
+  EXPECT_EQ(regions[2].grid_positions, 1u);
+}
+
+TEST(Regions, GapBridging) {
+  const auto result = synthetic_landscape({5, 1, 5, 1, 1, 5});
+  // Without bridging: three regions. With max_gap = 1: the first two join
+  // (single cold position between), the third stays separate (two cold).
+  EXPECT_EQ(omega::core::merge_regions(result, 4.0, 0).size(), 3u);
+  const auto bridged = omega::core::merge_regions(result, 4.0, 1);
+  ASSERT_EQ(bridged.size(), 2u);
+  EXPECT_EQ(bridged[0].start_bp, 0);
+  EXPECT_EQ(bridged[0].end_bp, 2'000);
+  EXPECT_EQ(bridged[0].grid_positions, 2u);  // hot positions only
+}
+
+TEST(Regions, InvalidPositionsAreCold) {
+  const auto result = synthetic_landscape({5, -1, 5});
+  const auto regions = omega::core::merge_regions(result, 4.0);
+  EXPECT_EQ(regions.size(), 2u);
+}
+
+TEST(Regions, EmptyAndAllHot) {
+  const auto none = omega::core::merge_regions(synthetic_landscape({}), 1.0);
+  EXPECT_TRUE(none.empty());
+  const auto all = omega::core::merge_regions(
+      synthetic_landscape({2, 3, 4}), 1.0);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].grid_positions, 3u);
+}
+
+TEST(Regions, QuantileThreshold) {
+  const auto result = synthetic_landscape({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(omega::core::landscape_quantile(result, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(omega::core::landscape_quantile(result, 1.0), 10.0);
+  EXPECT_NEAR(omega::core::landscape_quantile(result, 0.5), 5.5, 1e-12);
+}
+
+TEST(Regions, PlantedSweepBecomesOneRegion) {
+  const auto neutral = omega::sim::make_dataset({.snps = 600,
+                                                 .samples = 50,
+                                                 .locus_length_bp = 1'000'000,
+                                                 .rho = 120.0,
+                                                 .seed = 71});
+  omega::sim::SweepConfig sweep;
+  sweep.sweep_position_bp = 500'000;
+  sweep.carrier_fraction = 0.97;
+  sweep.tract_mean_bp = 250'000.0;
+  const auto dataset = omega::sim::apply_sweep(neutral, sweep);
+
+  omega::core::ScannerOptions options;
+  options.config.grid_size = 50;
+  options.config.max_window = 200'000;
+  options.config.min_window = 20'000;
+  options.config.max_snps_per_side = 120;
+  const auto result = omega::core::scan(dataset, options);
+
+  const double threshold = omega::core::landscape_quantile(result, 0.9);
+  const auto regions = omega::core::merge_regions(result, threshold, 1);
+  ASSERT_FALSE(regions.empty());
+  // The strongest region should cover the sweep locus.
+  const auto strongest = std::max_element(
+      regions.begin(), regions.end(),
+      [](const auto& a, const auto& b) { return a.peak_omega < b.peak_omega; });
+  // The omega peak sits on a flank of the homogenized tract, so accept the
+  // sweep's hitchhiking footprint (~tract_mean) around the locus.
+  EXPECT_LE(strongest->start_bp - 300'000, 500'000);
+  EXPECT_GE(strongest->end_bp + 300'000, 500'000);
+}
+
+}  // namespace

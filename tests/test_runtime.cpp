@@ -1,0 +1,219 @@
+// Tests for the simulated OpenCL-like runtime: functional buffer semantics,
+// in-order engine scheduling, wait-list dependencies, overlap accounting,
+// and the timeline pipeline's consistency with the closed-form model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/workload.h"
+#include "hw/device_specs.h"
+#include "hw/gpu/runtime.h"
+#include "hw/gpu/timeline_pipeline.h"
+#include "hw/gpu/timing_model.h"
+#include "par/thread_pool.h"
+#include "sim/dataset_factory.h"
+
+namespace {
+
+using omega::hw::gpu::Buffer;
+using omega::hw::gpu::CommandQueue;
+using omega::hw::gpu::Event;
+using omega::hw::gpu::NdRange;
+using omega::hw::gpu::WorkItem;
+
+omega::hw::GpuDeviceSpec test_spec() {
+  auto spec = omega::hw::tesla_k80();
+  // Round numbers for hand-checkable schedules.
+  spec.pcie_bandwidth_bps = 1e9;
+  spec.pcie_latency_s = 1e-6;
+  return spec;
+}
+
+TEST(Runtime, BufferRoundTrip) {
+  omega::par::ThreadPool pool(1);
+  CommandQueue queue(test_spec(), pool);
+  Buffer buffer(64);
+  std::vector<std::uint8_t> source(64);
+  std::iota(source.begin(), source.end(), 0);
+  queue.enqueue_write(buffer, source.data(), source.size());
+  std::vector<std::uint8_t> sink(64, 0xFF);
+  queue.enqueue_read(buffer, sink.data(), sink.size());
+  EXPECT_EQ(sink, source);
+}
+
+TEST(Runtime, OverflowThrows) {
+  omega::par::ThreadPool pool(1);
+  CommandQueue queue(test_spec(), pool);
+  Buffer buffer(8);
+  std::vector<std::uint8_t> big(16, 0);
+  EXPECT_THROW(queue.enqueue_write(buffer, big.data(), big.size()),
+               std::out_of_range);
+  EXPECT_THROW(queue.enqueue_read(buffer, big.data(), big.size()),
+               std::out_of_range);
+}
+
+TEST(Runtime, TransferTimesFollowLinkModel) {
+  omega::par::ThreadPool pool(1);
+  const auto spec = test_spec();
+  CommandQueue queue(spec, pool);
+  Buffer buffer(1'000'000);
+  std::vector<std::uint8_t> payload(1'000'000, 1);
+  const auto id = queue.enqueue_write(buffer, payload.data(), payload.size());
+  const auto& event = queue.event(id);
+  EXPECT_DOUBLE_EQ(event.start_s, 0.0);
+  EXPECT_DOUBLE_EQ(event.duration(), 1e-6 + 1e6 / 1e9);
+}
+
+TEST(Runtime, EnginesSerializeIndependently) {
+  omega::par::ThreadPool pool(1);
+  CommandQueue queue(test_spec(), pool);
+  Buffer a(1'000'000), b(1'000'000);
+  std::vector<std::uint8_t> payload(1'000'000, 1);
+  // Two writes: second starts when the first ends (same DMA engine).
+  const auto w1 = queue.enqueue_write(a, payload.data(), payload.size());
+  const auto w2 = queue.enqueue_write(b, payload.data(), payload.size());
+  EXPECT_DOUBLE_EQ(queue.event(w2).start_s, queue.event(w1).end_s);
+  // An independent kernel starts at 0 (compute engine idle).
+  NdRange range;
+  range.global_size = 1;
+  const auto k = queue.enqueue_kernel("idle", range, [](const WorkItem&) {},
+                                      1e-3);
+  EXPECT_DOUBLE_EQ(queue.event(k).start_s, 0.0);
+}
+
+TEST(Runtime, WaitListsDelayDependents) {
+  omega::par::ThreadPool pool(1);
+  CommandQueue queue(test_spec(), pool);
+  Buffer buffer(1'000'000);
+  std::vector<std::uint8_t> payload(1'000'000, 1);
+  const auto write = queue.enqueue_write(buffer, payload.data(), payload.size());
+  NdRange range;
+  range.global_size = 1;
+  const auto kernel = queue.enqueue_kernel(
+      "dependent", range, [](const WorkItem&) {}, 5e-4, {write});
+  EXPECT_DOUBLE_EQ(queue.event(kernel).start_s, queue.event(write).end_s);
+  // A read waiting on the kernel starts after it, even though the DMA
+  // engine was free earlier.
+  std::uint8_t sink = 0;
+  const auto read = queue.enqueue_read(buffer, &sink, 1, {kernel});
+  EXPECT_DOUBLE_EQ(queue.event(read).start_s, queue.event(kernel).end_s);
+  EXPECT_DOUBLE_EQ(queue.finish_time(), queue.event(read).end_s);
+}
+
+TEST(Runtime, KernelsExecuteFunctionally) {
+  omega::par::ThreadPool pool(2);
+  CommandQueue queue(test_spec(), pool);
+  std::vector<std::atomic<int>> hits(128);
+  NdRange range;
+  range.global_size = 128;
+  range.local_size = 32;
+  queue.enqueue_kernel("touch", range,
+                       [&](const WorkItem& item) {
+                         if (item.global_id < hits.size()) {
+                           hits[item.global_id].fetch_add(1);
+                         }
+                       },
+                       1e-6);
+  for (auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(Runtime, OverlapAccounting) {
+  omega::par::ThreadPool pool(1);
+  CommandQueue queue(test_spec(), pool);
+  Buffer buffer(2'000'000);
+  std::vector<std::uint8_t> payload(2'000'000, 1);
+  NdRange range;
+  range.global_size = 1;
+  // Kernel occupies [0, 4ms); write occupies [0, ~2ms): fully hidden.
+  queue.enqueue_kernel("long", range, [](const WorkItem&) {}, 4e-3);
+  const auto write = queue.enqueue_write(buffer, payload.data(), payload.size());
+  EXPECT_NEAR(queue.overlap_seconds(), queue.event(write).duration(), 1e-12);
+  EXPECT_NEAR(queue.finish_time(), 4e-3, 1e-12);
+}
+
+TEST(Runtime, HostEngineSerializesPacking) {
+  omega::par::ThreadPool pool(1);
+  CommandQueue queue(test_spec(), pool);
+  const auto h1 = queue.enqueue_host("pack1", 1e-3);
+  const auto h2 = queue.enqueue_host("pack2", 1e-3);
+  EXPECT_DOUBLE_EQ(queue.event(h2).start_s, queue.event(h1).end_s);
+  // Host work does not count as transfer/compute.
+  EXPECT_DOUBLE_EQ(queue.transfer_busy_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(queue.compute_busy_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline pipeline vs closed-form model
+// ---------------------------------------------------------------------------
+
+TEST(TimelinePipeline, ConsistentWithClosedFormModel) {
+  const auto dataset = omega::sim::make_dataset({.snps = 3'000,
+                                                 .samples = 50,
+                                                 .locus_length_bp = 300'000,
+                                                 .rho = 30.0,
+                                                 .seed = 123});
+  omega::core::OmegaConfig config;
+  config.grid_size = 200;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 2'000;
+  config.min_window = 4;
+  const auto workload = omega::core::analyze_workload(dataset, config);
+
+  omega::par::ThreadPool pool(1);
+  const auto spec = omega::hw::tesla_k80();
+  const auto timeline =
+      omega::hw::gpu::schedule_complete_omega(spec, pool, workload);
+
+  double closed_form = 0.0;
+  for (const auto& position : workload.positions) {
+    if (position.combinations == 0) continue;
+    const auto choice = omega::hw::gpu::dispatch(spec, position.combinations);
+    closed_form += omega::hw::gpu::complete_position_cost(
+                       spec, choice, position.combinations,
+                       position.omega_payload_bytes)
+                       .total_s;
+  }
+
+  EXPECT_GT(timeline.positions, 0u);
+  // With the calibrated K80 constants, host packing dominates and the
+  // schedule honestly shows (near-)zero transfer/compute overlap — the
+  // paper's "large fraction of the total execution time is spent on data
+  // transfers" observation. Overlap emerges when packing is cheap; see
+  // TimelinePipeline.OverlapEmergesWhenHostIsFast.
+  // The makespan can never beat the busiest engine or the critical path.
+  EXPECT_GE(timeline.makespan_s, timeline.compute_busy_s);
+  EXPECT_GE(timeline.makespan_s, timeline.transfer_busy_s);
+  EXPECT_GE(timeline.makespan_s, timeline.host_busy_s);
+  // Event schedule and closed-form are two views of the same costs; they
+  // must agree within the modeling slack (the closed form caps hiding at a
+  // fixed fraction, the schedule derives it).
+  EXPECT_NEAR(timeline.makespan_s, closed_form, 0.5 * closed_form);
+}
+
+TEST(TimelinePipeline, OverlapEmergesWhenHostIsFast) {
+  const auto dataset = omega::sim::make_dataset({.snps = 2'000,
+                                                 .samples = 50,
+                                                 .locus_length_bp = 200'000,
+                                                 .rho = 20.0,
+                                                 .seed = 124});
+  omega::core::OmegaConfig config;
+  config.grid_size = 100;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 1'500;
+  config.min_window = 4;
+  const auto workload = omega::core::analyze_workload(dataset, config);
+
+  omega::par::ThreadPool pool(1);
+  auto spec = omega::hw::tesla_k80();
+  spec.host_pack_bandwidth_bps *= 1e4;  // packing out of the picture
+  const auto timeline =
+      omega::hw::gpu::schedule_complete_omega(spec, pool, workload);
+  // Kernels for position i now run while position i+1's buffers stream in.
+  EXPECT_GT(timeline.overlap_s, 0.0);
+  EXPECT_LT(timeline.makespan_s,
+            timeline.transfer_busy_s + timeline.compute_busy_s +
+                timeline.host_busy_s);
+}
+
+}  // namespace

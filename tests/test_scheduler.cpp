@@ -1,0 +1,122 @@
+// Tests for the FPGA multi-instance host scheduler: list-scheduling
+// behaviour, bandwidth-shared stalls, and resource-bounded instance counts.
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "hw/device_specs.h"
+#include "hw/fpga/resource_model.h"
+#include "hw/fpga/scheduler.h"
+#include "sim/dataset_factory.h"
+
+namespace {
+
+omega::core::ScanWorkload bench_workload(std::size_t grid = 64) {
+  const auto dataset = omega::sim::make_dataset({.snps = 2'000,
+                                                 .samples = 40,
+                                                 .locus_length_bp = 1'000'000,
+                                                 .rho = 60.0,
+                                                 .seed = 31});
+  omega::core::OmegaConfig config;
+  config.grid_size = grid;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 1'200;
+  config.min_window = 100;
+  return omega::core::analyze_workload(dataset, config);
+}
+
+TEST(Scheduler, SingleInstanceMakespanIsTotalWork) {
+  const auto workload = bench_workload();
+  const auto spec = omega::hw::alveo_u200();
+  omega::hw::fpga::SchedulerOptions options;
+  options.instances = 1;
+  options.ts_from_dram = false;
+  const auto result = omega::hw::fpga::schedule_positions(spec, workload, options);
+  ASSERT_EQ(result.instance_busy_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.makespan_s, result.instance_busy_s[0]);
+  EXPECT_GT(result.positions, 0u);
+  EXPECT_NEAR(result.utilization(), 1.0, 1e-12);
+}
+
+TEST(Scheduler, MoreInstancesNeverSlower) {
+  const auto workload = bench_workload();
+  const auto spec = omega::hw::zcu102();  // small unroll: no bandwidth wall
+  double previous = 1e300;
+  for (const int instances : {1, 2, 4, 8}) {
+    omega::hw::fpga::SchedulerOptions options;
+    options.instances = instances;
+    options.ts_from_dram = false;
+    const auto result =
+        omega::hw::fpga::schedule_positions(spec, workload, options);
+    EXPECT_LE(result.makespan_s, previous + 1e-12) << instances;
+    previous = result.makespan_s;
+  }
+}
+
+TEST(Scheduler, NearLinearSpeedupWhenComputeBound) {
+  const auto workload = bench_workload(128);
+  const auto spec = omega::hw::zcu102();
+  omega::hw::fpga::SchedulerOptions one, four;
+  one.instances = 1;
+  one.ts_from_dram = false;
+  four.instances = 4;
+  four.ts_from_dram = false;
+  const auto t1 = omega::hw::fpga::schedule_positions(spec, workload, one);
+  const auto t4 = omega::hw::fpga::schedule_positions(spec, workload, four);
+  EXPECT_GT(t1.makespan_s / t4.makespan_s, 3.2);  // LPT on 128 positions
+}
+
+TEST(Scheduler, SharedBandwidthThrottlesScaling) {
+  const auto workload = bench_workload();
+  const auto spec = omega::hw::alveo_u200();  // 32 GB/s demand vs 19 GB/s
+  omega::hw::fpga::SchedulerOptions one, four;
+  one.instances = 1;
+  four.instances = 4;
+  const auto t1 = omega::hw::fpga::schedule_positions(spec, workload, one);
+  const auto t4 = omega::hw::fpga::schedule_positions(spec, workload, four);
+  // One instance is already memory-throttled; four share the same bus.
+  EXPECT_NEAR(t1.shared_stall_factor, 32.0 / 19.0, 1e-9);
+  EXPECT_NEAR(t4.shared_stall_factor, 4.0 * 32.0 / 19.0, 1e-9);
+  // Speedup collapses to ~1: the Bozikas et al. observation that transfers,
+  // not logic, bound multi-accelerator LD/omega systems.
+  EXPECT_LT(t1.makespan_s / t4.makespan_s, 1.3);
+}
+
+TEST(Scheduler, LongestFirstBeatsGenomeOrder) {
+  const auto workload = bench_workload(33);  // odd count: imbalance visible
+  const auto spec = omega::hw::zcu102();
+  omega::hw::fpga::SchedulerOptions lpt, genome_order;
+  lpt.instances = 4;
+  lpt.ts_from_dram = false;
+  genome_order = lpt;
+  genome_order.longest_first = false;
+  const auto a = omega::hw::fpga::schedule_positions(spec, workload, lpt);
+  const auto b =
+      omega::hw::fpga::schedule_positions(spec, workload, genome_order);
+  EXPECT_LE(a.makespan_s, b.makespan_s + 1e-12);
+}
+
+TEST(Scheduler, RejectsZeroInstances) {
+  const auto workload = bench_workload(8);
+  omega::hw::fpga::SchedulerOptions options;
+  options.instances = 0;
+  EXPECT_THROW(omega::hw::fpga::schedule_positions(omega::hw::zcu102(),
+                                                   workload, options),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, MaxInstancesRespectsResources) {
+  const auto zcu = omega::hw::zcu102();
+  const int fits = omega::hw::fpga::max_instances(zcu);
+  EXPECT_GE(fits, 1);
+  // One more instance than reported must violate some resource budget.
+  const auto rows = omega::hw::fpga::utilization_at(
+      zcu, zcu.unroll_factor * (fits + 1));
+  bool violates = false;
+  for (const auto& row : rows) {
+    if (row.used > 0.8 * row.available) violates = true;
+  }
+  EXPECT_TRUE(violates);
+}
+
+}  // namespace

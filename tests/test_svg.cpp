@@ -1,0 +1,91 @@
+// Tests for the SVG chart writer: document structure, data mapping, log
+// axes, reference lines, and error handling.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "util/svg.h"
+
+namespace {
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(Svg, EmitsWellFormedSkeleton) {
+  omega::util::SvgChart chart("Title", "x axis", "y axis");
+  chart.add_series("s1", {{1, 1}, {2, 4}, {3, 9}});
+  const std::string svg = chart.str();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Title"), std::string::npos);
+  EXPECT_NE(svg.find("x axis"), std::string::npos);
+  EXPECT_NE(svg.find("y axis"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  // One marker circle per point.
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 3u);
+  // Legend entry.
+  EXPECT_NE(svg.find(">s1<"), std::string::npos);
+}
+
+TEST(Svg, MultipleSeriesGetDistinctColors) {
+  omega::util::SvgChart chart("t", "x", "y");
+  chart.add_series("a", {{0, 1}, {1, 2}});
+  chart.add_series("b", {{0, 2}, {1, 3}});
+  const std::string svg = chart.str();
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 2u);
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+}
+
+TEST(Svg, HlineRendersDashed) {
+  omega::util::SvgChart chart("t", "x", "y");
+  chart.add_series("a", {{0, 1}, {1, 10}});
+  chart.add_hline(9.0, "90% line");
+  const std::string svg = chart.str();
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+  EXPECT_NE(svg.find("90% line"), std::string::npos);
+}
+
+TEST(Svg, DataMapsInsidePlotRectangle) {
+  omega::util::SvgChart chart("t", "x", "y");
+  chart.add_series("a", {{10, 0}, {20, 5}, {30, 10}});
+  const std::string svg = chart.str();
+  // Every circle center must land inside the plot area [80,660]x[50,380].
+  const std::regex circle_re("<circle cx='([0-9.]+)' cy='([0-9.]+)'");
+  for (auto it = std::sregex_iterator(svg.begin(), svg.end(), circle_re);
+       it != std::sregex_iterator(); ++it) {
+    const double cx = std::stod((*it)[1]);
+    const double cy = std::stod((*it)[2]);
+    EXPECT_GE(cx, 80.0 - 1e-9);
+    EXPECT_LE(cx, 660.0 + 1e-9);
+    EXPECT_GE(cy, 50.0 - 1e-9);
+    EXPECT_LE(cy, 380.0 + 1e-9);
+  }
+}
+
+TEST(Svg, LogAxisOrdersDecades) {
+  omega::util::SvgChart chart("t", "x", "y");
+  chart.set_log_x(true);
+  chart.add_series("a", {{10, 1}, {100, 2}, {1000, 3}});
+  const std::string svg = chart.str();
+  // Decade ticks appear as labels.
+  EXPECT_NE(svg.find(">10<"), std::string::npos);
+  EXPECT_NE(svg.find(">100<"), std::string::npos);
+  EXPECT_NE(svg.find(">1000<"), std::string::npos);
+}
+
+TEST(Svg, EmptyChartThrows) {
+  omega::util::SvgChart chart("t", "x", "y");
+  EXPECT_THROW((void)chart.str(), std::logic_error);
+  chart.add_series("empty", {});
+  EXPECT_THROW((void)chart.str(), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Tests for the structured-coalescent sweep simulator: trajectory math,
+// structural validity, and the three sweep signatures arising from first
+// principles (no overlay).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scanner.h"
+#include "ld/r2.h"
+#include "popgen/diversity.h"
+#include "sim/sweep_coalescent.h"
+#include "util/stats.h"
+
+namespace {
+
+using omega::sim::SweepCoalescentConfig;
+
+TEST(SweepTrajectory, BoundaryConditions) {
+  EXPECT_NEAR(omega::sim::sweep_trajectory(0.0, 1'000.0, 0.95), 0.95, 1e-12);
+  // Monotone decreasing backward in time.
+  double previous = 1.0;
+  for (double tau = 0.0; tau < 0.05; tau += 0.002) {
+    const double x = omega::sim::sweep_trajectory(tau, 1'000.0, 0.95);
+    ASSERT_LT(x, previous + 1e-15);
+    ASSERT_GT(x, 0.0);
+    previous = x;
+  }
+}
+
+TEST(SweepTrajectory, DurationReachesEstablishment) {
+  for (const double alpha : {100.0, 1'000.0, 10'000.0}) {
+    const double duration = omega::sim::sweep_duration(alpha, 0.99);
+    EXPECT_GT(duration, 0.0);
+    EXPECT_NEAR(omega::sim::sweep_trajectory(duration, alpha, 0.99),
+                1.0 / alpha, 1e-9);
+    // Classic scaling: duration ~ 2 ln(alpha) / alpha, shrinking with alpha.
+    EXPECT_LT(duration, 3.0 * std::log(alpha) / alpha);
+  }
+}
+
+TEST(SweepCoalescent, ProducesValidDeterministicDataset) {
+  SweepCoalescentConfig config;
+  config.samples = 30;
+  config.theta = 60.0;
+  config.seed = 11;
+  const auto a = omega::sim::simulate_sweep_coalescent(config);
+  const auto b = omega::sim::simulate_sweep_coalescent(config);
+  a.validate();
+  ASSERT_EQ(a.num_sites(), b.num_sites());
+  for (std::size_t s = 0; s < a.num_sites(); ++s) {
+    ASSERT_EQ(a.position(s), b.position(s));
+    ASSERT_EQ(a.site(s), b.site(s));
+  }
+  // Every emitted site is polymorphic.
+  for (std::size_t s = 0; s < a.num_sites(); ++s) {
+    ASSERT_GT(a.derived_count(s), 0u);
+    ASSERT_LT(a.derived_count(s), a.num_samples());
+  }
+}
+
+TEST(SweepCoalescent, RejectsBadParameters) {
+  SweepCoalescentConfig config;
+  config.samples = 1;
+  EXPECT_THROW(omega::sim::simulate_sweep_coalescent(config),
+               std::invalid_argument);
+  config.samples = 10;
+  config.alpha = 1.0;
+  EXPECT_THROW(omega::sim::simulate_sweep_coalescent(config),
+               std::invalid_argument);
+  config.alpha = 100.0;
+  config.final_frequency = 0.0;
+  EXPECT_THROW(omega::sim::simulate_sweep_coalescent(config),
+               std::invalid_argument);
+}
+
+TEST(SweepCoalescent, SignatureA_DiversityDipAtSweep) {
+  omega::util::RunningStats near_pi, far_pi;
+  for (std::uint64_t rep = 0; rep < 12; ++rep) {
+    SweepCoalescentConfig config;
+    config.samples = 40;
+    config.theta = 120.0;
+    config.rho = 400.0;
+    config.seed = 100 + rep;
+    const auto dataset = omega::sim::simulate_sweep_coalescent(config);
+    near_pi.add(omega::popgen::nucleotide_diversity(
+        dataset.slice_bp(450'000, 550'000)));
+    far_pi.add(omega::popgen::nucleotide_diversity(dataset.slice_bp(0, 100'000)));
+  }
+  EXPECT_LT(near_pi.mean(), 0.5 * far_pi.mean());
+}
+
+TEST(SweepCoalescent, SignatureB_TajimaNegativeNearSweep) {
+  omega::util::RunningStats near_d, far_d;
+  for (std::uint64_t rep = 0; rep < 12; ++rep) {
+    SweepCoalescentConfig config;
+    config.samples = 40;
+    config.theta = 120.0;
+    config.rho = 400.0;
+    config.final_frequency = 0.9;  // incomplete: segregating variation left
+    config.seed = 200 + rep;
+    const auto dataset = omega::sim::simulate_sweep_coalescent(config);
+    near_d.add(omega::popgen::tajimas_d(dataset.slice_bp(400'000, 600'000)));
+    far_d.add(omega::popgen::tajimas_d(dataset.slice_bp(0, 200'000)));
+  }
+  EXPECT_LT(near_d.mean(), far_d.mean());
+}
+
+TEST(SweepCoalescent, SignatureC_OmegaPeaksAtSweep) {
+  // The omega landscape should place its maximum near the sweep site in a
+  // majority of replicates.
+  std::size_t hits = 0;
+  const std::size_t reps = 9;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    SweepCoalescentConfig config;
+    config.samples = 40;
+    config.theta = 150.0;
+    config.rho = 400.0;
+    config.seed = 300 + rep;
+    const auto dataset = omega::sim::simulate_sweep_coalescent(config);
+    omega::core::ScannerOptions options;
+    options.config.grid_size = 25;
+    options.config.max_window = 250'000;
+    options.config.min_window = 20'000;
+    options.config.max_snps_per_side = 120;
+    const auto result = omega::core::scan(dataset, options);
+    if (std::abs(result.best().position_bp - 500'000) <= 150'000) ++hits;
+  }
+  EXPECT_GE(hits, reps / 2 + 1);
+}
+
+TEST(SweepCoalescent, LargerAlphaWidensFootprint) {
+  // Faster sweeps leave less time for escape: diversity at a moderate
+  // distance is lower under large alpha.
+  omega::util::RunningStats weak, strong;
+  for (std::uint64_t rep = 0; rep < 12; ++rep) {
+    SweepCoalescentConfig config;
+    config.samples = 30;
+    config.theta = 120.0;
+    config.rho = 400.0;
+    config.seed = 400 + rep;
+    config.alpha = 200.0;
+    weak.add(omega::popgen::nucleotide_diversity(
+        omega::sim::simulate_sweep_coalescent(config).slice_bp(250'000,
+                                                               400'000)));
+    config.alpha = 10'000.0;
+    strong.add(omega::popgen::nucleotide_diversity(
+        omega::sim::simulate_sweep_coalescent(config).slice_bp(250'000,
+                                                               400'000)));
+  }
+  EXPECT_LT(strong.mean(), weak.mean());
+}
+
+}  // namespace
