@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fpga_zcu102.dir/bench_fig10_fpga_zcu102.cpp.o"
+  "CMakeFiles/bench_fig10_fpga_zcu102.dir/bench_fig10_fpga_zcu102.cpp.o.d"
+  "bench_fig10_fpga_zcu102"
+  "bench_fig10_fpga_zcu102.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fpga_zcu102.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

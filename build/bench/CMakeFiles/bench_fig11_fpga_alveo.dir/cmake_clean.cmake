@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fpga_alveo.dir/bench_fig11_fpga_alveo.cpp.o"
+  "CMakeFiles/bench_fig11_fpga_alveo.dir/bench_fig11_fpga_alveo.cpp.o.d"
+  "bench_fig11_fpga_alveo"
+  "bench_fig11_fpga_alveo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fpga_alveo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

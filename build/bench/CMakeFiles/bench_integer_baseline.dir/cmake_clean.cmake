@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_integer_baseline.dir/bench_integer_baseline.cpp.o"
+  "CMakeFiles/bench_integer_baseline.dir/bench_integer_baseline.cpp.o.d"
+  "bench_integer_baseline"
+  "bench_integer_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_integer_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_detection.dir/bench_power_detection.cpp.o"
+  "CMakeFiles/bench_power_detection.dir/bench_power_detection.cpp.o.d"
+  "bench_power_detection"
+  "bench_power_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_multithreaded.dir/bench_table4_multithreaded.cpp.o"
+  "CMakeFiles/bench_table4_multithreaded.dir/bench_table4_multithreaded.cpp.o.d"
+  "bench_table4_multithreaded"
+  "bench_table4_multithreaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/omega_bench_common.dir/bench_common.cpp.o.d"
+  "CMakeFiles/omega_bench_common.dir/bench_fpga_throughput.cpp.o"
+  "CMakeFiles/omega_bench_common.dir/bench_fpga_throughput.cpp.o.d"
+  "libomega_bench_common.a"
+  "libomega_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

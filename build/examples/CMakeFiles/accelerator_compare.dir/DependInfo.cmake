@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/accelerator_compare.cpp" "examples/CMakeFiles/accelerator_compare.dir/accelerator_compare.cpp.o" "gcc" "examples/CMakeFiles/accelerator_compare.dir/accelerator_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/omega_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/popgen/CMakeFiles/omega_popgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/omega_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/omega_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/omega_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ld/CMakeFiles/omega_ld.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/omega_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/omega_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omega_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

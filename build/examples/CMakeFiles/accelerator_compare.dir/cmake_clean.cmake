@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_compare.dir/accelerator_compare.cpp.o"
+  "CMakeFiles/accelerator_compare.dir/accelerator_compare.cpp.o.d"
+  "accelerator_compare"
+  "accelerator_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

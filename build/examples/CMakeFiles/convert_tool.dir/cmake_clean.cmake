@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_tool.dir/convert_tool.cpp.o"
+  "CMakeFiles/convert_tool.dir/convert_tool.cpp.o.d"
+  "convert_tool"
+  "convert_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

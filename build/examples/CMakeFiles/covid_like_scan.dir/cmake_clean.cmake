@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_like_scan.dir/covid_like_scan.cpp.o"
+  "CMakeFiles/covid_like_scan.dir/covid_like_scan.cpp.o.d"
+  "covid_like_scan"
+  "covid_like_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_like_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_scan_tool.dir/ld_scan_tool.cpp.o"
+  "CMakeFiles/ld_scan_tool.dir/ld_scan_tool.cpp.o.d"
+  "ld_scan_tool"
+  "ld_scan_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_scan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

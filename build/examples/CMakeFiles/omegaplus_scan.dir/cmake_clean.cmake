@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omegaplus_scan.dir/omegaplus_scan.cpp.o"
+  "CMakeFiles/omegaplus_scan.dir/omegaplus_scan.cpp.o.d"
+  "omegaplus_scan"
+  "omegaplus_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omegaplus_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

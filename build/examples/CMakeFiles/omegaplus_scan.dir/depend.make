@@ -1,0 +1,2 @@
+# Empty dependencies file for omegaplus_scan.
+# This may be replaced when dependencies are built.

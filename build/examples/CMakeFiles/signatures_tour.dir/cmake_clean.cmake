@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signatures_tour.dir/signatures_tour.cpp.o"
+  "CMakeFiles/signatures_tour.dir/signatures_tour.cpp.o.d"
+  "signatures_tour"
+  "signatures_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signatures_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

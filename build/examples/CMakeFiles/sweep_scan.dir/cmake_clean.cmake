@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_scan.dir/sweep_scan.cpp.o"
+  "CMakeFiles/sweep_scan.dir/sweep_scan.cpp.o.d"
+  "sweep_scan"
+  "sweep_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dp_matrix.cpp" "src/core/CMakeFiles/omega_core.dir/dp_matrix.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/dp_matrix.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "src/core/CMakeFiles/omega_core.dir/grid.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/grid.cpp.o.d"
+  "/root/repo/src/core/integer_method.cpp" "src/core/CMakeFiles/omega_core.dir/integer_method.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/integer_method.cpp.o.d"
+  "/root/repo/src/core/omega_search.cpp" "src/core/CMakeFiles/omega_core.dir/omega_search.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/omega_search.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/omega_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/reference.cpp.o.d"
+  "/root/repo/src/core/regions.cpp" "src/core/CMakeFiles/omega_core.dir/regions.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/regions.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/omega_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scanner.cpp" "src/core/CMakeFiles/omega_core.dir/scanner.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/scanner.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/omega_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omega_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/omega_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ld/CMakeFiles/omega_ld.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/omega_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_core.dir/dp_matrix.cpp.o"
+  "CMakeFiles/omega_core.dir/dp_matrix.cpp.o.d"
+  "CMakeFiles/omega_core.dir/grid.cpp.o"
+  "CMakeFiles/omega_core.dir/grid.cpp.o.d"
+  "CMakeFiles/omega_core.dir/integer_method.cpp.o"
+  "CMakeFiles/omega_core.dir/integer_method.cpp.o.d"
+  "CMakeFiles/omega_core.dir/omega_search.cpp.o"
+  "CMakeFiles/omega_core.dir/omega_search.cpp.o.d"
+  "CMakeFiles/omega_core.dir/reference.cpp.o"
+  "CMakeFiles/omega_core.dir/reference.cpp.o.d"
+  "CMakeFiles/omega_core.dir/regions.cpp.o"
+  "CMakeFiles/omega_core.dir/regions.cpp.o.d"
+  "CMakeFiles/omega_core.dir/report.cpp.o"
+  "CMakeFiles/omega_core.dir/report.cpp.o.d"
+  "CMakeFiles/omega_core.dir/scanner.cpp.o"
+  "CMakeFiles/omega_core.dir/scanner.cpp.o.d"
+  "CMakeFiles/omega_core.dir/workload.cpp.o"
+  "CMakeFiles/omega_core.dir/workload.cpp.o.d"
+  "libomega_core.a"
+  "libomega_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device_specs.cpp" "src/hw/CMakeFiles/omega_hw.dir/device_specs.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/device_specs.cpp.o.d"
+  "/root/repo/src/hw/fpga/cycle_model.cpp" "src/hw/CMakeFiles/omega_hw.dir/fpga/cycle_model.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/fpga/cycle_model.cpp.o.d"
+  "/root/repo/src/hw/fpga/fpga_backend.cpp" "src/hw/CMakeFiles/omega_hw.dir/fpga/fpga_backend.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/fpga/fpga_backend.cpp.o.d"
+  "/root/repo/src/hw/fpga/pipeline.cpp" "src/hw/CMakeFiles/omega_hw.dir/fpga/pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/fpga/pipeline.cpp.o.d"
+  "/root/repo/src/hw/fpga/resource_model.cpp" "src/hw/CMakeFiles/omega_hw.dir/fpga/resource_model.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/fpga/resource_model.cpp.o.d"
+  "/root/repo/src/hw/fpga/scheduler.cpp" "src/hw/CMakeFiles/omega_hw.dir/fpga/scheduler.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/fpga/scheduler.cpp.o.d"
+  "/root/repo/src/hw/gpu/gemm_ld_kernel.cpp" "src/hw/CMakeFiles/omega_hw.dir/gpu/gemm_ld_kernel.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/gpu/gemm_ld_kernel.cpp.o.d"
+  "/root/repo/src/hw/gpu/gpu_backend.cpp" "src/hw/CMakeFiles/omega_hw.dir/gpu/gpu_backend.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/gpu/gpu_backend.cpp.o.d"
+  "/root/repo/src/hw/gpu/ndrange.cpp" "src/hw/CMakeFiles/omega_hw.dir/gpu/ndrange.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/gpu/ndrange.cpp.o.d"
+  "/root/repo/src/hw/gpu/omega_kernels.cpp" "src/hw/CMakeFiles/omega_hw.dir/gpu/omega_kernels.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/gpu/omega_kernels.cpp.o.d"
+  "/root/repo/src/hw/gpu/runtime.cpp" "src/hw/CMakeFiles/omega_hw.dir/gpu/runtime.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/gpu/runtime.cpp.o.d"
+  "/root/repo/src/hw/gpu/timeline_pipeline.cpp" "src/hw/CMakeFiles/omega_hw.dir/gpu/timeline_pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/gpu/timeline_pipeline.cpp.o.d"
+  "/root/repo/src/hw/gpu/timing_model.cpp" "src/hw/CMakeFiles/omega_hw.dir/gpu/timing_model.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/gpu/timing_model.cpp.o.d"
+  "/root/repo/src/hw/ld_models.cpp" "src/hw/CMakeFiles/omega_hw.dir/ld_models.cpp.o" "gcc" "src/hw/CMakeFiles/omega_hw.dir/ld_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/omega_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/omega_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omega_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ld/CMakeFiles/omega_ld.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/omega_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

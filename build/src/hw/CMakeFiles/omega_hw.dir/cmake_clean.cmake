@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_hw.dir/device_specs.cpp.o"
+  "CMakeFiles/omega_hw.dir/device_specs.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/fpga/cycle_model.cpp.o"
+  "CMakeFiles/omega_hw.dir/fpga/cycle_model.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/fpga/fpga_backend.cpp.o"
+  "CMakeFiles/omega_hw.dir/fpga/fpga_backend.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/fpga/pipeline.cpp.o"
+  "CMakeFiles/omega_hw.dir/fpga/pipeline.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/fpga/resource_model.cpp.o"
+  "CMakeFiles/omega_hw.dir/fpga/resource_model.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/fpga/scheduler.cpp.o"
+  "CMakeFiles/omega_hw.dir/fpga/scheduler.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/gpu/gemm_ld_kernel.cpp.o"
+  "CMakeFiles/omega_hw.dir/gpu/gemm_ld_kernel.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/gpu/gpu_backend.cpp.o"
+  "CMakeFiles/omega_hw.dir/gpu/gpu_backend.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/gpu/ndrange.cpp.o"
+  "CMakeFiles/omega_hw.dir/gpu/ndrange.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/gpu/omega_kernels.cpp.o"
+  "CMakeFiles/omega_hw.dir/gpu/omega_kernels.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/gpu/runtime.cpp.o"
+  "CMakeFiles/omega_hw.dir/gpu/runtime.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/gpu/timeline_pipeline.cpp.o"
+  "CMakeFiles/omega_hw.dir/gpu/timeline_pipeline.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/gpu/timing_model.cpp.o"
+  "CMakeFiles/omega_hw.dir/gpu/timing_model.cpp.o.d"
+  "CMakeFiles/omega_hw.dir/ld_models.cpp.o"
+  "CMakeFiles/omega_hw.dir/ld_models.cpp.o.d"
+  "libomega_hw.a"
+  "libomega_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

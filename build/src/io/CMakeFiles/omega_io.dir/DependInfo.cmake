@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dataset.cpp" "src/io/CMakeFiles/omega_io.dir/dataset.cpp.o" "gcc" "src/io/CMakeFiles/omega_io.dir/dataset.cpp.o.d"
+  "/root/repo/src/io/fasta.cpp" "src/io/CMakeFiles/omega_io.dir/fasta.cpp.o" "gcc" "src/io/CMakeFiles/omega_io.dir/fasta.cpp.o.d"
+  "/root/repo/src/io/ms_format.cpp" "src/io/CMakeFiles/omega_io.dir/ms_format.cpp.o" "gcc" "src/io/CMakeFiles/omega_io.dir/ms_format.cpp.o.d"
+  "/root/repo/src/io/plink.cpp" "src/io/CMakeFiles/omega_io.dir/plink.cpp.o" "gcc" "src/io/CMakeFiles/omega_io.dir/plink.cpp.o.d"
+  "/root/repo/src/io/vcf_lite.cpp" "src/io/CMakeFiles/omega_io.dir/vcf_lite.cpp.o" "gcc" "src/io/CMakeFiles/omega_io.dir/vcf_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omega_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_io.dir/dataset.cpp.o"
+  "CMakeFiles/omega_io.dir/dataset.cpp.o.d"
+  "CMakeFiles/omega_io.dir/fasta.cpp.o"
+  "CMakeFiles/omega_io.dir/fasta.cpp.o.d"
+  "CMakeFiles/omega_io.dir/ms_format.cpp.o"
+  "CMakeFiles/omega_io.dir/ms_format.cpp.o.d"
+  "CMakeFiles/omega_io.dir/plink.cpp.o"
+  "CMakeFiles/omega_io.dir/plink.cpp.o.d"
+  "CMakeFiles/omega_io.dir/vcf_lite.cpp.o"
+  "CMakeFiles/omega_io.dir/vcf_lite.cpp.o.d"
+  "libomega_io.a"
+  "libomega_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

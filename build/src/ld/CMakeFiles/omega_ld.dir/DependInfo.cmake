@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ld/gemm.cpp" "src/ld/CMakeFiles/omega_ld.dir/gemm.cpp.o" "gcc" "src/ld/CMakeFiles/omega_ld.dir/gemm.cpp.o.d"
+  "/root/repo/src/ld/ld_engine.cpp" "src/ld/CMakeFiles/omega_ld.dir/ld_engine.cpp.o" "gcc" "src/ld/CMakeFiles/omega_ld.dir/ld_engine.cpp.o.d"
+  "/root/repo/src/ld/ld_stats.cpp" "src/ld/CMakeFiles/omega_ld.dir/ld_stats.cpp.o" "gcc" "src/ld/CMakeFiles/omega_ld.dir/ld_stats.cpp.o.d"
+  "/root/repo/src/ld/r2.cpp" "src/ld/CMakeFiles/omega_ld.dir/r2.cpp.o" "gcc" "src/ld/CMakeFiles/omega_ld.dir/r2.cpp.o.d"
+  "/root/repo/src/ld/snp_matrix.cpp" "src/ld/CMakeFiles/omega_ld.dir/snp_matrix.cpp.o" "gcc" "src/ld/CMakeFiles/omega_ld.dir/snp_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omega_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/omega_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/omega_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_ld.dir/gemm.cpp.o"
+  "CMakeFiles/omega_ld.dir/gemm.cpp.o.d"
+  "CMakeFiles/omega_ld.dir/ld_engine.cpp.o"
+  "CMakeFiles/omega_ld.dir/ld_engine.cpp.o.d"
+  "CMakeFiles/omega_ld.dir/ld_stats.cpp.o"
+  "CMakeFiles/omega_ld.dir/ld_stats.cpp.o.d"
+  "CMakeFiles/omega_ld.dir/r2.cpp.o"
+  "CMakeFiles/omega_ld.dir/r2.cpp.o.d"
+  "CMakeFiles/omega_ld.dir/snp_matrix.cpp.o"
+  "CMakeFiles/omega_ld.dir/snp_matrix.cpp.o.d"
+  "libomega_ld.a"
+  "libomega_ld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_ld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

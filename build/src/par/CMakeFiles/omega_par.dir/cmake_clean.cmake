@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_par.dir/thread_pool.cpp.o"
+  "CMakeFiles/omega_par.dir/thread_pool.cpp.o.d"
+  "libomega_par.a"
+  "libomega_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_popgen.dir/diversity.cpp.o"
+  "CMakeFiles/omega_popgen.dir/diversity.cpp.o.d"
+  "libomega_popgen.a"
+  "libomega_popgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_popgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

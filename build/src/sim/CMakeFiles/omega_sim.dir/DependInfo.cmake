@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coalescent.cpp" "src/sim/CMakeFiles/omega_sim.dir/coalescent.cpp.o" "gcc" "src/sim/CMakeFiles/omega_sim.dir/coalescent.cpp.o.d"
+  "/root/repo/src/sim/dataset_factory.cpp" "src/sim/CMakeFiles/omega_sim.dir/dataset_factory.cpp.o" "gcc" "src/sim/CMakeFiles/omega_sim.dir/dataset_factory.cpp.o.d"
+  "/root/repo/src/sim/demography.cpp" "src/sim/CMakeFiles/omega_sim.dir/demography.cpp.o" "gcc" "src/sim/CMakeFiles/omega_sim.dir/demography.cpp.o.d"
+  "/root/repo/src/sim/sweep_coalescent.cpp" "src/sim/CMakeFiles/omega_sim.dir/sweep_coalescent.cpp.o" "gcc" "src/sim/CMakeFiles/omega_sim.dir/sweep_coalescent.cpp.o.d"
+  "/root/repo/src/sim/sweep_overlay.cpp" "src/sim/CMakeFiles/omega_sim.dir/sweep_overlay.cpp.o" "gcc" "src/sim/CMakeFiles/omega_sim.dir/sweep_overlay.cpp.o.d"
+  "/root/repo/src/sim/tree.cpp" "src/sim/CMakeFiles/omega_sim.dir/tree.cpp.o" "gcc" "src/sim/CMakeFiles/omega_sim.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omega_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/omega_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_sim.dir/coalescent.cpp.o"
+  "CMakeFiles/omega_sim.dir/coalescent.cpp.o.d"
+  "CMakeFiles/omega_sim.dir/dataset_factory.cpp.o"
+  "CMakeFiles/omega_sim.dir/dataset_factory.cpp.o.d"
+  "CMakeFiles/omega_sim.dir/demography.cpp.o"
+  "CMakeFiles/omega_sim.dir/demography.cpp.o.d"
+  "CMakeFiles/omega_sim.dir/sweep_coalescent.cpp.o"
+  "CMakeFiles/omega_sim.dir/sweep_coalescent.cpp.o.d"
+  "CMakeFiles/omega_sim.dir/sweep_overlay.cpp.o"
+  "CMakeFiles/omega_sim.dir/sweep_overlay.cpp.o.d"
+  "CMakeFiles/omega_sim.dir/tree.cpp.o"
+  "CMakeFiles/omega_sim.dir/tree.cpp.o.d"
+  "libomega_sim.a"
+  "libomega_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_sweep.dir/detector.cpp.o"
+  "CMakeFiles/omega_sweep.dir/detector.cpp.o.d"
+  "libomega_sweep.a"
+  "libomega_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_util.dir/cli.cpp.o"
+  "CMakeFiles/omega_util.dir/cli.cpp.o.d"
+  "CMakeFiles/omega_util.dir/prng.cpp.o"
+  "CMakeFiles/omega_util.dir/prng.cpp.o.d"
+  "CMakeFiles/omega_util.dir/stats.cpp.o"
+  "CMakeFiles/omega_util.dir/stats.cpp.o.d"
+  "CMakeFiles/omega_util.dir/svg.cpp.o"
+  "CMakeFiles/omega_util.dir/svg.cpp.o.d"
+  "CMakeFiles/omega_util.dir/table.cpp.o"
+  "CMakeFiles/omega_util.dir/table.cpp.o.d"
+  "libomega_util.a"
+  "libomega_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/omega_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_fpga.cpp" "tests/CMakeFiles/omega_tests.dir/test_fpga.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_fpga.cpp.o.d"
+  "/root/repo/tests/test_fuzz_parsers.cpp" "tests/CMakeFiles/omega_tests.dir/test_fuzz_parsers.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_fuzz_parsers.cpp.o.d"
+  "/root/repo/tests/test_gpu.cpp" "tests/CMakeFiles/omega_tests.dir/test_gpu.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_gpu.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/omega_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_ld.cpp" "tests/CMakeFiles/omega_tests.dir/test_ld.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_ld.cpp.o.d"
+  "/root/repo/tests/test_ld_stats.cpp" "tests/CMakeFiles/omega_tests.dir/test_ld_stats.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_ld_stats.cpp.o.d"
+  "/root/repo/tests/test_par.cpp" "tests/CMakeFiles/omega_tests.dir/test_par.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_par.cpp.o.d"
+  "/root/repo/tests/test_popgen.cpp" "tests/CMakeFiles/omega_tests.dir/test_popgen.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_popgen.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/omega_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_regions.cpp" "tests/CMakeFiles/omega_tests.dir/test_regions.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_regions.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/omega_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/omega_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_scanner.cpp" "tests/CMakeFiles/omega_tests.dir/test_scanner.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_scanner.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/omega_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/omega_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_svg.cpp" "tests/CMakeFiles/omega_tests.dir/test_svg.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_svg.cpp.o.d"
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/omega_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/test_sweep_coalescent.cpp" "tests/CMakeFiles/omega_tests.dir/test_sweep_coalescent.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_sweep_coalescent.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/omega_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/omega_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/popgen/CMakeFiles/omega_popgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/omega_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/omega_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/omega_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ld/CMakeFiles/omega_ld.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/omega_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/omega_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omega_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
