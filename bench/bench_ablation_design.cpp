@@ -30,7 +30,7 @@
 
 namespace {
 
-void ablate_reuse() {
+void ablate_reuse(omega::bench::BenchJson& json) {
   std::printf("\n[1] M relocation reuse (2,500 SNPs x 50 seqs, grid 120):\n");
   const auto dataset = omega::bench::figure_dataset(2'500, 50);
   omega::core::ScannerOptions options;
@@ -42,6 +42,7 @@ void ablate_reuse() {
   for (const bool reuse : {true, false}) {
     options.reuse = reuse;
     const auto result = omega::core::scan(dataset, options);
+    json.add_scan_profile(reuse ? "reuse_on" : "reuse_off", result.profile);
     table.add_row({reuse ? "on" : "off",
                    std::to_string(result.profile.r2_fetched),
                    omega::util::Table::num(result.profile.ld_seconds, 3),
@@ -50,9 +51,10 @@ void ablate_reuse() {
   table.print();
 }
 
-void ablate_ld_engine() {
+void ablate_ld_engine(omega::bench::BenchJson& json) {
   std::printf("\n[2] LD engine (r2 values/second, single core):\n");
   omega::util::Table table({"samples", "popcount", "gemm", "gemm/popcount"});
+  auto engines = omega::core::metrics::JsonValue::array();
   for (const std::size_t samples : {64, 512, 4'096}) {
     const auto dataset = omega::bench::figure_dataset(1'200, samples, 555);
     const omega::ld::SnpMatrix snps(dataset);
@@ -67,11 +69,16 @@ void ablate_ld_engine() {
     const omega::ld::GemmLd gemm(snps);
     const double pop_rate = rate(popcount);
     const double gemm_rate = rate(gemm);
+    engines.push_back(omega::core::metrics::JsonValue::object()
+                          .set("samples", static_cast<uint64_t>(samples))
+                          .set("popcount_r2_per_s", pop_rate)
+                          .set("gemm_r2_per_s", gemm_rate));
     table.add_row({std::to_string(samples), omega::bench::mps(pop_rate) + "M",
                    omega::bench::mps(gemm_rate) + "M",
                    omega::util::Table::num(gemm_rate / pop_rate, 2) + "x"});
   }
   table.print();
+  json.set("ld_engines", std::move(engines));
 }
 
 void ablate_gpu_choices() {
@@ -148,10 +155,11 @@ void ablate_kernel2_wild() {
   }
 }
 
-void ablate_fpga() {
+void ablate_fpga(omega::bench::BenchJson& json) {
   std::printf("\n[6] FPGA unroll factor sweep (Alveo fabric, 1e6 right-side "
               "iterations):\n");
   omega::util::Table table({"unroll", "Mw/s (on-chip)", "DSP used", "LUT used"});
+  auto unroll_sweep = omega::core::metrics::JsonValue::array();
   auto spec = omega::hw::alveo_u200();
   for (const int unroll : {1, 2, 4, 8, 16, 32, 64}) {
     auto variant = spec;
@@ -159,12 +167,18 @@ void ablate_fpga() {
     const double throughput =
         omega::hw::fpga::invocation_throughput(variant, 1'000'000);
     const auto rows = omega::hw::fpga::utilization_at(spec, unroll);
+    unroll_sweep.push_back(omega::core::metrics::JsonValue::object()
+                               .set("unroll", unroll)
+                               .set("w_per_s", throughput)
+                               .set("dsp_used", rows[1].used)
+                               .set("lut_used", rows[3].used));
     table.add_row({std::to_string(unroll),
                    omega::util::Table::num(throughput / 1e6, 0),
                    omega::util::Table::num(rows[1].used, 0),
                    omega::util::Table::num(rows[3].used, 0)});
   }
   table.print();
+  json.set("fpga_unroll_sweep", std::move(unroll_sweep));
 
   std::printf("\n[7] FPGA TS stream source (position: 2,000 outer x 2,016 "
               "inner):\n");
@@ -220,11 +234,13 @@ void ablate_scheduler() {
 
 int main() {
   std::printf("Design-choice ablations\n");
-  ablate_reuse();
-  ablate_ld_engine();
+  omega::bench::BenchJson json("ablation_design");
+  ablate_reuse(json);
+  ablate_ld_engine(json);
   ablate_gpu_choices();
   ablate_kernel2_wild();
-  ablate_fpga();
+  ablate_fpga(json);
   ablate_scheduler();
+  json.write();
   return 0;
 }

@@ -13,6 +13,35 @@
 
 namespace omega::bench {
 
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
+  root_ = core::metrics::JsonValue::object();
+  root_.set("schema", core::metrics::kBenchSchema);
+  root_.set("schema_version", core::metrics::kSchemaVersion);
+  root_.set("bench", name_);
+  root_.set("results", core::metrics::JsonValue::object());
+}
+
+core::metrics::JsonValue& BenchJson::results() { return root_.at("results"); }
+
+BenchJson& BenchJson::set(const std::string& key,
+                          core::metrics::JsonValue value) {
+  results().set(key, std::move(value));
+  return *this;
+}
+
+BenchJson& BenchJson::add_scan_profile(const std::string& key,
+                                       const core::ScanProfile& profile) {
+  results().set(key, core::metrics::scan_metrics(key, profile));
+  return *this;
+}
+
+std::string BenchJson::write(const std::string& directory) {
+  const std::string path = directory + "/BENCH_" + name_ + ".json";
+  core::metrics::write_json_file(path, root_);
+  std::printf("metrics written to %s\n", path.c_str());
+  return path;
+}
+
 core::OmegaConfig paper_gpu_config() {
   core::OmegaConfig config;
   config.grid_size = 1'000;

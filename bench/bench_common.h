@@ -7,12 +7,43 @@
 #include <cstdint>
 #include <string>
 
+#include "core/metrics_json.h"
 #include "core/omega_config.h"
 #include "core/scanner.h"
 #include "core/workload.h"
 #include "io/dataset.h"
 
 namespace omega::bench {
+
+/// Machine-readable bench results: every bench target owns one BenchJson and
+/// writes BENCH_<name>.json next to its stdout tables, using the stable
+/// core::metrics schema (docs/METRICS.md):
+///
+///   { "schema": "omega.bench", "schema_version": N, "bench": "<name>",
+///     "results": { ... target-specific entries ... } }
+///
+/// Scan profiles are embedded with add_scan_profile (full per-stage /
+/// per-backend breakdown); scalar headline numbers go in with set().
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+
+  /// Adds/overwrites a scalar or structured entry under "results".
+  BenchJson& set(const std::string& key, core::metrics::JsonValue value);
+  /// Embeds a full scan-metrics document under "results".<key>.
+  BenchJson& add_scan_profile(const std::string& key,
+                              const core::ScanProfile& profile);
+
+  /// Mutable access to the "results" object for bespoke structures.
+  [[nodiscard]] core::metrics::JsonValue& results();
+
+  /// Writes BENCH_<name>.json into `directory`; returns the path written.
+  std::string write(const std::string& directory = ".");
+
+ private:
+  std::string name_;
+  core::metrics::JsonValue root_;
+};
 
 /// The paper's GPU evaluation setup (§VI-A): 1,000 equidistant omega
 /// positions, window sizes in SNPs — maximum 20,000 and minimum 1,000.

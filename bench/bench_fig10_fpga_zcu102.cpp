@@ -14,7 +14,9 @@ int main() {
   std::printf("Fig. 10 — FPGA omega throughput vs right-side loop iterations "
               "(ZCU102)\n\n");
   std::filesystem::create_directories("figures");
+  omega::bench::BenchJson json("fig10_fpga_zcu102");
   omega::bench::run_fpga_throughput_figure(omega::hw::zcu102(), 50, 4'500, 14,
-                                           "figures/fig10_zcu102.svg");
+                                           "figures/fig10_zcu102.svg", &json);
+  json.write();
   return 0;
 }

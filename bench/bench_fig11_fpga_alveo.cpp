@@ -14,8 +14,11 @@ int main() {
   std::printf("Fig. 11 — FPGA omega throughput vs right-side loop iterations "
               "(Alveo U200)\n\n");
   std::filesystem::create_directories("figures");
+  omega::bench::BenchJson json("fig11_fpga_alveo");
   omega::bench::run_fpga_throughput_figure(omega::hw::alveo_u200(), 500,
                                            30'500, 14,
-                                           "figures/fig11_alveo_u200.svg");
+                                           "figures/fig11_alveo_u200.svg",
+                                           &json);
+  json.write();
   return 0;
 }

@@ -73,6 +73,7 @@ void print_platform_specs() {
 int main() {
   print_platform_specs();
 
+  omega::bench::BenchJson json("fig12_gpu_kernels");
   const auto config = omega::bench::paper_gpu_config();
   const std::vector<std::size_t> snp_counts{1'000, 2'000,  4'000, 7'000,
                                             10'000, 14'000, 20'000};
@@ -93,6 +94,7 @@ int main() {
     double k1_at_1000 = 0.0, k2_at_1000 = 0.0;
     double k2_max = 0.0, d_max = 0.0;
     std::vector<std::pair<double, double>> k1_points, k2_points, d_points;
+    auto series_json = omega::core::metrics::JsonValue::array();
     for (const std::size_t snps : snp_counts) {
       const auto dataset = omega::bench::figure_dataset(snps, 50);
       const auto workload = omega::core::analyze_workload(dataset, config);
@@ -110,6 +112,12 @@ int main() {
       }
       k2_max = std::max(k2_max, series.kernel2);
       d_max = std::max(d_max, series.dynamic);
+      series_json.push_back(omega::core::metrics::JsonValue::object()
+                                .set("snps", static_cast<uint64_t>(snps))
+                                .set("kernel1_w_per_s", series.kernel1)
+                                .set("kernel2_w_per_s", series.kernel2)
+                                .set("dynamic_w_per_s", series.dynamic)
+                                .set("positions_below_nthr", below_threshold));
       k1_points.emplace_back(static_cast<double>(snps), series.kernel1 / 1e9);
       k2_points.emplace_back(static_cast<double>(snps), series.kernel2 / 1e9);
       d_points.emplace_back(static_cast<double>(snps), series.dynamic / 1e9);
@@ -137,6 +145,16 @@ int main() {
     std::printf("anchors: K1/K2 at 1,000 SNPs = %.2fx (paper: ~1.10x); "
                 "max K2 = %.1f Gw/s; max D = %.1f Gw/s\n",
                 k1_at_1000 / k2_at_1000, k2_max / 1e9, d_max / 1e9);
+    json.set(system.spec.warp_size == 32 ? "system2_tesla_k80"
+                                         : "system1_radeon_hd8750m",
+             omega::core::metrics::JsonValue::object()
+                 .set("device", system.spec.name)
+                 .set("nthr", system.spec.nthr())
+                 .set("k1_over_k2_at_1000_snps", k1_at_1000 / k2_at_1000)
+                 .set("max_kernel2_w_per_s", k2_max)
+                 .set("max_dynamic_w_per_s", d_max)
+                 .set("series", std::move(series_json)));
   }
+  json.write();
   return 0;
 }

@@ -21,6 +21,7 @@
 
 int main() {
   std::filesystem::create_directories("figures");
+  omega::bench::BenchJson json("fig13_gpu_complete");
   omega::util::SvgChart chart("Fig. 13 — complete GPU omega computation",
                               "SNPs", "Mw/s");
   const auto config = omega::bench::paper_gpu_config();
@@ -44,6 +45,7 @@ int main() {
     double peak = 0.0;
     std::size_t peak_snps = 0;
     std::vector<std::pair<double, double>> points;
+    auto series_json = omega::core::metrics::JsonValue::array();
     for (const std::size_t snps : snp_counts) {
       const auto dataset = omega::bench::figure_dataset(snps, 50);
       const auto workload = omega::core::analyze_workload(dataset, config);
@@ -70,6 +72,13 @@ int main() {
         peak_snps = snps;
       }
       points.emplace_back(static_cast<double>(snps), throughput / 1e6);
+      series_json.push_back(omega::core::metrics::JsonValue::object()
+                                .set("snps", static_cast<uint64_t>(snps))
+                                .set("dynamic_w_per_s", throughput)
+                                .set("prep_s", prep)
+                                .set("transfer_s", transfer)
+                                .set("kernel_s", kernel)
+                                .set("bytes_moved", bytes));
       const double gross = prep + transfer + kernel;
       table.add_row({std::to_string(snps), omega::bench::mps(throughput),
                      omega::util::Table::num(100.0 * prep / gross, 1),
@@ -82,8 +91,16 @@ int main() {
     std::printf("peak %.1f Mw/s at %zu SNPs (paper: peak near 7,000 SNPs, "
                 "declining beyond)\n",
                 peak / 1e6, peak_snps);
+    json.set(system.spec.warp_size == 32 ? "system2_tesla_k80"
+                                         : "system1_radeon_hd8750m",
+             omega::core::metrics::JsonValue::object()
+                 .set("device", system.spec.name)
+                 .set("peak_w_per_s", peak)
+                 .set("peak_snps", static_cast<uint64_t>(peak_snps))
+                 .set("series", std::move(series_json)));
   }
   chart.write("figures/fig13_complete_gpu.svg");
   std::printf("\nfigure written to figures/fig13_complete_gpu.svg\n");
+  json.write();
   return 0;
 }

@@ -140,6 +140,30 @@ int main() {
   std::vector<Row> rows;
   for (const auto& shape : shapes) rows.push_back(evaluate(shape));
 
+  omega::bench::BenchJson json("fig14_workloads");
+  for (const auto& row : rows) {
+    auto platform = [](const PlatformTimes& times) {
+      return omega::core::metrics::JsonValue::object()
+          .set("ld_s", times.ld_s)
+          .set("omega_s", times.omega_s)
+          .set("total_s", times.total());
+    };
+    json.set(row.label,
+             omega::core::metrics::JsonValue::object()
+                 .set("cpu", platform(row.cpu))
+                 .set("gpu", platform(row.gpu))
+                 .set("fpga", platform(row.fpga))
+                 .set("cpu_omega_w_per_s", row.cpu_omega_rate)
+                 .set("cpu_ld_r2_per_s", row.cpu_ld_rate)
+                 .set("gpu_omega_w_per_s", row.gpu_omega_rate)
+                 .set("gpu_ld_r2_per_s", row.gpu_ld_rate)
+                 .set("fpga_omega_w_per_s", row.fpga_omega_rate)
+                 .set("fpga_ld_r2_per_s", row.fpga_ld_rate)
+                 .set("fpga_speedup", row.cpu.total() / row.fpga.total())
+                 .set("gpu_speedup", row.cpu.total() / row.gpu.total()));
+  }
+  json.write();
+
   std::printf("\nFig. 14 — execution time (seconds) at paper scale "
               "(grid = 1,000):\n");
   omega::util::Table times({"Workload", "CPU LD", "CPU w", "GPU LD", "GPU w",

@@ -45,7 +45,8 @@ double functional_throughput(const hw::FpgaDeviceSpec& spec,
 
 std::uint64_t run_fpga_throughput_figure(const hw::FpgaDeviceSpec& spec,
                                          std::uint64_t from, std::uint64_t to,
-                                         int steps, const std::string& svg_path) {
+                                         int steps, const std::string& svg_path,
+                                         BenchJson* json) {
   const double peak = spec.peak_omega_per_s();
   const double ninety = 0.9 * peak;
   std::printf("%s: unroll %d @ %.0f MHz — theoretical max %.2f Gw/s, "
@@ -56,6 +57,7 @@ std::uint64_t run_fpga_throughput_figure(const hw::FpgaDeviceSpec& spec,
   util::Table table({"right-side iters", "model Mw/s", "functional Mw/s",
                      "% of max"});
   std::vector<std::pair<double, double>> model_points, functional_points;
+  auto series = core::metrics::JsonValue::array();
   std::uint64_t first_at_90 = 0;
   const double ratio = std::pow(static_cast<double>(to) / static_cast<double>(from),
                                 1.0 / (steps - 1));
@@ -73,6 +75,10 @@ std::uint64_t run_fpga_throughput_figure(const hw::FpgaDeviceSpec& spec,
     functional_points.emplace_back(static_cast<double>(iterations),
                                    functional / 1e6);
     if (first_at_90 == 0 && model >= ninety) first_at_90 = iterations;
+    series.push_back(core::metrics::JsonValue::object()
+                         .set("iterations", iterations)
+                         .set("model_w_per_s", model)
+                         .set("functional_w_per_s", functional));
     table.add_row({std::to_string(iterations),
                    util::Table::num(model / 1e6, 1),
                    util::Table::num(functional / 1e6, 1),
@@ -93,6 +99,14 @@ std::uint64_t run_fpga_throughput_figure(const hw::FpgaDeviceSpec& spec,
                 static_cast<unsigned long long>(first_at_90));
   } else {
     std::printf("90%% of theoretical max not reached in the evaluated range\n");
+  }
+  if (json != nullptr) {
+    json->set("device", spec.name)
+        .set("unroll_factor", spec.unroll_factor)
+        .set("clock_hz", spec.clock_hz)
+        .set("peak_w_per_s", peak)
+        .set("first_at_90pct_iterations", first_at_90)
+        .set("series", std::move(series));
   }
   return first_at_90;
 }

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "bench_common.h"
 #include "hw/device_specs.h"
 
 namespace omega::bench {
@@ -13,10 +14,12 @@ namespace omega::bench {
 /// Prints the throughput series for `spec` from `from` to `to` iterations in
 /// `steps` steps (geometric), and writes the figure as an SVG into
 /// `svg_path` when non-empty. Returns the iteration count at which 90% of
-/// the theoretical maximum is first reached.
+/// the theoretical maximum is first reached. When `json` is non-null, the
+/// series and headline numbers are recorded under its "results" object.
 std::uint64_t run_fpga_throughput_figure(const hw::FpgaDeviceSpec& spec,
                                          std::uint64_t from, std::uint64_t to,
                                          int steps,
-                                         const std::string& svg_path = {});
+                                         const std::string& svg_path = {},
+                                         BenchJson* json = nullptr);
 
 }  // namespace omega::bench

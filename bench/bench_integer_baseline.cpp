@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/integer_method.h"
 #include "core/scanner.h"
 #include "sim/dataset_factory.h"
@@ -33,6 +34,7 @@ omega::core::OmegaConfig config() {
 
 int main() {
   std::printf("Integer-method baseline vs exact omega (paper §III)\n\n");
+  omega::bench::BenchJson json("integer_baseline");
   omega::util::Table table({"dataset", "Spearman", "same argmax",
                             "omega Mw/s", "integer Mw/s", "integer speed"});
 
@@ -80,8 +82,15 @@ int main() {
                    omega::util::Table::num(exact_rate, 1),
                    omega::util::Table::num(integer_rate, 1),
                    omega::util::Table::num(integer_rate / exact_rate, 2) + "x"});
+    json.set((seed % 2 == 0 ? "swept_" : "neutral_") + std::to_string(seed),
+             omega::core::metrics::JsonValue::object()
+                 .set("spearman", correlation)
+                 .set("same_argmax", same_argmax)
+                 .set("exact_w_per_s", exact_rate * 1e6)
+                 .set("integer_w_per_s", integer_rate * 1e6));
   }
   table.print();
+  json.write();
   std::printf("\nreading: the integer formulation correlates with omega but "
               "is not it — landscapes diverge and argmaxes can differ, which "
               "is the paper's point that its speedups are not comparable to "

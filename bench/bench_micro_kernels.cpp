@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/dp_matrix.h"
 #include "core/grid.h"
 #include "core/omega_math.h"
@@ -146,6 +147,42 @@ void BM_FpgaPipelineTick(benchmark::State& state) {
 }
 BENCHMARK(BM_FpgaPipelineTick);
 
+/// Console output plus a BENCH_micro_kernels.json capture of every run
+/// (per-iteration real time and the rate counters), matching the other
+/// bench targets' machine-readable output.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      auto entry = omega::core::metrics::JsonValue::object()
+                       .set("iterations", run.iterations)
+                       .set("real_time_per_iter", run.GetAdjustedRealTime())
+                       .set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [name, counter] : run.counters) {
+        entry.set(name, counter.value);
+      }
+      results.push_back(std::pair{run.benchmark_name(), std::move(entry)});
+    }
+  }
+
+  std::vector<std::pair<std::string, omega::core::metrics::JsonValue>> results;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  omega::bench::BenchJson json("micro_kernels");
+  for (auto& [name, entry] : reporter.results) {
+    json.set(name, std::move(entry));
+  }
+  json.write();
+  return 0;
+}

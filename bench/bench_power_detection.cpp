@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/scanner.h"
 #include "sim/dataset_factory.h"
 #include "sim/coalescent.h"
@@ -71,6 +72,11 @@ int main() {
               "%.2f\n\n",
               omega::util::percentile(neutral_maxima, 0.5), threshold);
 
+  omega::bench::BenchJson json("power_detection");
+  json.set("replicates", static_cast<uint64_t>(kReplicates))
+      .set("neutral_threshold_95pct", threshold);
+  auto overlay_rows = omega::core::metrics::JsonValue::array();
+
   omega::util::Table table({"carrier fraction", "power", "median |error| (bp)",
                             "median max-omega"});
   for (const double carriers : {0.5, 0.7, 0.85, 0.95, 1.0}) {
@@ -93,6 +99,13 @@ int main() {
             std::abs(result.argmax_bp - kSweepPosition)));
       }
     }
+    overlay_rows.push_back(
+        omega::core::metrics::JsonValue::object()
+            .set("carrier_fraction", carriers)
+            .set("power", static_cast<double>(detected) / kReplicates)
+            .set("median_abs_error_bp",
+                 errors.empty() ? 0.0 : omega::util::percentile(errors, 0.5))
+            .set("median_max_omega", omega::util::percentile(maxima, 0.5)));
     table.add_row(
         {omega::util::Table::num(carriers, 2),
          omega::util::Table::num(
@@ -102,6 +115,7 @@ int main() {
          omega::util::Table::num(omega::util::percentile(maxima, 0.5), 2)});
   }
   table.print();
+  json.set("overlay_sweeps", std::move(overlay_rows));
   std::printf("\nexpected: power increases with carrier fraction; strong "
               "sweeps are detected essentially always and localized within "
               "the window scale.\n");
@@ -126,6 +140,8 @@ int main() {
   std::printf("\nnon-equilibrium control: bottlenecked neutral data vs the "
               "equilibrium threshold -> realized FPR %.0f%% (nominal 5%%)\n",
               100.0 * static_cast<double>(false_positives) / kReplicates);
+  json.set("bottleneck_realized_fpr",
+           static_cast<double>(false_positives) / kReplicates);
 
   // --- Structured-coalescent sweeps: power vs selection strength ---------
   // Unlike the overlay (a fixed imposed signature), the structured simulator
@@ -159,6 +175,7 @@ int main() {
       omega::util::percentile(structured_neutral, 0.95);
   omega::util::Table alpha_table(
       {"alpha = 2Ns", "power", "median |error| (bp)"});
+  auto alpha_rows = omega::core::metrics::JsonValue::array();
   for (const double alpha : {100.0, 500.0, 2'000.0, 10'000.0}) {
     std::size_t detected = 0;
     std::vector<double> errors;
@@ -170,6 +187,12 @@ int main() {
             std::abs(result.argmax_bp - kSweepPosition)));
       }
     }
+    alpha_rows.push_back(
+        omega::core::metrics::JsonValue::object()
+            .set("alpha", alpha)
+            .set("power", static_cast<double>(detected) / kReplicates)
+            .set("median_abs_error_bp",
+                 errors.empty() ? 0.0 : omega::util::percentile(errors, 0.5)));
     alpha_table.add_row(
         {omega::util::Table::num(alpha, 0),
          omega::util::Table::num(static_cast<double>(detected) / kReplicates, 2),
@@ -177,5 +200,7 @@ int main() {
                                     omega::util::percentile(errors, 0.5), 0)});
   }
   alpha_table.print();
+  json.set("structured_sweeps", std::move(alpha_rows));
+  json.write();
   return 0;
 }

@@ -32,6 +32,7 @@ int main() {
 
   std::printf("Profiling breakdown (paper §I): share of scan time in LD and "
               "omega computation\n\n");
+  omega::bench::BenchJson json("profile_breakdown");
   omega::util::Table table({"SNPs", "samples", "LD %", "omega %", "other %",
                             "LD+omega %"});
   for (const auto& shape : shapes) {
@@ -49,8 +50,14 @@ int main() {
                    omega::util::Table::num(100.0 * omega_time / total, 1),
                    omega::util::Table::num(100.0 * other / total, 1),
                    omega::util::Table::num(100.0 * (ld + omega_time) / total, 1)});
+    const std::string key = std::to_string(shape.snps) + "snps_x_" +
+                            std::to_string(shape.samples) + "samples";
+    json.add_scan_profile(key, result.profile);
+    json.results().at(key).set("ld_share", ld / total)
+        .set("omega_share", omega_time / total);
   }
   table.print();
+  json.write();
   std::printf("\nexpected: LD share grows down the sample sweep; omega share "
               "grows down the SNP sweep; LD+omega stays >> other.\n");
   return 0;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "hw/device_specs.h"
 #include "hw/fpga/resource_model.h"
 #include "util/table.h"
@@ -17,7 +18,7 @@ struct Published {
 };
 
 void print_device(const omega::hw::FpgaDeviceSpec& spec,
-                  const Published& published) {
+                  const Published& published, omega::bench::BenchJson& json) {
   std::printf("\n== %s (logic cells: %dk, unroll factor: %d, %.0f MHz) ==\n",
               spec.name.c_str(), spec.logic_cells_k, spec.unroll_factor,
               spec.clock_hz / 1e6);
@@ -26,15 +27,25 @@ void print_device(const omega::hw::FpgaDeviceSpec& spec,
   const auto rows = omega::hw::fpga::utilization(spec);
   const double paper[4] = {published.bram, published.dsp, published.ff,
                            published.lut};
+  auto resources = omega::core::metrics::JsonValue::object();
   for (std::size_t r = 0; r < rows.size(); ++r) {
     table.add_row({rows[r].resource, omega::util::Table::num(rows[r].used, 0),
                    omega::util::Table::num(rows[r].available, 0),
                    omega::util::Table::num(rows[r].percent(), 2) + "%",
                    omega::util::Table::num(paper[r], 0)});
+    resources.set(rows[r].resource,
+                  omega::core::metrics::JsonValue::object()
+                      .set("model_used", rows[r].used)
+                      .set("available", rows[r].available)
+                      .set("paper_used", paper[r]));
   }
   table.print();
-  std::printf("max unroll factor at 80%% resource budget: %d\n",
-              omega::hw::fpga::max_unroll_factor(spec));
+  const int max_unroll = omega::hw::fpga::max_unroll_factor(spec);
+  std::printf("max unroll factor at 80%% resource budget: %d\n", max_unroll);
+  json.set(spec.name, omega::core::metrics::JsonValue::object()
+                          .set("unroll_factor", spec.unroll_factor)
+                          .set("max_unroll_at_80pct", max_unroll)
+                          .set("resources", std::move(resources)));
 }
 
 }  // namespace
@@ -42,8 +53,9 @@ void print_device(const omega::hw::FpgaDeviceSpec& spec,
 int main() {
   std::printf("Table I — FPGA accelerator resource utilization "
               "(model vs published)\n");
-  print_device(omega::hw::zcu102(), {36, 48, 12003, 12847});
-  print_device(omega::hw::alveo_u200(), {40, 215, 50841, 50584});
+  omega::bench::BenchJson json("table1_fpga_resources");
+  print_device(omega::hw::zcu102(), {36, 48, 12003, 12847}, json);
+  print_device(omega::hw::alveo_u200(), {40, 215, 50841, 50584}, json);
 
   std::printf("\nUnroll-factor sweep on the Alveo U200 (ablation):\n");
   omega::util::Table sweep({"Unroll", "DSP", "FF", "LUT", "Peak Gw/s"});
@@ -57,5 +69,6 @@ int main() {
                    omega::util::Table::num(unroll * alveo.clock_hz / 1e9, 2)});
   }
   sweep.print();
+  json.write();
   return 0;
 }

@@ -33,6 +33,7 @@ int main() {
               std::thread::hardware_concurrency());
 
   const auto cpu = omega::hw::core_i7_6700hq();
+  omega::bench::BenchJson json("table4_multithreaded");
   omega::util::Table table({"Threads", "measured Mw/s", "measured speedup",
                             "i7-6700HQ model Mw/s"});
   double base_rate = 0.0;
@@ -55,8 +56,13 @@ int main() {
                    omega::bench::mps(rate),
                    omega::util::Table::num(rate / base_rate, 2) + "x",
                    omega::bench::mps(model)});
+    const std::string key = "threads_" + std::to_string(threads);
+    json.add_scan_profile(key, result.profile);
+    json.results().at(key).set("measured_speedup", rate / base_rate)
+        .set("i7_6700hq_model_w_per_s", model);
   }
   table.print();
+  json.write();
   std::printf("\npaper (i7-6700HQ): 99.8 / 198.1 / 300.1 / 390.0 / 433.1 "
               "Mw/s for 1/2/3/4/8 threads\n");
   return 0;

@@ -180,7 +180,8 @@ bench/CMakeFiles/bench_fig12_gpu_kernels.dir/bench_fig12_gpu_kernels.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_common.h \
- /root/repo/src/core/omega_config.h /root/repo/src/core/scanner.h \
+ /root/repo/src/core/metrics_json.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/scanner.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -225,13 +226,14 @@ bench/CMakeFiles/bench_fig12_gpu_kernels.dir/bench_fig12_gpu_kernels.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
- /root/repo/src/ld/gemm.h /root/repo/src/ld/snp_matrix.h \
- /root/repo/src/io/dataset.h /root/repo/src/ld/r2.h \
- /root/repo/src/core/grid.h /root/repo/src/core/omega_search.h \
+ /usr/include/c++/12/atomic /root/repo/src/ld/gemm.h \
+ /root/repo/src/ld/snp_matrix.h /root/repo/src/io/dataset.h \
+ /root/repo/src/ld/r2.h /root/repo/src/core/grid.h \
+ /root/repo/src/core/omega_config.h /root/repo/src/core/omega_search.h \
  /root/repo/src/par/thread_pool.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

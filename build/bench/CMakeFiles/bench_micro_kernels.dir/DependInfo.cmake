@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/omega_bench_common.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/omega_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/popgen/CMakeFiles/omega_popgen.dir/DependInfo.cmake"
   "/root/repo/build/src/sweep/CMakeFiles/omega_sweep.dir/DependInfo.cmake"

@@ -183,7 +183,13 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
+ /root/repo/bench/bench_common.h /root/repo/src/core/metrics_json.h \
+ /root/repo/src/core/scanner.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -212,10 +218,11 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/ld/gemm.h \
- /root/repo/src/ld/snp_matrix.h /root/repo/src/io/dataset.h \
- /root/repo/src/ld/r2.h /root/repo/src/core/grid.h \
- /root/repo/src/core/omega_config.h /root/repo/src/core/omega_math.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
+ /root/repo/src/ld/gemm.h /root/repo/src/ld/snp_matrix.h \
+ /root/repo/src/io/dataset.h /root/repo/src/ld/r2.h \
+ /root/repo/src/core/grid.h /root/repo/src/core/omega_config.h \
  /root/repo/src/core/omega_search.h /root/repo/src/par/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
@@ -228,12 +235,8 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/core/workload.h /root/repo/src/core/omega_math.h \
  /root/repo/src/hw/fpga/pipeline.h /usr/include/c++/12/optional \
  /root/repo/src/hw/gpu/omega_kernels.h \
  /root/repo/src/sim/dataset_factory.h /root/repo/src/sim/demography.h \

@@ -191,7 +191,8 @@ bench/CMakeFiles/bench_table4_multithreaded.dir/bench_table4_multithreaded.cpp.o
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_common.h \
- /root/repo/src/core/omega_config.h /root/repo/src/core/scanner.h \
+ /root/repo/src/core/metrics_json.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/scanner.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -222,8 +223,9 @@ bench/CMakeFiles/bench_table4_multithreaded.dir/bench_table4_multithreaded.cpp.o
  /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
  /root/repo/src/ld/gemm.h /root/repo/src/ld/snp_matrix.h \
  /root/repo/src/io/dataset.h /root/repo/src/ld/r2.h \
- /root/repo/src/core/grid.h /root/repo/src/core/omega_search.h \
- /root/repo/src/par/thread_pool.h /usr/include/c++/12/condition_variable \
+ /root/repo/src/core/grid.h /root/repo/src/core/omega_config.h \
+ /root/repo/src/core/omega_search.h /root/repo/src/par/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \

@@ -216,15 +216,16 @@ examples/CMakeFiles/covid_like_scan.dir/covid_like_scan.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
- /root/repo/src/ld/gemm.h /root/repo/src/ld/snp_matrix.h \
- /root/repo/src/ld/r2.h /root/repo/src/core/grid.h \
- /root/repo/src/core/omega_config.h /root/repo/src/core/omega_search.h \
- /root/repo/src/par/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/atomic /root/repo/src/ld/gemm.h \
+ /root/repo/src/ld/snp_matrix.h /root/repo/src/ld/r2.h \
+ /root/repo/src/core/grid.h /root/repo/src/core/omega_config.h \
+ /root/repo/src/core/omega_search.h /root/repo/src/par/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -208,31 +208,32 @@ examples/CMakeFiles/omegaplus_scan.dir/omegaplus_scan.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/report.h \
- /root/repo/src/core/scanner.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/core/metrics_json.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/scanner.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
- /root/repo/src/ld/gemm.h /root/repo/src/ld/snp_matrix.h \
- /root/repo/src/io/dataset.h /root/repo/src/ld/r2.h \
- /root/repo/src/core/grid.h /root/repo/src/core/omega_config.h \
- /root/repo/src/core/omega_search.h /root/repo/src/par/thread_pool.h \
- /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/atomic /root/repo/src/ld/gemm.h \
+ /root/repo/src/ld/snp_matrix.h /root/repo/src/io/dataset.h \
+ /root/repo/src/ld/r2.h /root/repo/src/core/grid.h \
+ /root/repo/src/core/omega_config.h /root/repo/src/core/omega_search.h \
+ /root/repo/src/par/thread_pool.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -240,7 +241,8 @@ examples/CMakeFiles/omegaplus_scan.dir/omegaplus_scan.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/hw/device_specs.h /root/repo/src/hw/fpga/fpga_backend.h \
+ /root/repo/src/core/report.h /root/repo/src/hw/device_specs.h \
+ /root/repo/src/hw/fpga/fpga_backend.h \
  /root/repo/src/hw/fpga/cycle_model.h /root/repo/src/hw/fpga/pipeline.h \
  /usr/include/c++/12/optional /root/repo/src/hw/gpu/gpu_backend.h \
  /root/repo/src/hw/gpu/omega_kernels.h \
@@ -251,4 +253,5 @@ examples/CMakeFiles/omegaplus_scan.dir/omegaplus_scan.cpp.o: \
  /root/repo/src/sim/sweep_overlay.h /root/repo/src/util/cli.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/trace.h \
+ /usr/include/c++/12/chrono

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/dp_matrix.cpp" "src/core/CMakeFiles/omega_core.dir/dp_matrix.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/dp_matrix.cpp.o.d"
   "/root/repo/src/core/grid.cpp" "src/core/CMakeFiles/omega_core.dir/grid.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/grid.cpp.o.d"
   "/root/repo/src/core/integer_method.cpp" "src/core/CMakeFiles/omega_core.dir/integer_method.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/integer_method.cpp.o.d"
+  "/root/repo/src/core/metrics_json.cpp" "src/core/CMakeFiles/omega_core.dir/metrics_json.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/metrics_json.cpp.o.d"
   "/root/repo/src/core/omega_search.cpp" "src/core/CMakeFiles/omega_core.dir/omega_search.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/omega_search.cpp.o.d"
   "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/omega_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/reference.cpp.o.d"
   "/root/repo/src/core/regions.cpp" "src/core/CMakeFiles/omega_core.dir/regions.cpp.o" "gcc" "src/core/CMakeFiles/omega_core.dir/regions.cpp.o.d"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/omega_core.dir/grid.cpp.o.d"
   "CMakeFiles/omega_core.dir/integer_method.cpp.o"
   "CMakeFiles/omega_core.dir/integer_method.cpp.o.d"
+  "CMakeFiles/omega_core.dir/metrics_json.cpp.o"
+  "CMakeFiles/omega_core.dir/metrics_json.cpp.o.d"
   "CMakeFiles/omega_core.dir/omega_search.cpp.o"
   "CMakeFiles/omega_core.dir/omega_search.cpp.o.d"
   "CMakeFiles/omega_core.dir/reference.cpp.o"

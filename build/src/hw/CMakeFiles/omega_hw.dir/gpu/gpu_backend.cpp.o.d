@@ -210,16 +210,17 @@ src/hw/CMakeFiles/omega_hw.dir/gpu/gpu_backend.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
- /root/repo/src/ld/gemm.h /root/repo/src/ld/snp_matrix.h \
- /root/repo/src/io/dataset.h /root/repo/src/ld/r2.h \
- /root/repo/src/core/grid.h /root/repo/src/core/omega_config.h \
- /root/repo/src/core/omega_search.h /root/repo/src/par/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/atomic /root/repo/src/ld/gemm.h \
+ /root/repo/src/ld/snp_matrix.h /root/repo/src/io/dataset.h \
+ /root/repo/src/ld/r2.h /root/repo/src/core/grid.h \
+ /root/repo/src/core/omega_config.h /root/repo/src/core/omega_search.h \
+ /root/repo/src/par/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -229,4 +230,7 @@ src/hw/CMakeFiles/omega_hw.dir/gpu/gpu_backend.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/hw/device_specs.h /root/repo/src/hw/gpu/omega_kernels.h \
  /root/repo/src/hw/gpu/timing_model.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/trace.h

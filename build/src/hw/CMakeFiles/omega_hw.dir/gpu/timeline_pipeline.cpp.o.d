@@ -217,4 +217,7 @@ src/hw/CMakeFiles/omega_hw.dir/gpu/timeline_pipeline.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/hw/gpu/timing_model.h
+ /root/repo/src/hw/gpu/timing_model.h /root/repo/src/util/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

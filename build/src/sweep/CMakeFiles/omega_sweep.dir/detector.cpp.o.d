@@ -211,16 +211,17 @@ src/sweep/CMakeFiles/omega_sweep.dir/detector.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/core/dp_matrix.h /root/repo/src/ld/ld_engine.h \
- /root/repo/src/ld/gemm.h /root/repo/src/ld/snp_matrix.h \
- /root/repo/src/io/dataset.h /root/repo/src/ld/r2.h \
- /root/repo/src/core/grid.h /root/repo/src/core/omega_config.h \
- /root/repo/src/core/omega_search.h /root/repo/src/par/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/atomic /root/repo/src/ld/gemm.h \
+ /root/repo/src/ld/snp_matrix.h /root/repo/src/io/dataset.h \
+ /root/repo/src/ld/r2.h /root/repo/src/core/grid.h \
+ /root/repo/src/core/omega_config.h /root/repo/src/core/omega_search.h \
+ /root/repo/src/par/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -231,7 +232,9 @@ src/sweep/CMakeFiles/omega_sweep.dir/detector.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/hw/device_specs.h /root/repo/src/hw/fpga/fpga_backend.h \
+ /root/repo/src/core/metrics_json.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/hw/device_specs.h \
+ /root/repo/src/hw/fpga/fpga_backend.h \
  /root/repo/src/hw/fpga/cycle_model.h /root/repo/src/hw/fpga/pipeline.h \
  /usr/include/c++/12/optional /root/repo/src/hw/gpu/gemm_ld_kernel.h \
  /root/repo/src/hw/gpu/gpu_backend.h \

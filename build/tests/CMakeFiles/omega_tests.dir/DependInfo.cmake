@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/omega_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_io.cpp.o.d"
   "/root/repo/tests/test_ld.cpp" "tests/CMakeFiles/omega_tests.dir/test_ld.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_ld.cpp.o.d"
   "/root/repo/tests/test_ld_stats.cpp" "tests/CMakeFiles/omega_tests.dir/test_ld_stats.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_ld_stats.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/omega_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_metrics.cpp.o.d"
   "/root/repo/tests/test_par.cpp" "tests/CMakeFiles/omega_tests.dir/test_par.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_par.cpp.o.d"
   "/root/repo/tests/test_popgen.cpp" "tests/CMakeFiles/omega_tests.dir/test_popgen.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_popgen.cpp.o.d"
   "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/omega_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/omega_tests.dir/test_properties.cpp.o.d"

@@ -18,6 +18,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/metrics_json.h"
 #include "core/report.h"
 #include "core/scanner.h"
 #include "hw/device_specs.h"
@@ -31,6 +32,7 @@
 #include "sim/sweep_coalescent.h"
 #include "sim/sweep_overlay.h"
 #include "util/cli.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -140,7 +142,13 @@ int main(int argc, char** argv) {
       .describe("sweep-pos", "simulation: sweep position in bp")
       .describe("sweep-carriers", "simulation: carrier fraction")
       .describe("seed", "simulation seed")
-      .describe("impute", "fasta: impute gaps as major allele (default true)");
+      .describe("impute", "fasta: impute gaps as major allele (default true)")
+      .describe("metrics-json",
+                "write the scan metrics document (omega.scan.metrics schema) "
+                "to this path")
+      .describe("trace",
+                "record trace spans during the scan; embedded in the "
+                "--metrics-json document");
   if (cli.wants_help()) {
     std::printf("%s",
                 cli.help_text("omegaplus_scan — OmegaPlus-style sweep scanner")
@@ -180,6 +188,10 @@ int main(int argc, char** argv) {
   options.ld = cli.get("ld", "popcount") == "gemm"
                    ? omega::core::LdBackendKind::Gemm
                    : omega::core::LdBackendKind::Popcount;
+
+  const std::string metrics_path = cli.get("metrics-json", "");
+  const bool trace_enabled = cli.get_bool("trace", false);
+  if (trace_enabled) omega::util::trace::enable();
 
   const std::string backend = cli.get("backend", "cpu");
   omega::core::ScanResult result;
@@ -229,5 +241,14 @@ int main(int argc, char** argv) {
   std::printf("best: omega %.4f at %lld bp\n", best.max_omega,
               static_cast<long long>(best.position_bp));
   std::printf("wrote %s\n", report_path.c_str());
+
+  if (!metrics_path.empty()) {
+    auto metrics = omega::core::metrics::scan_metrics(name, result.profile);
+    if (trace_enabled) {
+      metrics.set("trace", omega::core::metrics::trace_to_json());
+    }
+    omega::core::metrics::write_json_file(metrics_path, metrics);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

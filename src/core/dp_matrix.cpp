@@ -9,6 +9,7 @@ void DpMatrix::reset(std::size_t base) {
   base_ = base;
   count_ = 0;
   storage_.clear();
+  ++stats_.resets;
 }
 
 double DpMatrix::at(std::size_t gi, std::size_t gj) const {
@@ -26,12 +27,19 @@ void DpMatrix::relocate(std::size_t new_base) {
     throw std::invalid_argument("DpMatrix::relocate cannot move base backward");
   }
   const std::size_t delta = new_base - base_;
-  if (delta == 0) return;
+  if (delta == 0) {
+    // Same anchor: the whole triangle is reused as-is.
+    ++stats_.relocations;
+    stats_.cells_reused += storage_.size();
+    return;
+  }
   if (delta >= count_) {
-    reset(new_base);
+    reset(new_base);  // no overlap survives; counts as a reset
     return;
   }
   const std::size_t new_count = count_ - delta;
+  ++stats_.relocations;
+  stats_.cells_reused += row_offset(new_count);
   // Row i' of the relocated triangle holds old row (i' + delta) entries
   // [delta, delta + i'). Rows move front-to-back; the destination offset is
   // always strictly below the source, so in-place copies are safe.
@@ -49,6 +57,7 @@ void DpMatrix::extend(std::size_t new_end, const ld::LdEngine& engine) {
   if (new_end <= end()) return;
   const std::size_t old_count = count_;
   const std::size_t new_count = new_end - base_;
+  stats_.cells_recomputed += row_offset(new_count) - row_offset(old_count);
   storage_.resize(row_offset(new_count));
 
   // Fetch r2 for all (new row, column) pairs in one engine call; columns span

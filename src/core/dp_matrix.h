@@ -27,6 +27,16 @@
 
 namespace omega::core {
 
+/// Lifetime reuse accounting of one DpMatrix (observability layer): how the
+/// matrix was advanced across grid positions and how many Eq. (3) cells the
+/// relocation optimization saved versus recomputed.
+struct DpMatrixStats {
+  std::uint64_t resets = 0;            // reset() calls (full rebuilds)
+  std::uint64_t relocations = 0;       // relocate() calls that kept cells
+  std::uint64_t cells_reused = 0;      // entries carried over by relocation
+  std::uint64_t cells_recomputed = 0;  // entries computed by extend()
+};
+
 class DpMatrix {
  public:
   DpMatrix() = default;
@@ -67,6 +77,9 @@ class DpMatrix {
   /// Number of r2 values fetched over the object's lifetime (reuse metric).
   [[nodiscard]] std::uint64_t r2_fetches() const noexcept { return r2_fetches_; }
 
+  /// Lifetime reset/relocate/extend accounting (reuse observability).
+  [[nodiscard]] const DpMatrixStats& stats() const noexcept { return stats_; }
+
   /// Bytes currently held by the triangle.
   [[nodiscard]] std::size_t bytes() const noexcept {
     return storage_.size() * sizeof(double);
@@ -82,6 +95,7 @@ class DpMatrix {
   std::size_t count_ = 0;
   std::vector<double> storage_;  // packed lower triangle, diagonal implicit 0
   std::uint64_t r2_fetches_ = 0;
+  DpMatrixStats stats_;
 };
 
 }  // namespace omega::core

@@ -1,0 +1,506 @@
+#include "core/metrics_json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/trace.h"
+
+namespace omega::core::metrics {
+
+// ---------------------------------------------------------------------------
+// JsonValue: document model
+// ---------------------------------------------------------------------------
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  if (kind_ != Kind::Object) throw std::logic_error("JsonValue::set: not an object");
+  for (auto& member : object_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    throw std::out_of_range("JsonValue::at: no member '" + std::string(key) + "'");
+  }
+  return *value;
+}
+
+JsonValue& JsonValue::at(std::string_view key) {
+  return const_cast<JsonValue&>(std::as_const(*this).at(key));
+}
+
+void JsonValue::push_back(JsonValue value) {
+  if (kind_ != Kind::Array) throw std::logic_error("JsonValue::push_back: not an array");
+  array_.push_back(std::move(value));
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) throw std::logic_error("JsonValue: not a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::Int) throw std::logic_error("JsonValue: not an integer");
+  return int_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (kind_ != Kind::Int || int_ < 0) {
+    throw std::logic_error("JsonValue: not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(int_);
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::Double) return double_;
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  throw std::logic_error("JsonValue: not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) throw std::logic_error("JsonValue: not a string");
+  return string_;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::Null:
+      return true;
+    case Kind::Bool:
+      return bool_ == other.bool_;
+    case Kind::Int:
+      return int_ == other.int_;
+    case Kind::Double:
+      return double_ == other.double_;
+    case Kind::String:
+      return string_ == other.string_;
+    case Kind::Array:
+      return array_ == other.array_;
+    case Kind::Object:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void escape_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  std::string text = buffer;
+  // Keep the Double kind on round-trip: force a decimal point or exponent.
+  if (text.find_first_of(".eE") == std::string::npos &&
+      text.find_first_of("nN") == std::string::npos) {  // skip nan/inf
+    text += ".0";
+  }
+  out += text;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      return;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::Int:
+      out += std::to_string(int_);
+      return;
+    case Kind::Double:
+      append_double(out, double_);
+      return;
+    case Kind::String:
+      escape_string(out, string_);
+      return;
+    case Kind::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(out, indent, depth + 1);
+        escape_string(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > 128) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    JsonValue value;
+    if (c == '{') {
+      value = parse_object();
+    } else if (c == '[') {
+      value = parse_array();
+    } else if (c == '"') {
+      value = JsonValue(parse_string());
+    } else if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      value = JsonValue(true);
+    } else if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      value = JsonValue(false);
+    } else if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      value = JsonValue();
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      value = parse_number();
+    } else {
+      fail("unexpected character");
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return object;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return array;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not produced by our
+          // serializer, which only \u-escapes control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Integer overflow: fall through to double.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) fail("bad number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+void write_json_file(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << value.dump() << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Schema builders
+// ---------------------------------------------------------------------------
+
+JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kScanSchema);
+  doc.set("schema_version", kSchemaVersion);
+  doc.set("name", run_name);
+  doc.set("backend", profile.omega_backend);
+  doc.set("ld_backend", profile.ld_backend);
+  doc.set("total_seconds", profile.total_seconds);
+
+  JsonValue stages = JsonValue::object();
+  stages.set("ld_reset_seconds", profile.stages.ld_reset_seconds);
+  stages.set("ld_relocate_seconds", profile.stages.ld_relocate_seconds);
+  stages.set("ld_extend_seconds", profile.stages.ld_extend_seconds);
+  stages.set("omega_search_seconds", profile.stages.omega_search_seconds);
+  stages.set("dispatch_seconds", profile.stages.dispatch_seconds);
+  stages.set("ld_seconds", profile.ld_seconds);
+  stages.set("omega_seconds", profile.omega_seconds);
+  doc.set("stages", std::move(stages));
+
+  JsonValue counters = JsonValue::object();
+  counters.set("positions_scanned", profile.positions_scanned);
+  counters.set("omega_evaluations", profile.omega_evaluations);
+  counters.set("r2_fetched", profile.r2_fetched);
+  counters.set("omega_throughput_per_s", profile.omega_throughput());
+  counters.set("ld_throughput_per_s", profile.ld_throughput());
+  doc.set("counters", std::move(counters));
+
+  JsonValue relocation = JsonValue::object();
+  relocation.set("resets", profile.relocation.resets);
+  relocation.set("relocations", profile.relocation.relocations);
+  relocation.set("cells_reused", profile.relocation.cells_reused);
+  relocation.set("cells_recomputed", profile.relocation.cells_recomputed);
+  doc.set("relocation", std::move(relocation));
+
+  JsonValue gpu = JsonValue::object();
+  gpu.set("kernel1_launches", profile.gpu.kernel1_launches);
+  gpu.set("kernel2_launches", profile.gpu.kernel2_launches);
+  gpu.set("kernel1_omegas", profile.gpu.kernel1_omegas);
+  gpu.set("kernel2_omegas", profile.gpu.kernel2_omegas);
+  gpu.set("modeled_kernel_seconds", profile.gpu.modeled_kernel_seconds);
+  gpu.set("modeled_prep_seconds", profile.gpu.modeled_prep_seconds);
+  gpu.set("modeled_transfer_seconds", profile.gpu.modeled_transfer_seconds);
+  gpu.set("modeled_total_seconds", profile.gpu.modeled_total_seconds);
+  gpu.set("bytes_moved", profile.gpu.bytes_moved);
+  doc.set("gpu", std::move(gpu));
+
+  JsonValue fpga = JsonValue::object();
+  fpga.set("pipeline_cycles", profile.fpga.pipeline_cycles);
+  fpga.set("stall_cycles", profile.fpga.stall_cycles);
+  fpga.set("hw_omegas", profile.fpga.hw_omegas);
+  fpga.set("sw_omegas", profile.fpga.sw_omegas);
+  fpga.set("modeled_seconds", profile.fpga.modeled_seconds);
+  doc.set("fpga", std::move(fpga));
+  return doc;
+}
+
+JsonValue trace_to_json() {
+  JsonValue events = JsonValue::array();
+  for (const auto& event : util::trace::snapshot()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", event.name);
+    entry.set("thread", static_cast<std::int64_t>(event.thread_id));
+    entry.set("start_s", event.start_s);
+    entry.set("duration_s", event.duration_s);
+    events.push_back(std::move(entry));
+  }
+  return events;
+}
+
+}  // namespace omega::core::metrics

@@ -5,6 +5,7 @@
 
 #include "par/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace omega::core {
 namespace {
@@ -23,6 +24,77 @@ std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
   throw std::logic_error("unknown LD backend");
 }
 
+/// Advances the DP matrix to `position`: the single home of the
+/// reset-vs-relocate policy, shared by every MT strategy so the relocation
+/// behaviour cannot silently diverge between them. Stage wall time is
+/// accumulated into `stages`.
+void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
+                    const GridPosition& position, const ld::LdEngine& engine,
+                    StageTimes& stages) {
+  if (!reuse || !m_live || position.lo < m.base()) {
+    const util::trace::Span span("scan.ld.reset");
+    const util::Timer timer;
+    m.reset(position.lo);
+    stages.ld_reset_seconds += timer.seconds();
+  } else {
+    const util::trace::Span span("scan.ld.relocate");
+    const util::Timer timer;
+    m.relocate(position.lo);
+    stages.ld_relocate_seconds += timer.seconds();
+  }
+  {
+    const util::trace::Span span("scan.ld.extend");
+    const util::Timer timer;
+    m.extend(position.hi + 1, engine);
+    stages.ld_extend_seconds += timer.seconds();
+  }
+  m_live = true;
+}
+
+void merge_matrix_stats(ScanProfile& profile, const DpMatrix& m) {
+  const DpMatrixStats& stats = m.stats();
+  profile.relocation.resets += stats.resets;
+  profile.relocation.relocations += stats.relocations;
+  profile.relocation.cells_reused += stats.cells_reused;
+  profile.relocation.cells_recomputed += stats.cells_recomputed;
+  profile.r2_fetched += m.r2_fetches();
+}
+
+/// Folds a worker's chunk profile into the scan-wide one. Times add up as
+/// CPU-seconds across workers (ScanProfile's documented multithreaded
+/// semantics); counters add exactly.
+void merge_worker_profile(ScanProfile& into, const ScanProfile& from) {
+  into.ld_seconds += from.ld_seconds;
+  into.omega_seconds += from.omega_seconds;
+  into.omega_evaluations += from.omega_evaluations;
+  into.r2_fetched += from.r2_fetched;
+  into.positions_scanned += from.positions_scanned;
+  into.stages.ld_reset_seconds += from.stages.ld_reset_seconds;
+  into.stages.ld_relocate_seconds += from.stages.ld_relocate_seconds;
+  into.stages.ld_extend_seconds += from.stages.ld_extend_seconds;
+  into.stages.omega_search_seconds += from.stages.omega_search_seconds;
+  into.stages.dispatch_seconds += from.stages.dispatch_seconds;
+  into.relocation.resets += from.relocation.resets;
+  into.relocation.relocations += from.relocation.relocations;
+  into.relocation.cells_reused += from.relocation.cells_reused;
+  into.relocation.cells_recomputed += from.relocation.cells_recomputed;
+  into.gpu.kernel1_launches += from.gpu.kernel1_launches;
+  into.gpu.kernel2_launches += from.gpu.kernel2_launches;
+  into.gpu.kernel1_omegas += from.gpu.kernel1_omegas;
+  into.gpu.kernel2_omegas += from.gpu.kernel2_omegas;
+  into.gpu.modeled_kernel_seconds += from.gpu.modeled_kernel_seconds;
+  into.gpu.modeled_prep_seconds += from.gpu.modeled_prep_seconds;
+  into.gpu.modeled_transfer_seconds += from.gpu.modeled_transfer_seconds;
+  into.gpu.modeled_total_seconds += from.gpu.modeled_total_seconds;
+  into.gpu.bytes_moved += from.gpu.bytes_moved;
+  into.fpga.pipeline_cycles += from.fpga.pipeline_cycles;
+  into.fpga.stall_cycles += from.fpga.stall_cycles;
+  into.fpga.hw_omegas += from.fpga.hw_omegas;
+  into.fpga.sw_omegas += from.fpga.sw_omegas;
+  into.fpga.modeled_seconds += from.fpga.modeled_seconds;
+  if (into.omega_backend.empty()) into.omega_backend = from.omega_backend;
+}
+
 /// Scans a contiguous chunk of grid positions with its own DP matrix.
 void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
                 std::size_t end, const ld::LdEngine& engine, bool reuse,
@@ -30,7 +102,6 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
                 ScanProfile& profile) {
   DpMatrix m;
   bool m_live = false;
-  util::StopWatch ld_watch, omega_watch;
 
   for (std::size_t g = begin; g < end; ++g) {
     const GridPosition& position = grid[g];
@@ -38,20 +109,13 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
     score.position_bp = position.position_bp;
     if (!position.valid) continue;
 
-    {
-      util::ScopedTimer timing(ld_watch);
-      if (!reuse || !m_live || position.lo < m.base()) {
-        m.reset(position.lo);
-      } else {
-        m.relocate(position.lo);
-      }
-      m.extend(position.hi + 1, engine);
-      m_live = true;
-    }
+    advance_matrix(m, m_live, reuse, position, engine, profile.stages);
     OmegaResult result;
     {
-      util::ScopedTimer timing(omega_watch);
+      const util::trace::Span span("scan.omega.search");
+      const util::Timer timer;
       result = backend.max_omega(m, position);
+      profile.stages.omega_search_seconds += timer.seconds();
     }
     score.max_omega = result.max_omega;
     score.best_a = result.best_a;
@@ -59,26 +123,34 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
     score.evaluated = result.evaluated;
     score.valid = true;
     profile.omega_evaluations += result.evaluated;
+    ++profile.positions_scanned;
   }
-  profile.ld_seconds += ld_watch.total_seconds();
-  profile.omega_seconds += omega_watch.total_seconds();
-  profile.r2_fetched += m.r2_fetches();
+  profile.ld_seconds += profile.stages.ld_total();
+  profile.omega_seconds += profile.stages.omega_search_seconds;
+  merge_matrix_stats(profile, m);
+  backend.contribute(profile);
+  profile.omega_backend = backend.name();
 }
 
 }  // namespace
 
 const PositionScore& ScanResult::best() const {
-  const auto it = std::max_element(
-      scores.begin(), scores.end(),
-      [](const PositionScore& a, const PositionScore& b) {
-        return a.max_omega < b.max_omega;
-      });
-  if (it == scores.end()) throw std::logic_error("empty scan result");
-  return *it;
+  const PositionScore* best = nullptr;
+  for (const PositionScore& score : scores) {
+    if (!score.valid) continue;
+    if (best == nullptr || score.max_omega > best->max_omega) best = &score;
+  }
+  if (best == nullptr) {
+    throw std::logic_error("scan result contains no valid score");
+  }
+  return *best;
 }
 
 std::vector<PositionScore> ScanResult::top(std::size_t k) const {
-  std::vector<PositionScore> sorted = scores;
+  std::vector<PositionScore> sorted;
+  sorted.reserve(scores.size());
+  std::copy_if(scores.begin(), scores.end(), std::back_inserter(sorted),
+               [](const PositionScore& score) { return score.valid; });
   std::sort(sorted.begin(), sorted.end(),
             [](const PositionScore& a, const PositionScore& b) {
               return a.max_omega > b.max_omega;
@@ -91,6 +163,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
                 const std::function<std::unique_ptr<OmegaBackend>()>&
                     backend_factory) {
   options.config.validate();
+  const util::trace::Span scan_span("scan");
   util::Timer total;
 
   const ld::SnpMatrix snps(dataset);
@@ -101,6 +174,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
 
   ScanResult result;
   result.scores.resize(grid.size());
+  result.profile.ld_backend = engine->name();
 
   auto make_backend = [&]() -> std::unique_ptr<OmegaBackend> {
     return backend_factory ? backend_factory()
@@ -121,37 +195,33 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     par::ThreadPool pool(options.threads - 1);
     DpMatrix m;
     bool m_live = false;
-    util::StopWatch ld_watch, omega_watch;
+    ScanProfile& profile = result.profile;
     for (std::size_t g = 0; g < grid.size(); ++g) {
       const GridPosition& position = grid[g];
       PositionScore& score = result.scores[g];
       score.position_bp = position.position_bp;
       if (!position.valid) continue;
-      {
-        util::ScopedTimer timing(ld_watch);
-        if (!options.reuse || !m_live || position.lo < m.base()) {
-          m.reset(position.lo);
-        } else {
-          m.relocate(position.lo);
-        }
-        m.extend(position.hi + 1, *engine);
-        m_live = true;
-      }
+      advance_matrix(m, m_live, options.reuse, position, *engine,
+                     profile.stages);
       OmegaResult omega_result;
       {
-        util::ScopedTimer timing(omega_watch);
+        const util::trace::Span span("scan.omega.search");
+        const util::Timer timer;
         omega_result = max_omega_search_parallel(pool, m, position);
+        profile.stages.omega_search_seconds += timer.seconds();
       }
       score.max_omega = omega_result.max_omega;
       score.best_a = omega_result.best_a;
       score.best_b = omega_result.best_b;
       score.evaluated = omega_result.evaluated;
       score.valid = true;
-      result.profile.omega_evaluations += omega_result.evaluated;
+      profile.omega_evaluations += omega_result.evaluated;
+      ++profile.positions_scanned;
     }
-    result.profile.ld_seconds = ld_watch.total_seconds();
-    result.profile.omega_seconds = omega_watch.total_seconds();
-    result.profile.r2_fetched = m.r2_fetches();
+    profile.ld_seconds = profile.stages.ld_total();
+    profile.omega_seconds = profile.stages.omega_search_seconds;
+    merge_matrix_stats(profile, m);
+    profile.omega_backend = "cpu";
   } else {
     // Contiguous chunks preserve intra-chunk relocation reuse; each worker
     // owns a DP matrix and a backend instance.
@@ -175,10 +245,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       // Per-bucket times are summed across workers (CPU-seconds); use
       // total_seconds (wall clock) with the bucket shares for elapsed-time
       // throughput, as ScanProfile documents.
-      result.profile.ld_seconds += profile.ld_seconds;
-      result.profile.omega_seconds += profile.omega_seconds;
-      result.profile.omega_evaluations += profile.omega_evaluations;
-      result.profile.r2_fetched += profile.r2_fetched;
+      merge_worker_profile(result.profile, profile);
     }
   }
   result.profile.total_seconds = total.seconds();

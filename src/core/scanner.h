@@ -25,6 +25,8 @@
 
 namespace omega::core {
 
+struct ScanProfile;
+
 /// omega-maximization backend for one grid position.
 class OmegaBackend {
  public:
@@ -32,6 +34,10 @@ class OmegaBackend {
   [[nodiscard]] virtual std::string name() const = 0;
   virtual OmegaResult max_omega(const DpMatrix& m,
                                 const GridPosition& position) = 0;
+  /// Merges backend-internal accounting (accelerator counters, modeled
+  /// device time) into the scan profile. The scan driver calls this once per
+  /// backend instance after its last max_omega call.
+  virtual void contribute(ScanProfile& profile) const { (void)profile; }
 };
 
 /// The plain OmegaPlus nested loop.
@@ -63,6 +69,9 @@ class BorrowedBackend final : public OmegaBackend {
   OmegaResult max_omega(const DpMatrix& m,
                         const GridPosition& position) override {
     return inner_.max_omega(m, position);
+  }
+  void contribute(ScanProfile& profile) const override {
+    inner_.contribute(profile);
   }
 
  private:
@@ -107,6 +116,58 @@ struct PositionScore {
   bool valid = false;
 };
 
+/// Per-stage time buckets (profile v2). The three DP-matrix stages add up to
+/// the legacy LD bucket; omega_search is the backend max-omega loop.
+/// dispatch_seconds is an *informational sub-bucket of omega_search* — the
+/// accelerator backends' host-side packing + kernel-selection overhead — and
+/// is therefore excluded from sum().
+struct StageTimes {
+  double ld_reset_seconds = 0.0;     // full DP-matrix rebuilds
+  double ld_relocate_seconds = 0.0;  // in-place triangle moves (data reuse)
+  double ld_extend_seconds = 0.0;    // r2 fetches + Eq. (3) recurrence
+  double omega_search_seconds = 0.0; // backend omega maximization
+  double dispatch_seconds = 0.0;     // accelerator pack + kernel dispatch
+  [[nodiscard]] double ld_total() const noexcept {
+    return ld_reset_seconds + ld_relocate_seconds + ld_extend_seconds;
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return ld_total() + omega_search_seconds;
+  }
+};
+
+/// DP-matrix relocation effectiveness (the paper's data-reuse optimization):
+/// how often consecutive grid positions reused the overlapping sub-triangle
+/// and how many M cells that reuse saved.
+struct RelocationStats {
+  std::uint64_t resets = 0;       // positions that rebuilt M from scratch
+  std::uint64_t relocations = 0;  // positions that kept the overlap (hits)
+  std::uint64_t cells_reused = 0;      // M entries carried over by relocation
+  std::uint64_t cells_recomputed = 0;  // M entries computed by extend()
+};
+
+/// Simulated-GPU counters: the Eq. (4) two-kernel dispatch and the modeled
+/// device timeline.
+struct GpuProfile {
+  std::uint64_t kernel1_launches = 0;
+  std::uint64_t kernel2_launches = 0;
+  std::uint64_t kernel1_omegas = 0;  // omegas dispatched to Kernel I
+  std::uint64_t kernel2_omegas = 0;  // omegas dispatched to Kernel II
+  double modeled_kernel_seconds = 0.0;
+  double modeled_prep_seconds = 0.0;
+  double modeled_transfer_seconds = 0.0;
+  double modeled_total_seconds = 0.0;
+  std::uint64_t bytes_moved = 0;
+};
+
+/// Simulated-FPGA counters: pipeline occupancy of the §V design.
+struct FpgaProfile {
+  std::uint64_t pipeline_cycles = 0;  // total accelerator cycles
+  std::uint64_t stall_cycles = 0;     // cycles lost to DRAM throttling
+  std::uint64_t hw_omegas = 0;        // scores produced in hardware
+  std::uint64_t sw_omegas = 0;        // unroll-remainder scores on the host
+  double modeled_seconds = 0.0;
+};
+
 struct ScanProfile {
   /// Bucket times. Single-threaded scans: wall clock. Multithreaded scans:
   /// CPU-seconds summed across workers — combine with total_seconds (always
@@ -116,6 +177,23 @@ struct ScanProfile {
   double total_seconds = 0.0;  // whole scan, wall clock
   std::uint64_t omega_evaluations = 0;
   std::uint64_t r2_fetched = 0;
+
+  // --- v2 observability ---------------------------------------------------
+  /// Per-stage breakdown; stages.ld_total() == ld_seconds and
+  /// stages.omega_search_seconds == omega_seconds by construction.
+  StageTimes stages;
+  RelocationStats relocation;
+  /// Accelerator counters; all-zero unless the corresponding simulated
+  /// backend ran (merged via OmegaBackend::contribute).
+  GpuProfile gpu;
+  FpgaProfile fpga;
+  /// Grid positions actually evaluated (valid positions).
+  std::uint64_t positions_scanned = 0;
+  /// Names recorded by the scan driver: the LD engine serving r2 fetches and
+  /// the omega backend. Multi-worker scans record the first worker's backend
+  /// (all workers use identically configured instances).
+  std::string ld_backend;
+  std::string omega_backend;
 
   /// Fraction of compute time spent in the omega bucket.
   [[nodiscard]] double omega_share() const noexcept {

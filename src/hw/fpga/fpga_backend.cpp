@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/omega_search.h"
+#include "util/trace.h"
 
 namespace omega::hw::fpga {
 
@@ -14,6 +15,7 @@ std::string FpgaOmegaBackend::name() const { return "fpga-sim:" + spec_.name; }
 
 core::OmegaResult FpgaOmegaBackend::max_omega(
     const core::DpMatrix& m, const core::GridPosition& position) {
+  const util::trace::Span span("fpga.position");
   core::OmegaResult result;
   if (!position.valid) return result;
 
@@ -88,6 +90,15 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
   const PositionCycles cycles = position_cycles(
       spec_, buffers.num_left, buffers.num_right, options_.ts_from_dram);
   accounting_.modeled_cycles += cycles.hw_cycles;
+  // Stalls: the share of inner-loop cycles above the ideal (stall_factor 1)
+  // one-group-per-clock schedule.
+  if (cycles.stall_factor > 1.0) {
+    const double throttled = static_cast<double>(cycles.hw_cycles) -
+                             spec_.pipeline_latency_cycles -
+                             spec_.prefetch_cycles;
+    accounting_.stall_cycles += static_cast<std::uint64_t>(
+        throttled * (1.0 - 1.0 / cycles.stall_factor));
+  }
   accounting_.hw_omegas += cycles.hw_omegas;
   accounting_.sw_omegas += cycles.sw_omegas;
   accounting_.modeled_hw_seconds +=
@@ -95,6 +106,14 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
   accounting_.modeled_sw_seconds +=
       static_cast<double>(cycles.sw_omegas) / options_.software_omega_rate;
   return result;
+}
+
+void FpgaOmegaBackend::contribute(core::ScanProfile& profile) const {
+  profile.fpga.pipeline_cycles += accounting_.modeled_cycles;
+  profile.fpga.stall_cycles += accounting_.stall_cycles;
+  profile.fpga.hw_omegas += accounting_.hw_omegas;
+  profile.fpga.sw_omegas += accounting_.sw_omegas;
+  profile.fpga.modeled_seconds += accounting_.modeled_total_seconds();
 }
 
 }  // namespace omega::hw::fpga

@@ -29,6 +29,9 @@ struct FpgaBackendOptions {
 
 struct FpgaAccounting {
   std::uint64_t modeled_cycles = 0;
+  /// Cycles the inner loop lost to DRAM throttling (the stall_factor share
+  /// of modeled_cycles above the ideal one-group-per-clock rate).
+  std::uint64_t stall_cycles = 0;
   std::uint64_t hw_omegas = 0;
   std::uint64_t sw_omegas = 0;
   double modeled_hw_seconds = 0.0;
@@ -46,6 +49,8 @@ class FpgaOmegaBackend final : public core::OmegaBackend {
   [[nodiscard]] std::string name() const override;
   core::OmegaResult max_omega(const core::DpMatrix& m,
                               const core::GridPosition& position) override;
+  /// Maps the cycle-model accounting onto ScanProfile::fpga.
+  void contribute(core::ScanProfile& profile) const override;
 
   [[nodiscard]] const FpgaAccounting& accounting() const noexcept {
     return accounting_;

@@ -4,6 +4,7 @@
 
 #include "hw/gpu/ndrange.h"
 #include "util/bits.h"
+#include "util/trace.h"
 
 namespace omega::hw::gpu {
 
@@ -53,9 +54,11 @@ GpuLdEngine::GpuLdEngine(const ld::SnpMatrix& snps, par::ThreadPool& pool,
 
 void GpuLdEngine::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
                            std::size_t j1, float* out, std::size_t ld) const {
+  const util::trace::Span span("ld.gpu-gemm.r2_block");
   const std::size_t m = i1 - i0;
   const std::size_t n_cols = j1 - j0;
   if (m == 0 || n_cols == 0) return;
+  note_served(static_cast<std::uint64_t>(m) * n_cols);
 
   std::vector<std::int32_t> nij(m * n_cols);
   pair_count_block_gpu(pool_, snps_, i0, i1, j0, j1, nij.data(), n_cols);

@@ -3,6 +3,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/timer.h"
+#include "util/trace.h"
+
 namespace omega::hw::gpu {
 namespace {
 
@@ -43,26 +46,34 @@ core::OmegaResult GpuOmegaBackend::max_omega(
   core::OmegaResult result;
   if (!position.valid) return result;
 
-  core::PositionBuffers buffers = core::pack_position(m, position);
-  const std::uint64_t combos = buffers.combinations();
-  if (combos == 0) return result;
+  core::PositionBuffers buffers;
+  std::uint64_t combos = 0;
+  bool swapped = false;
+  KernelChoice choice = KernelChoice::Kernel1;
+  {
+    // Host-side packing + Eq. (4) kernel selection: the "dispatch" stage.
+    const util::trace::Span dispatch_span("gpu.dispatch");
+    const util::Timer dispatch_timer;
+    buffers = core::pack_position(m, position);
+    combos = buffers.combinations();
+    if (combos == 0) return result;
 
-  const bool swapped =
-      options_.order_switch && buffers.num_left > buffers.num_right;
-  if (swapped) buffers = swap_sides(buffers);
+    swapped = options_.order_switch && buffers.num_left > buffers.num_right;
+    if (swapped) buffers = swap_sides(buffers);
 
-  KernelChoice choice;
-  switch (options_.policy) {
-    case KernelPolicy::ForceKernel1:
-      choice = KernelChoice::Kernel1;
-      break;
-    case KernelPolicy::ForceKernel2:
-      choice = KernelChoice::Kernel2;
-      break;
-    case KernelPolicy::Dynamic:
-    default:
-      choice = dispatch(spec_, combos);
-      break;
+    switch (options_.policy) {
+      case KernelPolicy::ForceKernel1:
+        choice = KernelChoice::Kernel1;
+        break;
+      case KernelPolicy::ForceKernel2:
+        choice = KernelChoice::Kernel2;
+        break;
+      case KernelPolicy::Dynamic:
+      default:
+        choice = dispatch(spec_, combos);
+        break;
+    }
+    accounting_.dispatch_seconds += dispatch_timer.seconds();
   }
 
   // Functional execution (exact float arithmetic); guarded by the cap so a
@@ -72,8 +83,10 @@ core::OmegaResult GpuOmegaBackend::max_omega(
   if (combos <= options_.functional_cap) {
     KernelResult kernel_result;
     if (choice == KernelChoice::Kernel1) {
+      const util::trace::Span span("gpu.kernel1");
       kernel_result = run_kernel1(pool_, buffers, spec_.workgroup_size);
     } else {
+      const util::trace::Span span("gpu.kernel2");
       kernel_result = run_kernel2(
           pool_, buffers, spec_.workgroup_size,
           default_kernel2_work_items(spec_.compute_units, spec_.warp_size));
@@ -94,8 +107,10 @@ core::OmegaResult GpuOmegaBackend::max_omega(
   // Device-model accounting.
   if (choice == KernelChoice::Kernel1) {
     ++accounting_.positions_kernel1;
+    accounting_.omegas_kernel1 += combos;
   } else {
     ++accounting_.positions_kernel2;
+    accounting_.omegas_kernel2 += combos;
   }
   const CompleteCost cost = complete_position_cost(
       spec_, choice, combos, buffers.payload_bytes());
@@ -106,6 +121,19 @@ core::OmegaResult GpuOmegaBackend::max_omega(
   accounting_.omega_evaluations += combos;
   accounting_.bytes_moved += padded_bytes(spec_, buffers.payload_bytes());
   return result;
+}
+
+void GpuOmegaBackend::contribute(core::ScanProfile& profile) const {
+  profile.gpu.kernel1_launches += accounting_.positions_kernel1;
+  profile.gpu.kernel2_launches += accounting_.positions_kernel2;
+  profile.gpu.kernel1_omegas += accounting_.omegas_kernel1;
+  profile.gpu.kernel2_omegas += accounting_.omegas_kernel2;
+  profile.gpu.modeled_kernel_seconds += accounting_.modeled_kernel_seconds;
+  profile.gpu.modeled_prep_seconds += accounting_.modeled_prep_seconds;
+  profile.gpu.modeled_transfer_seconds += accounting_.modeled_transfer_seconds;
+  profile.gpu.modeled_total_seconds += accounting_.modeled_total_seconds;
+  profile.gpu.bytes_moved += accounting_.bytes_moved;
+  profile.stages.dispatch_seconds += accounting_.dispatch_seconds;
 }
 
 }  // namespace omega::hw::gpu

@@ -42,8 +42,15 @@ struct GpuAccounting {
   double modeled_total_seconds = 0.0;
   std::uint64_t positions_kernel1 = 0;
   std::uint64_t positions_kernel2 = 0;
+  /// Omega evaluations routed to each kernel by the Eq. (4) dispatcher;
+  /// omegas_kernel1 + omegas_kernel2 == omega_evaluations.
+  std::uint64_t omegas_kernel1 = 0;
+  std::uint64_t omegas_kernel2 = 0;
   std::uint64_t omega_evaluations = 0;
   std::uint64_t bytes_moved = 0;
+  /// Host wall time spent packing buffers and choosing the kernel (a
+  /// sub-bucket of the scan's omega stage).
+  double dispatch_seconds = 0.0;
 };
 
 class GpuOmegaBackend final : public core::OmegaBackend {
@@ -54,6 +61,8 @@ class GpuOmegaBackend final : public core::OmegaBackend {
   [[nodiscard]] std::string name() const override;
   core::OmegaResult max_omega(const core::DpMatrix& m,
                               const core::GridPosition& position) override;
+  /// Maps the device-model accounting onto ScanProfile::gpu.
+  void contribute(core::ScanProfile& profile) const override;
 
   [[nodiscard]] const GpuAccounting& accounting() const noexcept {
     return accounting_;

@@ -1,10 +1,13 @@
 #include "hw/gpu/timeline_pipeline.h"
 
+#include "util/trace.h"
+
 namespace omega::hw::gpu {
 
 TimelineSummary schedule_complete_omega(const GpuDeviceSpec& spec,
                                         par::ThreadPool& pool,
                                         const core::ScanWorkload& workload) {
+  const util::trace::Span span("gpu.timeline.schedule");
   CommandQueue queue(spec, pool);
   TimelineSummary summary;
 
@@ -40,6 +43,15 @@ TimelineSummary schedule_complete_omega(const GpuDeviceSpec& spec,
 
     const auto choice = dispatch(spec, position.combinations);
     const double kernel_s = kernel_time(spec, choice, position.combinations);
+    if (choice == KernelChoice::Kernel1) {
+      ++summary.kernel1_launches;
+      summary.kernel1_omegas += position.combinations;
+      summary.kernel1_busy_s += kernel_s;
+    } else {
+      ++summary.kernel2_launches;
+      summary.kernel2_omegas += position.combinations;
+      summary.kernel2_busy_s += kernel_s;
+    }
     NdRange range;
     range.global_size = 1;  // timing-only launch
     const EventId kernel = queue.enqueue_kernel(

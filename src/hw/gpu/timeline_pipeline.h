@@ -22,6 +22,14 @@ struct TimelineSummary {
   double overlap_s = 0.0;        // transfer hidden behind compute
   std::uint64_t positions = 0;
   std::uint64_t omega_evaluations = 0;
+  /// Per-kernel record of every Eq. (4) dispatch() decision on the timeline
+  /// and the simulated device time each kernel accumulated.
+  std::uint64_t kernel1_launches = 0;
+  std::uint64_t kernel2_launches = 0;
+  std::uint64_t kernel1_omegas = 0;
+  std::uint64_t kernel2_omegas = 0;
+  double kernel1_busy_s = 0.0;
+  double kernel2_busy_s = 0.0;
 
   [[nodiscard]] double throughput() const noexcept {
     return makespan_s > 0.0

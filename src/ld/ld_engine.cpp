@@ -1,9 +1,13 @@
 #include "ld/ld_engine.h"
 
+#include "util/trace.h"
+
 namespace omega::ld {
 
 void PopcountLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
                           std::size_t j1, float* out, std::size_t ld) const {
+  const util::trace::Span span("ld.popcount.r2_block");
+  note_served(static_cast<std::uint64_t>(i1 - i0) * (j1 - j0));
   if (snps_.has_missing()) {
     // Pairwise-complete counting (4 AND+popcount streams per pair).
     for (std::size_t i = i0; i < i1; ++i) {
@@ -28,6 +32,8 @@ void PopcountLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
 
 void GemmLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
                       std::size_t j1, float* out, std::size_t ld) const {
+  const util::trace::Span span("ld.gemm.r2_block");
+  note_served(static_cast<std::uint64_t>(i1 - i0) * (j1 - j0));
   const std::size_t m = i1 - i0;
   const std::size_t n_cols = j1 - j0;
   if (m == 0 || n_cols == 0) return;
@@ -70,6 +76,8 @@ void GemmLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
 
 void NaiveLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
                        std::size_t j1, float* out, std::size_t ld) const {
+  const util::trace::Span span("ld.naive.r2_block");
+  note_served(static_cast<std::uint64_t>(i1 - i0) * (j1 - j0));
   for (std::size_t i = i0; i < i1; ++i) {
     for (std::size_t j = j0; j < j1; ++j) {
       out[(i - i0) * ld + (j - j0)] =

@@ -7,6 +7,7 @@
 //                   linear-algebra cast used by the GPU LD kernel).
 // Both produce identical counts; they differ only in throughput profile.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,12 +31,28 @@ class LdEngine {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual std::size_t num_sites() const = 0;
 
+  /// r2 values this engine instance has served over its lifetime (per-backend
+  /// fetch counter for the observability layer). Thread-safe: multithreaded
+  /// scans share one engine across workers.
+  [[nodiscard]] std::uint64_t r2_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
   /// Single-pair convenience.
   [[nodiscard]] float r2(std::size_t i, std::size_t j) const {
     float value = 0.0f;
     r2_block(i, i + 1, j, j + 1, &value, 1);
     return value;
   }
+
+ protected:
+  /// Implementations call this once per r2_block with the block's pair count.
+  void note_served(std::uint64_t pairs) const noexcept {
+    served_.fetch_add(pairs, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> served_{0};
 };
 
 /// AND+popcount engine over the bit-packed matrix (non-owning view).

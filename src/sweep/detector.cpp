@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/metrics_json.h"
 #include "hw/device_specs.h"
 #include "hw/fpga/fpga_backend.h"
 #include "hw/gpu/gemm_ld_kernel.h"
@@ -10,6 +11,16 @@
 #include "par/thread_pool.h"
 
 namespace omega::sweep {
+
+std::string DetectionReport::metrics_json(const std::string& run_name) const {
+  return core::metrics::scan_metrics(run_name, profile).dump();
+}
+
+void DetectionReport::write_metrics_json(const std::string& path,
+                                         const std::string& run_name) const {
+  core::metrics::write_json_file(
+      path, core::metrics::scan_metrics(run_name, profile));
+}
 
 std::vector<Candidate> DetectionReport::above(double threshold) const {
   std::vector<Candidate> out;

@@ -42,6 +42,14 @@ struct DetectionReport {
 
   /// Candidates with omega at least `threshold`.
   [[nodiscard]] std::vector<Candidate> above(double threshold) const;
+
+  /// The scan's metrics document (core::metrics "omega.scan.metrics"
+  /// schema), serialized as pretty JSON.
+  [[nodiscard]] std::string metrics_json(
+      const std::string& run_name = "detect_sweeps") const;
+  /// Writes metrics_json(run_name) to `path`.
+  void write_metrics_json(const std::string& path,
+                          const std::string& run_name = "detect_sweeps") const;
 };
 
 /// Scans and returns the top `max_candidates` scoring positions.

@@ -1,0 +1,135 @@
+#pragma once
+// Lightweight trace-event API for the scan observability layer: scoped spans
+// (name + thread id + start/duration) recorded into a fixed-capacity ring
+// buffer. Tracing is off by default and zero-cost when disabled — a Span
+// constructor performs one relaxed atomic load and nothing else. When the
+// ring wraps, the oldest events are overwritten and the drop count is
+// reported, so tracing never grows memory unboundedly inside long scans.
+//
+// Span names must be string literals (or otherwise outlive the registry):
+// events store the pointer, not a copy, to keep the enabled-path cheap.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omega::util::trace {
+
+struct TraceEvent {
+  const char* name = "";
+  std::uint32_t thread_id = 0;  // small sequential id, stable per thread
+  double start_s = 0.0;         // seconds since enable()
+  double duration_s = 0.0;
+};
+
+namespace detail {
+
+struct Registry {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t capacity = 0;
+  std::size_t next = 0;         // ring cursor
+  std::uint64_t recorded = 0;   // lifetime count since enable()
+  std::chrono::steady_clock::time_point epoch{};
+};
+
+inline Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+inline std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next_id{0};
+  thread_local const std::uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace detail
+
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::registry().enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts a fresh trace session with room for `capacity` events.
+inline void enable(std::size_t capacity = 65'536) {
+  auto& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.ring.clear();
+  r.ring.reserve(capacity);
+  r.capacity = capacity;
+  r.next = 0;
+  r.recorded = 0;
+  r.epoch = std::chrono::steady_clock::now();
+  r.enabled.store(true, std::memory_order_relaxed);
+}
+
+inline void disable() {
+  detail::registry().enabled.store(false, std::memory_order_relaxed);
+}
+
+inline void record(const char* name, double start_s, double duration_s) {
+  auto& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.capacity == 0) return;
+  const TraceEvent event{name, detail::thread_id(), start_s, duration_s};
+  if (r.ring.size() < r.capacity) {
+    r.ring.push_back(event);
+  } else {
+    r.ring[r.next] = event;  // wrap: overwrite oldest
+  }
+  r.next = (r.next + 1) % r.capacity;
+  ++r.recorded;
+}
+
+/// Copy of the buffered events (unordered across threads; sort by start_s if
+/// chronology matters).
+[[nodiscard]] inline std::vector<TraceEvent> snapshot() {
+  auto& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.ring;
+}
+
+/// Events recorded since enable(); snapshot().size() is min(this, capacity).
+[[nodiscard]] inline std::uint64_t recorded() {
+  auto& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.recorded;
+}
+
+/// RAII scoped span. With tracing disabled the constructor is a single
+/// relaxed load and the destructor a branch on a bool.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (enabled()) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+      active_ = true;
+    }
+  }
+  ~Span() {
+    if (!active_) return;
+    const auto now = std::chrono::steady_clock::now();
+    auto& r = detail::registry();
+    // Re-check: disable() between construction and destruction drops the span.
+    if (!enabled()) return;
+    const double start_s =
+        std::chrono::duration<double>(start_ - r.epoch).count();
+    const double duration_s = std::chrono::duration<double>(now - start_).count();
+    record(name_, start_s, duration_s);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = "";
+  std::chrono::steady_clock::time_point start_{};
+  bool active_ = false;
+};
+
+}  // namespace omega::util::trace

@@ -122,6 +122,26 @@ TEST(GpuDispatch, ThresholdFollowsEq4) {
   EXPECT_EQ(radeon.nthr(), 6ull * 64 * 32);
 }
 
+// Eq. 4 boundary: Kernel I serves exactly the workloads that underfill the
+// device (n_omega < Nthr = NCU * Ws * 32); at Nthr and above — where every
+// thread has at least one omega — Kernel II takes over. Checked at the
+// threshold and one omega either side, on both evaluated devices.
+TEST(GpuDispatch, BoundaryAtExactlyNthr) {
+  for (const auto& spec :
+       {omega::hw::tesla_k80(), omega::hw::radeon_hd8750m()}) {
+    const std::uint64_t nthr = spec.nthr();
+    EXPECT_EQ(nthr, static_cast<std::uint64_t>(spec.compute_units) *
+                        spec.warp_size * 32)
+        << spec.name;
+    EXPECT_EQ(omega::hw::gpu::dispatch(spec, nthr - 1), KernelChoice::Kernel1)
+        << spec.name << ": one omega below the threshold must pick Kernel I";
+    EXPECT_EQ(omega::hw::gpu::dispatch(spec, nthr), KernelChoice::Kernel2)
+        << spec.name << ": exactly Nthr omegas must pick Kernel II";
+    EXPECT_EQ(omega::hw::gpu::dispatch(spec, nthr + 1), KernelChoice::Kernel2)
+        << spec.name << ": one omega above the threshold must pick Kernel II";
+  }
+}
+
 TEST(GpuTiming, KernelTimeIncreasesWithWork) {
   const auto spec = omega::hw::tesla_k80();
   double previous = 0.0;

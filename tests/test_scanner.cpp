@@ -201,6 +201,39 @@ TEST(Scanner, BestAndTopHelpers) {
   }
 }
 
+// best() and top() must never surface a position the grid builder marked
+// invalid, no matter how high its (meaningless) score field is; best() throws
+// only when no valid score exists at all.
+TEST(Scanner, BestAndTopSkipInvalidScores) {
+  omega::core::ScanResult result;
+  omega::core::PositionScore invalid_high;
+  invalid_high.valid = false;
+  invalid_high.max_omega = 1e9;  // garbage from an unevaluated slot
+  omega::core::PositionScore valid_low;
+  valid_low.valid = true;
+  valid_low.max_omega = 1.5;
+  valid_low.position_bp = 42;
+  omega::core::PositionScore valid_mid;
+  valid_mid.valid = true;
+  valid_mid.max_omega = 2.5;
+  valid_mid.position_bp = 84;
+  result.scores = {invalid_high, valid_low, valid_mid, invalid_high};
+
+  EXPECT_DOUBLE_EQ(result.best().max_omega, 2.5);
+  EXPECT_EQ(result.best().position_bp, 84);
+  const auto top = result.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].max_omega, 2.5);
+  EXPECT_DOUBLE_EQ(top[1].max_omega, 1.5);
+
+  result.scores = {invalid_high, invalid_high};
+  EXPECT_THROW((void)result.best(), std::logic_error);
+  EXPECT_TRUE(result.top(5).empty());
+
+  result.scores.clear();
+  EXPECT_THROW((void)result.best(), std::logic_error);
+}
+
 TEST(Scanner, EmptyGridConfigThrows) {
   const auto d = scan_dataset(7, 50);
   ScannerOptions options;
