@@ -32,6 +32,7 @@
 #include "sim/sweep_coalescent.h"
 #include "sim/sweep_overlay.h"
 #include "util/cli.h"
+#include "util/fault.h"
 #include "util/trace.h"
 
 namespace {
@@ -148,7 +149,24 @@ int main(int argc, char** argv) {
                 "to this path")
       .describe("trace",
                 "record trace spans during the scan; embedded in the "
-                "--metrics-json document");
+                "--metrics-json document")
+      .describe("fault-mode",
+                "inject accelerator faults: none | kernel-launch | timeout | "
+                "nan | device-lost | mixed (default none)")
+      .describe("fault-rate", "per-call fault probability (default 0.1)")
+      .describe("fault-seed", "fault-injection PRNG seed (default 1337)")
+      .describe("fault-after",
+                "first backend call eligible for injection (default 0)")
+      .describe("device-lost-after",
+                "lose the device permanently at the N-th backend call")
+      .describe("modeled-timeout",
+                "per-position modeled device-time budget in seconds; "
+                "exceeding it raises a timeout error (0 = off)")
+      .describe("max-retries",
+                "retries per position before quarantine (default 3)")
+      .describe("cpu-fallback",
+                "demote a lost device to the CPU loop instead of "
+                "quarantining the rest of its chunk (default true)");
   if (cli.wants_help()) {
     std::printf("%s",
                 cli.help_text("omegaplus_scan — OmegaPlus-style sweep scanner")
@@ -193,6 +211,22 @@ int main(int argc, char** argv) {
   const bool trace_enabled = cli.get_bool("trace", false);
   if (trace_enabled) omega::util::trace::enable();
 
+  // Fault injection (simulated accelerators only) + recovery policy.
+  omega::util::fault::FaultPlan fault_plan;
+  fault_plan.mode =
+      omega::util::fault::mode_from_name(cli.get("fault-mode", "none"));
+  fault_plan.rate = cli.get_double("fault-rate", 0.1);
+  fault_plan.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1337));
+  fault_plan.window_begin =
+      static_cast<std::uint64_t>(cli.get_int("fault-after", 0));
+  fault_plan.device_lost_after =
+      static_cast<std::uint64_t>(cli.get_int("device-lost-after", 0));
+  fault_plan.validate();
+  const double modeled_timeout = cli.get_double("modeled-timeout", 0.0);
+  options.recovery.max_retries =
+      static_cast<std::size_t>(cli.get_int("max-retries", 3));
+  options.recovery.fallback_to_cpu = cli.get_bool("cpu-fallback", true);
+
   const std::string backend = cli.get("backend", "cpu");
   omega::core::ScanResult result;
   std::string backend_name = "cpu";
@@ -205,7 +239,10 @@ int main(int argc, char** argv) {
   } else if (backend == "gpu") {
     const auto spec = omega::hw::tesla_k80();
     options.threads = 1;
-    omega::hw::gpu::GpuOmegaBackend gpu(spec, pool);
+    omega::hw::gpu::GpuBackendOptions backend_options;
+    backend_options.fault_plan = fault_plan;
+    backend_options.modeled_timeout_seconds = modeled_timeout;
+    omega::hw::gpu::GpuOmegaBackend gpu(spec, pool, backend_options);
     result = omega::core::scan(dataset, options,
                                [&] { return omega::core::borrow_backend(gpu); });
     backend_name = gpu.name();
@@ -215,7 +252,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(gpu.accounting().positions_kernel2));
   } else if (backend == "fpga") {
     options.threads = 1;
-    omega::hw::fpga::FpgaOmegaBackend fpga(omega::hw::alveo_u200());
+    omega::hw::fpga::FpgaBackendOptions backend_options;
+    backend_options.fault_plan = fault_plan;
+    backend_options.modeled_timeout_seconds = modeled_timeout;
+    omega::hw::fpga::FpgaOmegaBackend fpga(omega::hw::alveo_u200(),
+                                           backend_options);
     result = omega::core::scan(dataset, options, [&] {
       return omega::core::borrow_backend(fpga);
     });
@@ -228,6 +269,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown backend '%s'\n", backend.c_str());
     return 2;
   }
+  if (fault_plan.enabled() && backend == "cpu") {
+    std::fprintf(stderr,
+                 "warning: --fault-mode only affects the gpu/fpga backends\n");
+  }
 
   const std::string directory = cli.get("reports-dir", ".");
   std::filesystem::create_directories(directory);
@@ -237,9 +282,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.profile.omega_evaluations),
               result.profile.total_seconds,
               result.profile.omega_throughput() / 1e6);
-  const auto& best = result.best();
-  std::printf("best: omega %.4f at %lld bp\n", best.max_omega,
-              static_cast<long long>(best.position_bp));
+  const auto& faults = result.profile.faults;
+  if (faults.faults_injected > 0 || faults.errors_caught > 0 ||
+      faults.quarantined_positions > 0 || faults.degradations > 0) {
+    std::printf(
+        "recovery: %llu faults injected, %llu retries, %llu quarantined, "
+        "%llu degradations (%.4f s virtual backoff)\n",
+        static_cast<unsigned long long>(faults.faults_injected),
+        static_cast<unsigned long long>(faults.retries),
+        static_cast<unsigned long long>(faults.quarantined_positions),
+        static_cast<unsigned long long>(faults.degradations),
+        faults.backoff_virtual_seconds);
+  }
+  if (result.has_valid()) {
+    const auto& best = result.best();
+    std::printf("best: omega %.4f at %lld bp\n", best.max_omega,
+                static_cast<long long>(best.position_bp));
+  } else {
+    std::printf("best: none (no position produced a valid omega score)\n");
+  }
   std::printf("wrote %s\n", report_path.c_str());
 
   if (!metrics_path.empty()) {

@@ -487,6 +487,22 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   fpga.set("sw_omegas", profile.fpga.sw_omegas);
   fpga.set("modeled_seconds", profile.fpga.modeled_seconds);
   doc.set("fpga", std::move(fpga));
+
+  // v3: fault injection + recovery accounting (docs/ROBUSTNESS.md).
+  JsonValue faults = JsonValue::object();
+  faults.set("injected", profile.faults.faults_injected);
+  faults.set("injected_kernel_launch", profile.faults.injected_kernel_launch);
+  faults.set("injected_timeout", profile.faults.injected_timeout);
+  faults.set("injected_nan", profile.faults.injected_nan);
+  faults.set("injected_device_lost", profile.faults.injected_device_lost);
+  faults.set("errors_caught", profile.faults.errors_caught);
+  faults.set("invalid_results", profile.faults.invalid_results);
+  faults.set("retries", profile.faults.retries);
+  faults.set("quarantined_positions", profile.faults.quarantined_positions);
+  faults.set("degradations", profile.faults.degradations);
+  faults.set("backoff_virtual_seconds",
+             profile.faults.backoff_virtual_seconds);
+  doc.set("faults", std::move(faults));
   return doc;
 }
 

@@ -49,7 +49,20 @@ void write_info(std::ostream& out, const std::string& run_name,
       << profile.r2_fetched << " r2 values)\n";
   out << "Omega time:   " << profile.omega_seconds << " s ("
       << profile.omega_evaluations << " omega evaluations)\n";
-  out << "Omega rate:   " << profile.omega_throughput() / 1e6 << " Mw/s\n\n";
+  out << "Omega rate:   " << profile.omega_throughput() / 1e6 << " Mw/s\n";
+
+  // Fault-recovery summary (only when the scan saw trouble, so healthy runs
+  // keep the historical Info layout).
+  const auto& faults = profile.faults;
+  if (faults.faults_injected > 0 || faults.errors_caught > 0 ||
+      faults.invalid_results > 0 || faults.quarantined_positions > 0 ||
+      faults.degradations > 0) {
+    out << "Recovery:     " << faults.faults_injected << " faults injected, "
+        << faults.retries << " retries, " << faults.quarantined_positions
+        << " quarantined, " << faults.degradations << " degradations ("
+        << faults.backoff_virtual_seconds << " s virtual backoff)\n";
+  }
+  out << "\n";
 
   out << "Top windows:\n";
   out << std::setprecision(6);

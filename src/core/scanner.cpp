@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/resilience.h"
 #include "par/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -92,14 +93,28 @@ void merge_worker_profile(ScanProfile& into, const ScanProfile& from) {
   into.fpga.hw_omegas += from.fpga.hw_omegas;
   into.fpga.sw_omegas += from.fpga.sw_omegas;
   into.fpga.modeled_seconds += from.fpga.modeled_seconds;
+  into.faults.faults_injected += from.faults.faults_injected;
+  into.faults.injected_kernel_launch += from.faults.injected_kernel_launch;
+  into.faults.injected_timeout += from.faults.injected_timeout;
+  into.faults.injected_nan += from.faults.injected_nan;
+  into.faults.injected_device_lost += from.faults.injected_device_lost;
+  into.faults.errors_caught += from.faults.errors_caught;
+  into.faults.invalid_results += from.faults.invalid_results;
+  into.faults.retries += from.faults.retries;
+  into.faults.quarantined_positions += from.faults.quarantined_positions;
+  into.faults.degradations += from.faults.degradations;
+  into.faults.backoff_virtual_seconds += from.faults.backoff_virtual_seconds;
   if (into.omega_backend.empty()) into.omega_backend = from.omega_backend;
 }
 
-/// Scans a contiguous chunk of grid positions with its own DP matrix.
+/// Scans a contiguous chunk of grid positions with its own DP matrix. Every
+/// backend call goes through the recovery engine: transient failures retry
+/// (virtual-clock backoff), exhausted positions are quarantined instead of
+/// aborting the scan.
 void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
                 std::size_t end, const ld::LdEngine& engine, bool reuse,
-                OmegaBackend& backend, std::vector<PositionScore>& scores,
-                ScanProfile& profile) {
+                const RecoveryPolicy& recovery, OmegaBackend& backend,
+                std::vector<PositionScore>& scores, ScanProfile& profile) {
   DpMatrix m;
   bool m_live = false;
 
@@ -110,19 +125,24 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
     if (!position.valid) continue;
 
     advance_matrix(m, m_live, reuse, position, engine, profile.stages);
-    OmegaResult result;
+    RecoveryOutcome outcome;
     {
       const util::trace::Span span("scan.omega.search");
       const util::Timer timer;
-      result = backend.max_omega(m, position);
+      outcome =
+          recover_max_omega(backend, m, position, recovery, profile.faults);
       profile.stages.omega_search_seconds += timer.seconds();
     }
-    score.max_omega = result.max_omega;
-    score.best_a = result.best_a;
-    score.best_b = result.best_b;
-    score.evaluated = result.evaluated;
+    if (!outcome.ok) {
+      score.quarantined = true;
+      continue;
+    }
+    score.max_omega = outcome.result.max_omega;
+    score.best_a = outcome.result.best_a;
+    score.best_b = outcome.result.best_b;
+    score.evaluated = outcome.result.evaluated;
     score.valid = true;
-    profile.omega_evaluations += result.evaluated;
+    profile.omega_evaluations += outcome.result.evaluated;
     ++profile.positions_scanned;
   }
   profile.ld_seconds += profile.stages.ld_total();
@@ -131,6 +151,21 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
   backend.contribute(profile);
   profile.omega_backend = backend.name();
 }
+
+/// Adapter presenting the intra-position parallel search as an OmegaBackend
+/// so the InnerPosition driver shares the recovery engine.
+class InnerPositionBackend final : public OmegaBackend {
+ public:
+  explicit InnerPositionBackend(par::ThreadPool& pool) : pool_(pool) {}
+  [[nodiscard]] std::string name() const override { return "cpu"; }
+  OmegaResult max_omega(const DpMatrix& m,
+                        const GridPosition& position) override {
+    return max_omega_search_parallel(pool_, m, position);
+  }
+
+ private:
+  par::ThreadPool& pool_;
+};
 
 }  // namespace
 
@@ -144,6 +179,11 @@ const PositionScore& ScanResult::best() const {
     throw std::logic_error("scan result contains no valid score");
   }
   return *best;
+}
+
+bool ScanResult::has_valid() const noexcept {
+  return std::any_of(scores.begin(), scores.end(),
+                     [](const PositionScore& score) { return score.valid; });
 }
 
 std::vector<PositionScore> ScanResult::top(std::size_t k) const {
@@ -163,6 +203,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
                 const std::function<std::unique_ptr<OmegaBackend>()>&
                     backend_factory) {
   options.config.validate();
+  options.recovery.validate();
   const util::trace::Span scan_span("scan");
   util::Timer total;
 
@@ -177,14 +218,20 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   result.profile.ld_backend = engine->name();
 
   auto make_backend = [&]() -> std::unique_ptr<OmegaBackend> {
-    return backend_factory ? backend_factory()
-                           : std::make_unique<CpuOmegaBackend>();
+    if (!backend_factory) return std::make_unique<CpuOmegaBackend>();
+    auto backend = backend_factory();
+    // Graceful degradation: a device-lost error demotes this worker's
+    // backend to the CPU loop instead of quarantining the rest of its chunk.
+    if (options.recovery.fallback_to_cpu) {
+      backend = std::make_unique<FallbackBackend>(std::move(backend));
+    }
+    return backend;
   };
 
   if (options.threads <= 1) {
     auto backend = make_backend();
-    scan_chunk(grid, 0, grid.size(), *engine, options.reuse, *backend,
-               result.scores, result.profile);
+    scan_chunk(grid, 0, grid.size(), *engine, options.reuse, options.recovery,
+               *backend, result.scores, result.profile);
   } else if (options.mt_strategy ==
              ScannerOptions::MtStrategy::InnerPosition) {
     if (backend_factory) {
@@ -192,7 +239,10 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
           "scan: InnerPosition multithreading requires the CPU backend");
     }
     // One shared DP matrix; the per-position omega loop fans out instead.
+    // The pool-backed search is routed through the same recovery engine as
+    // the chunked drivers so NaN validation and quarantine behave uniformly.
     par::ThreadPool pool(options.threads - 1);
+    InnerPositionBackend backend(pool);
     DpMatrix m;
     bool m_live = false;
     ScanProfile& profile = result.profile;
@@ -203,19 +253,24 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       if (!position.valid) continue;
       advance_matrix(m, m_live, options.reuse, position, *engine,
                      profile.stages);
-      OmegaResult omega_result;
+      RecoveryOutcome outcome;
       {
         const util::trace::Span span("scan.omega.search");
         const util::Timer timer;
-        omega_result = max_omega_search_parallel(pool, m, position);
+        outcome = recover_max_omega(backend, m, position, options.recovery,
+                                    profile.faults);
         profile.stages.omega_search_seconds += timer.seconds();
       }
-      score.max_omega = omega_result.max_omega;
-      score.best_a = omega_result.best_a;
-      score.best_b = omega_result.best_b;
-      score.evaluated = omega_result.evaluated;
+      if (!outcome.ok) {
+        score.quarantined = true;
+        continue;
+      }
+      score.max_omega = outcome.result.max_omega;
+      score.best_a = outcome.result.best_a;
+      score.best_b = outcome.result.best_b;
+      score.evaluated = outcome.result.evaluated;
       score.valid = true;
-      profile.omega_evaluations += omega_result.evaluated;
+      profile.omega_evaluations += outcome.result.evaluated;
       ++profile.positions_scanned;
     }
     profile.ld_seconds = profile.stages.ld_total();
@@ -236,8 +291,8 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       const std::size_t end = std::min(grid.size(), begin + chunk);
       tasks.emplace_back([&, w, begin, end] {
         auto backend = make_backend();
-        scan_chunk(grid, begin, end, *engine, options.reuse, *backend,
-                   result.scores, profiles[w]);
+        scan_chunk(grid, begin, end, *engine, options.reuse, options.recovery,
+                   *backend, result.scores, profiles[w]);
       });
     }
     pool.run_blocking(std::move(tasks));

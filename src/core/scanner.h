@@ -84,6 +84,27 @@ inline std::unique_ptr<OmegaBackend> borrow_backend(OmegaBackend& backend) {
 
 enum class LdBackendKind { Naive, Popcount, Gemm };
 
+/// Recovery policy for backend failures (core/resilience.h has the engine).
+/// Backoff is accounted against a virtual clock — the scan never wall-sleeps,
+/// so fault-heavy tests stay fast while the metrics still report how long a
+/// real deployment would have waited.
+struct RecoveryPolicy {
+  /// Retries per position after the first failed attempt; exhaustion
+  /// quarantines the position (valid = false, quarantined = true).
+  std::size_t max_retries = 3;
+  double backoff_initial_seconds = 1e-3;
+  double backoff_multiplier = 2.0;
+  /// Treat non-finite omega results (NaN/Inf from a flaky datapath) as
+  /// transient failures subject to the same retry/quarantine path.
+  bool validate_results = true;
+  /// After a device-lost error, demote the backend to the CPU nested loop
+  /// for the rest of its chunk instead of quarantining everything.
+  bool fallback_to_cpu = true;
+
+  /// Throws std::invalid_argument on nonsensical settings.
+  void validate() const;
+};
+
 struct ScannerOptions {
   OmegaConfig config;
   LdBackendKind ld = LdBackendKind::Popcount;
@@ -105,6 +126,10 @@ struct ScannerOptions {
   /// Disables M relocation between positions (ablation switch; OmegaPlus
   /// always reuses).
   bool reuse = true;
+  /// Fault-recovery behaviour of the scan driver (retry/backoff, result
+  /// validation, quarantine, CPU degradation). Default-on and free when the
+  /// backend never fails.
+  RecoveryPolicy recovery;
 };
 
 struct PositionScore {
@@ -114,6 +139,10 @@ struct PositionScore {
   std::size_t best_b = 0;
   std::uint64_t evaluated = 0;
   bool valid = false;
+  /// Recovery gave up on this position (retries exhausted or device lost
+  /// with fallback disabled); always paired with valid == false, so best()
+  /// and top() skip it via the PR-1 invalid-score machinery.
+  bool quarantined = false;
 };
 
 /// Per-stage time buckets (profile v2). The three DP-matrix stages add up to
@@ -159,6 +188,27 @@ struct GpuProfile {
   std::uint64_t bytes_moved = 0;
 };
 
+/// Fault-tolerance counters (profile v3): what the injectors produced and
+/// what the recovery engine did about it. All-zero in a healthy scan.
+struct FaultRecoveryStats {
+  std::uint64_t faults_injected = 0;  // total from backend fault injectors
+  std::uint64_t injected_kernel_launch = 0;
+  std::uint64_t injected_timeout = 0;
+  std::uint64_t injected_nan = 0;
+  std::uint64_t injected_device_lost = 0;
+  /// BackendError exceptions the recovery engine caught (injected or real).
+  std::uint64_t errors_caught = 0;
+  /// Non-finite omega results rejected by result validation.
+  std::uint64_t invalid_results = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t quarantined_positions = 0;
+  /// Device-lost events that demoted a backend instance to the CPU loop.
+  std::uint64_t degradations = 0;
+  /// Exponential-backoff wait accounted against the virtual clock (the scan
+  /// never wall-sleeps).
+  double backoff_virtual_seconds = 0.0;
+};
+
 /// Simulated-FPGA counters: pipeline occupancy of the §V design.
 struct FpgaProfile {
   std::uint64_t pipeline_cycles = 0;  // total accelerator cycles
@@ -187,6 +237,8 @@ struct ScanProfile {
   /// backend ran (merged via OmegaBackend::contribute).
   GpuProfile gpu;
   FpgaProfile fpga;
+  /// Fault-injection and recovery accounting (v3).
+  FaultRecoveryStats faults;
   /// Grid positions actually evaluated (valid positions).
   std::uint64_t positions_scanned = 0;
   /// Names recorded by the scan driver: the LD engine serving r2 fetches and
@@ -221,6 +273,10 @@ struct ScanResult {
   [[nodiscard]] const PositionScore& best() const;
   /// Scores sorted by descending omega, truncated to k.
   [[nodiscard]] std::vector<PositionScore> top(std::size_t k) const;
+  /// True when at least one position holds a valid score — false for empty
+  /// scans and for fault-heavy scans where every position was quarantined;
+  /// callers should check this before best().
+  [[nodiscard]] bool has_valid() const noexcept;
 };
 
 /// Runs a scan. `backend_factory` supplies one backend per worker thread

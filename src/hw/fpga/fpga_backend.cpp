@@ -1,15 +1,17 @@
 #include "hw/fpga/fpga_backend.h"
 
+#include <limits>
 #include <vector>
 
 #include "core/omega_search.h"
+#include "core/resilience.h"
 #include "util/trace.h"
 
 namespace omega::hw::fpga {
 
 FpgaOmegaBackend::FpgaOmegaBackend(const FpgaDeviceSpec& spec,
                                    FpgaBackendOptions options)
-    : spec_(spec), options_(options) {}
+    : spec_(spec), options_(options), injector_(options.fault_plan) {}
 
 std::string FpgaOmegaBackend::name() const { return "fpga-sim:" + spec_.name; }
 
@@ -18,6 +20,26 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
   const util::trace::Span span("fpga.position");
   core::OmegaResult result;
   if (!position.valid) return result;
+
+  // Fault hook: failures fire before any pipeline work or accounting, the
+  // way a failed XRT enqueue / DMA transfer would.
+  bool poison_result = false;
+  switch (injector_.next()) {
+    case util::fault::FaultMode::KernelLaunch:
+      throw core::BackendError(core::BackendErrorKind::KernelLaunch, name(),
+                               "injected accelerator-enqueue failure");
+    case util::fault::FaultMode::Timeout:
+      throw core::BackendError(core::BackendErrorKind::Timeout, name(),
+                               "injected accelerator timeout");
+    case util::fault::FaultMode::DeviceLost:
+      throw core::BackendError(core::BackendErrorKind::DeviceLost, name(),
+                               "injected device loss");
+    case util::fault::FaultMode::TransientNan:
+      poison_result = true;
+      break;
+    default:
+      break;
+  }
 
   const core::PositionBuffers buffers = core::pack_position(m, position);
   const std::uint64_t combos = buffers.combinations();
@@ -89,6 +111,20 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
 
   const PositionCycles cycles = position_cycles(
       spec_, buffers.num_left, buffers.num_right, options_.ts_from_dram);
+  // Modeled watchdog: enforce the per-position device-time budget before any
+  // accounting, treating an over-budget position as a failed run.
+  if (options_.modeled_timeout_seconds > 0.0) {
+    const double modeled_s =
+        static_cast<double>(cycles.hw_cycles) / spec_.clock_hz +
+        static_cast<double>(cycles.sw_omegas) / options_.software_omega_rate;
+    if (modeled_s > options_.modeled_timeout_seconds) {
+      throw core::BackendError(core::BackendErrorKind::Timeout, name(),
+                               "modeled accelerator time exceeded budget");
+    }
+  }
+  if (poison_result && result.evaluated > 0) {
+    result.max_omega = std::numeric_limits<double>::quiet_NaN();
+  }
   accounting_.modeled_cycles += cycles.hw_cycles;
   // Stalls: the share of inner-loop cycles above the ideal (stall_factor 1)
   // one-group-per-clock schedule.
@@ -114,6 +150,12 @@ void FpgaOmegaBackend::contribute(core::ScanProfile& profile) const {
   profile.fpga.hw_omegas += accounting_.hw_omegas;
   profile.fpga.sw_omegas += accounting_.sw_omegas;
   profile.fpga.modeled_seconds += accounting_.modeled_total_seconds();
+  const auto& faults = injector_.counters();
+  profile.faults.faults_injected += faults.total_injected();
+  profile.faults.injected_kernel_launch += faults.injected_kernel_launch;
+  profile.faults.injected_timeout += faults.injected_timeout;
+  profile.faults.injected_nan += faults.injected_nan;
+  profile.faults.injected_device_lost += faults.injected_device_lost;
 }
 
 }  // namespace omega::hw::fpga

@@ -12,6 +12,7 @@
 #include "hw/device_specs.h"
 #include "hw/fpga/cycle_model.h"
 #include "hw/fpga/pipeline.h"
+#include "util/fault.h"
 
 namespace omega::hw::fpga {
 
@@ -25,6 +26,12 @@ struct FpgaBackendOptions {
   double software_omega_rate = 70e6;
   /// Guard against accidentally running paper-scale positions functionally.
   std::uint64_t functional_cap = 1ull << 26;
+  /// Deterministic fault injection (util/fault.h); disabled by default.
+  /// KernelLaunch here models a failed accelerator enqueue over XRT/DMA.
+  util::fault::FaultPlan fault_plan;
+  /// When > 0: a position whose modeled accelerator time exceeds this budget
+  /// raises a Timeout BackendError. 0 disables the watchdog.
+  double modeled_timeout_seconds = 0.0;
 };
 
 struct FpgaAccounting {
@@ -55,11 +62,16 @@ class FpgaOmegaBackend final : public core::OmegaBackend {
   [[nodiscard]] const FpgaAccounting& accounting() const noexcept {
     return accounting_;
   }
+  [[nodiscard]] const util::fault::FaultCounters& fault_counters()
+      const noexcept {
+    return injector_.counters();
+  }
 
  private:
   FpgaDeviceSpec spec_;
   FpgaBackendOptions options_;
   FpgaAccounting accounting_;
+  util::fault::FaultInjector injector_;
 };
 
 }  // namespace omega::hw::fpga

@@ -1,8 +1,10 @@
 #include "hw/gpu/gpu_backend.h"
 
+#include <limits>
 #include <utility>
 #include <vector>
 
+#include "core/resilience.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -37,7 +39,10 @@ core::PositionBuffers swap_sides(const core::PositionBuffers& buffers) {
 GpuOmegaBackend::GpuOmegaBackend(const GpuDeviceSpec& spec,
                                  par::ThreadPool& pool,
                                  GpuBackendOptions options)
-    : spec_(spec), pool_(pool), options_(options) {}
+    : spec_(spec),
+      pool_(pool),
+      options_(options),
+      injector_(options.fault_plan) {}
 
 std::string GpuOmegaBackend::name() const { return "gpu-sim:" + spec_.name; }
 
@@ -45,6 +50,27 @@ core::OmegaResult GpuOmegaBackend::max_omega(
     const core::DpMatrix& m, const core::GridPosition& position) {
   core::OmegaResult result;
   if (!position.valid) return result;
+
+  // Fault hook: injected failures fire before any work or accounting, the
+  // way a failed clEnqueueNDRangeKernel would. TransientNan instead lets the
+  // position run and poisons the returned score.
+  bool poison_result = false;
+  switch (injector_.next()) {
+    case util::fault::FaultMode::KernelLaunch:
+      throw core::BackendError(core::BackendErrorKind::KernelLaunch, name(),
+                               "injected kernel-launch failure");
+    case util::fault::FaultMode::Timeout:
+      throw core::BackendError(core::BackendErrorKind::Timeout, name(),
+                               "injected device timeout");
+    case util::fault::FaultMode::DeviceLost:
+      throw core::BackendError(core::BackendErrorKind::DeviceLost, name(),
+                               "injected device loss");
+    case util::fault::FaultMode::TransientNan:
+      poison_result = true;
+      break;
+    default:
+      break;
+  }
 
   core::PositionBuffers buffers;
   std::uint64_t combos = 0;
@@ -104,6 +130,20 @@ core::OmegaResult GpuOmegaBackend::max_omega(
     result = cpu;
   }
 
+  const CompleteCost cost = complete_position_cost(
+      spec_, choice, combos, buffers.payload_bytes());
+  // Modeled watchdog: a position whose device time blows the budget is
+  // treated as a failed launch — no result, no accounting — matching a
+  // runtime that kills and reaps the kernel.
+  if (options_.modeled_timeout_seconds > 0.0 &&
+      cost.total_s > options_.modeled_timeout_seconds) {
+    throw core::BackendError(core::BackendErrorKind::Timeout, name(),
+                             "modeled device time exceeded budget");
+  }
+  if (poison_result) {
+    result.max_omega = std::numeric_limits<double>::quiet_NaN();
+  }
+
   // Device-model accounting.
   if (choice == KernelChoice::Kernel1) {
     ++accounting_.positions_kernel1;
@@ -112,8 +152,6 @@ core::OmegaResult GpuOmegaBackend::max_omega(
     ++accounting_.positions_kernel2;
     accounting_.omegas_kernel2 += combos;
   }
-  const CompleteCost cost = complete_position_cost(
-      spec_, choice, combos, buffers.payload_bytes());
   accounting_.modeled_kernel_seconds += cost.kernel_s;
   accounting_.modeled_prep_seconds += cost.prep_s;
   accounting_.modeled_transfer_seconds += cost.transfer_s;
@@ -134,6 +172,12 @@ void GpuOmegaBackend::contribute(core::ScanProfile& profile) const {
   profile.gpu.modeled_total_seconds += accounting_.modeled_total_seconds;
   profile.gpu.bytes_moved += accounting_.bytes_moved;
   profile.stages.dispatch_seconds += accounting_.dispatch_seconds;
+  const auto& faults = injector_.counters();
+  profile.faults.faults_injected += faults.total_injected();
+  profile.faults.injected_kernel_launch += faults.injected_kernel_launch;
+  profile.faults.injected_timeout += faults.injected_timeout;
+  profile.faults.injected_nan += faults.injected_nan;
+  profile.faults.injected_device_lost += faults.injected_device_lost;
 }
 
 }  // namespace omega::hw::gpu

@@ -20,6 +20,7 @@
 #include "hw/gpu/omega_kernels.h"
 #include "hw/gpu/timing_model.h"
 #include "par/thread_pool.h"
+#include "util/fault.h"
 
 namespace omega::hw::gpu {
 
@@ -32,6 +33,14 @@ struct GpuBackendOptions {
   /// kernel samples... never: functional execution is exact. The cap guards
   /// against accidentally running paper-scale workloads functionally.
   std::uint64_t functional_cap = 1ull << 26;
+  /// Deterministic fault injection (util/fault.h); disabled by default.
+  /// Injected failures surface as core::BackendError / NaN-poisoned results
+  /// for the scan driver's recovery engine.
+  util::fault::FaultPlan fault_plan;
+  /// When > 0: a position whose modeled device time exceeds this budget
+  /// raises a Timeout BackendError (the watchdog a real OpenCL runtime would
+  /// apply to a runaway kernel). 0 disables the check.
+  double modeled_timeout_seconds = 0.0;
 };
 
 /// Accumulated device-model accounting for a scan.
@@ -67,12 +76,17 @@ class GpuOmegaBackend final : public core::OmegaBackend {
   [[nodiscard]] const GpuAccounting& accounting() const noexcept {
     return accounting_;
   }
+  [[nodiscard]] const util::fault::FaultCounters& fault_counters()
+      const noexcept {
+    return injector_.counters();
+  }
 
  private:
   GpuDeviceSpec spec_;
   par::ThreadPool& pool_;
   GpuBackendOptions options_;
   GpuAccounting accounting_;
+  util::fault::FaultInjector injector_;
 };
 
 }  // namespace omega::hw::gpu

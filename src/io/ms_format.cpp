@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/parse_error.h"
+
 namespace omega::io {
 namespace {
 
@@ -21,18 +23,20 @@ std::string strip(const std::string& line) {
 
 Dataset finish_replicate(const std::vector<double>& fractions,
                          const std::vector<std::string>& haplotypes,
-                         const MsReadOptions& options) {
+                         const MsReadOptions& options,
+                         std::size_t replicate_line) {
   const std::size_t sites = fractions.size();
   for (const auto& hap : haplotypes) {
     if (hap.size() != sites) {
-      throw std::runtime_error("ms: haplotype width " + std::to_string(hap.size()) +
-                               " != segsites " + std::to_string(sites));
+      throw ParseError("ms", replicate_line,
+                       "haplotype width " + std::to_string(hap.size()) +
+                           " != segsites " + std::to_string(sites));
     }
   }
   std::vector<std::int64_t> positions(sites);
   for (std::size_t s = 0; s < sites; ++s) {
     if (fractions[s] < 0.0 || fractions[s] > 1.0) {
-      throw std::runtime_error("ms: position outside [0,1]");
+      throw ParseError("ms", replicate_line, "position outside [0,1]");
     }
     positions[s] = static_cast<std::int64_t>(
         std::llround(fractions[s] * static_cast<double>(options.locus_length_bp)));
@@ -48,7 +52,8 @@ Dataset finish_replicate(const std::vector<double>& fractions,
     for (std::size_t h = 0; h < haplotypes.size(); ++h) {
       const char c = haplotypes[h][s];
       if (c != '0' && c != '1') {
-        throw std::runtime_error(std::string("ms: invalid allele character '") + c + "'");
+        throw ParseError("ms", replicate_line,
+                         std::string("invalid allele character '") + c + "'");
       }
       matrix[s][h] = static_cast<std::uint8_t>(c - '0');
     }
@@ -66,6 +71,8 @@ Dataset finish_replicate(const std::vector<double>& fractions,
 std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
   std::vector<Dataset> replicates;
   std::string line;
+  std::size_t line_number = 0;     // 1-based, for ParseError context
+  std::size_t replicate_line = 0;  // line of the opening "//"
   bool in_replicate = false;
   std::size_t expected_sites = 0;
   std::vector<double> fractions;
@@ -73,7 +80,8 @@ std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
 
   auto flush = [&] {
     if (in_replicate) {
-      replicates.push_back(finish_replicate(fractions, haplotypes, options));
+      replicates.push_back(
+          finish_replicate(fractions, haplotypes, options, replicate_line));
       fractions.clear();
       haplotypes.clear();
       in_replicate = false;
@@ -81,17 +89,23 @@ std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
   };
 
   while (std::getline(in, line)) {
+    ++line_number;
     const std::string text = strip(line);
     if (text == "//") {
       flush();
       in_replicate = true;
+      replicate_line = line_number;
       expected_sites = 0;
       continue;
     }
     if (!in_replicate) continue;  // header / seeds / blank prologue
     if (text.empty()) continue;
     if (text.rfind("segsites:", 0) == 0) {
-      expected_sites = static_cast<std::size_t>(std::stoull(strip(text.substr(9))));
+      // Truncated ("segsites:"), garbage ("segsites: lots"), and
+      // out-of-range values all surface as ParseError with the line number
+      // instead of std::stoull's invalid_argument / out_of_range.
+      expected_sites = static_cast<std::size_t>(
+          parse_uint64(strip(text.substr(9)), "ms", line_number, "segsites"));
       continue;
     }
     if (text.rfind("positions:", 0) == 0) {
@@ -99,7 +113,7 @@ std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
       double value = 0.0;
       while (fields >> value) fractions.push_back(value);
       if (expected_sites != 0 && fractions.size() != expected_sites) {
-        throw std::runtime_error("ms: positions count != segsites");
+        throw ParseError("ms", line_number, "positions count != segsites");
       }
       continue;
     }

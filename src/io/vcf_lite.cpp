@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/parse_error.h"
+
 namespace omega::io {
 namespace {
 
@@ -57,6 +59,14 @@ Dataset read_vcf(std::istream& in, VcfLoadReport* report) {
     } else if (fields[0] != contig) {
       break;  // only the first contig
     }
+    // POS must be a plain non-negative integer; garbage or out-of-range
+    // values (an int64 overflow used to escape as std::out_of_range from
+    // std::stoll) make this a skipped record, not a crashed load.
+    const auto pos = try_parse_int64(fields[1]);
+    if (!pos || *pos < 0) {
+      ++local.records_skipped;
+      continue;
+    }
     const std::string& ref = fields[3];
     const std::string& alt = fields[4];
     if (ref.size() != 1 || alt.size() != 1 || alt == "." || alt[0] == '<') {
@@ -91,12 +101,11 @@ Dataset read_vcf(std::istream& in, VcfLoadReport* report) {
       ++local.records_skipped;
       continue;  // inconsistent ploidy: skip rather than abort
     }
-    const std::int64_t pos = std::stoll(fields[1]);
-    if (!positions.empty() && pos <= positions.back()) {
+    if (!positions.empty() && *pos <= positions.back()) {
       ++local.records_skipped;
       continue;  // unsorted/duplicate positions
     }
-    positions.push_back(pos);
+    positions.push_back(*pos);
     sites.push_back(std::move(row));
   }
 

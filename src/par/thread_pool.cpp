@@ -9,8 +9,11 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> remaining{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  std::exception_ptr error;
-  std::mutex error_mutex;
+  /// One slot per task, indexed by submission order. Each slot is written by
+  /// at most one thread (the one that ran the task) before its finish_one(),
+  /// and only read after `remaining` hits zero, so no lock is needed; the
+  /// acq_rel decrement publishes the writes to the waiting caller.
+  std::vector<std::exception_ptr> errors;
 
   void finish_one() {
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -39,9 +42,18 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::run_item(Item& item) {
+  try {
+    item.task();
+  } catch (...) {
+    item.batch->errors[item.index] = std::current_exception();
+  }
+  item.batch->finish_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::pair<Batch*, std::function<void()>> item;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -49,13 +61,7 @@ void ThreadPool::worker_loop() {
       item = std::move(queue_.front());
       queue_.pop_front();
     }
-    try {
-      item.second();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(item.first->error_mutex);
-      if (!item.first->error) item.first->error = std::current_exception();
-    }
-    item.first->finish_one();
+    run_item(item);
   }
 }
 
@@ -63,10 +69,11 @@ void ThreadPool::run_blocking(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   Batch batch;
   batch.remaining.store(tasks.size(), std::memory_order_relaxed);
+  batch.errors.resize(tasks.size());
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& task : tasks) {
-      queue_.emplace_back(&batch, std::move(task));
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      queue_.push_back(Item{&batch, i, std::move(tasks[i])});
     }
   }
   cv_.notify_all();
@@ -74,27 +81,23 @@ void ThreadPool::run_blocking(std::vector<std::function<void()>> tasks) {
   // The caller drains tasks belonging to any batch; this keeps a 1-thread
   // pool (or a pool saturated by other callers) deadlock-free.
   for (;;) {
-    std::pair<Batch*, std::function<void()>> item;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (queue_.empty()) break;
       item = std::move(queue_.front());
       queue_.pop_front();
     }
-    try {
-      item.second();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(item.first->error_mutex);
-      if (!item.first->error) item.first->error = std::current_exception();
-    }
-    item.first->finish_one();
+    run_item(item);
   }
 
   std::unique_lock<std::mutex> lock(batch.done_mutex);
   batch.done_cv.wait(lock, [&batch] {
     return batch.remaining.load(std::memory_order_acquire) == 0;
   });
-  if (batch.error) std::rethrow_exception(batch.error);
+  for (const std::exception_ptr& error : batch.errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

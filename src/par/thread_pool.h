@@ -31,18 +31,25 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Runs `tasks` to completion; the calling thread also executes tasks.
-  /// Exceptions from tasks are rethrown (first one wins) after the batch
-  /// drains, so no task is left running when this returns.
+  /// If tasks throw, the batch still drains fully (no task is left running),
+  /// then the exception of the earliest-submitted failing task is rethrown —
+  /// deterministic regardless of which worker ran which task first.
   void run_blocking(std::vector<std::function<void()>> tasks);
 
  private:
   struct Batch;
+  struct Item {
+    Batch* batch = nullptr;
+    std::size_t index = 0;  // submission order within the batch
+    std::function<void()> task;
+  };
+  void run_item(Item& item);
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::pair<Batch*, std::function<void()>>> queue_;
+  std::deque<Item> queue_;
   bool stopping_ = false;
 };
 

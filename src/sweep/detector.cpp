@@ -35,6 +35,7 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
   core::ScannerOptions scanner_options;
   scanner_options.config = options.config;
   scanner_options.ld = options.ld;
+  scanner_options.recovery = options.recovery;
 
   DetectionReport report;
   core::ScanResult scan_result;
@@ -61,7 +62,10 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
         return std::make_unique<hw::gpu::GpuLdEngine>(snps, pool, spec);
       };
       scan_result = core::scan(dataset, scanner_options, [&] {
-        return std::make_unique<hw::gpu::GpuOmegaBackend>(spec, pool);
+        hw::gpu::GpuBackendOptions backend_options;
+        backend_options.fault_plan = options.fault_plan;
+        return std::make_unique<hw::gpu::GpuOmegaBackend>(spec, pool,
+                                                          backend_options);
       });
       break;
     }
@@ -69,7 +73,10 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
       const auto spec = hw::alveo_u200();
       report.backend_name = "fpga-sim:" + spec.name;
       scan_result = core::scan(dataset, scanner_options, [&] {
-        return std::make_unique<hw::fpga::FpgaOmegaBackend>(spec);
+        hw::fpga::FpgaBackendOptions backend_options;
+        backend_options.fault_plan = options.fault_plan;
+        return std::make_unique<hw::fpga::FpgaOmegaBackend>(spec,
+                                                            backend_options);
       });
       break;
     }

@@ -10,6 +10,7 @@
 
 #include "core/scanner.h"
 #include "io/dataset.h"
+#include "util/fault.h"
 
 namespace omega::sweep {
 
@@ -25,6 +26,11 @@ struct DetectorOptions {
   Backend backend = Backend::Cpu;
   std::size_t threads = 4;  // CpuThreaded only
   core::LdBackendKind ld = core::LdBackendKind::Popcount;
+  /// Fault-recovery policy forwarded to the scan driver.
+  core::RecoveryPolicy recovery;
+  /// Deterministic fault injection applied to the simulated accelerator
+  /// backends (GpuSim / FpgaSim); ignored by the CPU backends.
+  util::fault::FaultPlan fault_plan;
 };
 
 struct Candidate {

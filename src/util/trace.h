@@ -101,6 +101,18 @@ inline void record(const char* name, double start_s, double duration_s) {
   return r.recorded;
 }
 
+/// Zero-duration point event ("instant"), for actions whose occurrence
+/// matters more than their duration — retry decisions, quarantines, backend
+/// degradations. No-op when tracing is disabled.
+inline void instant(const char* name) {
+  if (!enabled()) return;
+  auto& r = detail::registry();
+  const double start_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - r.epoch)
+                             .count();
+  record(name, start_s, 0.0);
+}
+
 /// RAII scoped span. With tracing disabled the constructor is a single
 /// relaxed load and the destructor a branch on a bool.
 class Span {

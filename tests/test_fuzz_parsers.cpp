@@ -9,6 +9,7 @@
 
 #include "io/fasta.h"
 #include "io/ms_format.h"
+#include "io/parse_error.h"
 #include "io/plink.h"
 #include "core/report.h"
 #include "io/vcf_lite.h"
@@ -134,6 +135,92 @@ TEST(FuzzParsers, VcfStructuredMutations) {
       omega::io::read_vcf(in).validate();
     });
   }
+}
+
+// ---- Crash corpus: regressions for the raw-stoi/stoll era -----------------
+// These inputs used to escape as std::invalid_argument / std::out_of_range
+// (or crash the loader outright); they must now produce a typed ParseError,
+// a skipped record, or a clean parse — never an unrelated exception type.
+
+TEST(ParserHardening, MsSegsitesOverflowIsParseError) {
+  std::istringstream in(
+      "//\nsegsites: 999999999999999999999999\npositions: 0.5\n1\n");
+  try {
+    (void)omega::io::read_ms(in);
+    FAIL() << "expected ParseError";
+  } catch (const omega::io::ParseError& error) {
+    EXPECT_EQ(error.format(), "ms");
+    EXPECT_EQ(error.line(), 2u);
+    EXPECT_NE(error.reason().find("segsites"), std::string::npos);
+  }
+}
+
+TEST(ParserHardening, MsSegsitesGarbageIsParseError) {
+  std::istringstream garbage("//\nsegsites: lots\n");
+  EXPECT_THROW((void)omega::io::read_ms(garbage), omega::io::ParseError);
+  std::istringstream truncated("//\nsegsites:\n");
+  EXPECT_THROW((void)omega::io::read_ms(truncated), omega::io::ParseError);
+}
+
+TEST(ParserHardening, MsBadAlleleIsParseErrorWithReplicateLine) {
+  std::istringstream in(
+      "header\n\n//\nsegsites: 3\npositions: 0.1 0.2 0.3\n010\n0x0\n");
+  try {
+    (void)omega::io::read_ms(in);
+    FAIL() << "expected ParseError";
+  } catch (const omega::io::ParseError& error) {
+    EXPECT_EQ(error.line(), 3u);  // the replicate's "//" marker
+    EXPECT_NE(error.reason().find("allele"), std::string::npos);
+  }
+}
+
+TEST(ParserHardening, MsParseErrorIsARuntimeError) {
+  // Existing catch sites handle std::runtime_error; the typed error must
+  // keep flowing through them.
+  std::istringstream in("//\nsegsites: nope\n");
+  EXPECT_THROW((void)omega::io::read_ms(in), std::runtime_error);
+}
+
+TEST(ParserHardening, VcfPosOverflowIsSkippedNotFatal) {
+  const std::string text =
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\tS2\n"
+      "1\t999999999999999999999999\t.\tA\tT\t.\t.\t.\tGT\t0|1\t1|0\n"
+      "1\t200\t.\tC\tG\t.\t.\t.\tGT\t0|1\t1|0\n";
+  std::istringstream in(text);
+  omega::io::VcfLoadReport report;
+  const auto dataset = omega::io::read_vcf(in, &report);
+  EXPECT_EQ(report.records_total, 2u);
+  EXPECT_EQ(report.records_skipped, 1u);
+  EXPECT_EQ(dataset.num_sites(), 1u);
+  EXPECT_EQ(dataset.position(0), 200);
+}
+
+TEST(ParserHardening, VcfGarbagePosIsSkippedNotFatal) {
+  const std::string text =
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\tS2\n"
+      "1\tabc\t.\tA\tT\t.\t.\t.\tGT\t0|1\t1|0\n"
+      "1\t-5\t.\tA\tT\t.\t.\t.\tGT\t0|1\t1|0\n"
+      "1\t\t.\tA\tT\t.\t.\t.\tGT\t0|1\t1|0\n"
+      "1\t100\t.\tA\tT\t.\t.\t.\tGT\t0|1\t1|0\n";
+  std::istringstream in(text);
+  omega::io::VcfLoadReport report;
+  const auto dataset = omega::io::read_vcf(in, &report);
+  EXPECT_EQ(report.records_skipped, 3u);
+  EXPECT_EQ(dataset.num_sites(), 1u);
+}
+
+TEST(ParserHardening, TryParseHelpersRejectJunk) {
+  using omega::io::try_parse_int64;
+  using omega::io::try_parse_uint64;
+  EXPECT_EQ(try_parse_int64("123"), 123);
+  EXPECT_EQ(try_parse_int64("-7"), -7);
+  EXPECT_FALSE(try_parse_int64(""));
+  EXPECT_FALSE(try_parse_int64("12x"));
+  EXPECT_FALSE(try_parse_int64(" 12"));
+  EXPECT_FALSE(try_parse_int64("999999999999999999999999"));
+  EXPECT_EQ(try_parse_uint64("42"), 42u);
+  EXPECT_FALSE(try_parse_uint64("-1"));
+  EXPECT_FALSE(try_parse_uint64("18446744073709551616"));  // 2^64
 }
 
 TEST(FuzzParsers, PlinkStructuredMutations) {

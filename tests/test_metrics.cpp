@@ -177,6 +177,15 @@ TEST(ScanMetrics, SchemaDocumentRoundTrips) {
   EXPECT_EQ(counters.at("positions_scanned").as_uint(),
             result.profile.positions_scanned);
 
+  // A healthy scan reports an all-zero fault-recovery block (schema v3).
+  const auto& faults = doc.at("faults");
+  EXPECT_EQ(faults.at("injected").as_uint(), 0u);
+  EXPECT_EQ(faults.at("errors_caught").as_uint(), 0u);
+  EXPECT_EQ(faults.at("retries").as_uint(), 0u);
+  EXPECT_EQ(faults.at("quarantined_positions").as_uint(), 0u);
+  EXPECT_EQ(faults.at("degradations").as_uint(), 0u);
+  EXPECT_EQ(faults.at("backoff_virtual_seconds").as_double(), 0.0);
+
   const auto reparsed = JsonValue::parse(doc.dump());
   EXPECT_EQ(reparsed, doc);
   EXPECT_EQ(reparsed.at("counters").at("omega_evaluations").as_uint(),

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "par/thread_pool.h"
@@ -51,6 +54,64 @@ TEST(ThreadPool, AllTasksRunEvenWhenOneThrows) {
   }
   EXPECT_THROW(pool.run_blocking(std::move(tasks)), std::runtime_error);
   EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, RethrowsEarliestSubmittedError) {
+  // Multiple tasks fail; run_blocking must rethrow the failure of the
+  // earliest-submitted task, not whichever thread lost the race. With tasks
+  // 7 and 2 both throwing, the batch must always report task 2.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.emplace_back([i] {
+        if (i == 7) throw std::runtime_error("task 7");
+        if (i == 2) throw std::runtime_error("task 2");
+      });
+    }
+    try {
+      pool.run_blocking(std::move(tasks));
+      FAIL() << "expected run_blocking to throw";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "task 2");
+    }
+  }
+}
+
+TEST(ThreadPool, WorkerThrownErrorReachesTheCaller) {
+  // Deterministically force the *worker* thread (not the task-stealing
+  // caller) to run the throwing task: a pool of size 1 gives two lanes, and
+  // a 2-party barrier inside both tasks means each lane takes exactly one.
+  // Whichever lane runs the throwing task, the caller must see the error.
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived >= 2; });
+  };
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&] {
+    rendezvous();
+    throw std::runtime_error("worker lane failure");
+  });
+  tasks.emplace_back([&] { rendezvous(); });
+  try {
+    pool.run_blocking(std::move(tasks));
+    FAIL() << "expected run_blocking to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "worker lane failure");
+  }
+}
+
+TEST(ThreadPool, NonStdExceptionPropagates) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw std::string("not derived from std::exception"); });
+  EXPECT_THROW(pool.run_blocking(std::move(tasks)), std::string);
 }
 
 TEST(ThreadPool, SequentialBatches) {
