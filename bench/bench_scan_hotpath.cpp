@@ -1,0 +1,211 @@
+// Perf-regression harness for the vectorized scan hot path (docs/PERF.md):
+//
+//   1. omega-kernel microbenchmark — ns per Eq. (2) evaluation for every
+//      compiled kernel body (scalar reference, portable fused loop, AVX2)
+//      on the largest grid position of a figure-style dataset. The headline
+//      regression gate is dispatched-vs-scalar speedup (expected >= 2x on
+//      any AVX2 host; the fused form alone gives a measurable win even on
+//      baseline hosts).
+//   2. DP-matrix extend throughput — Eq. (3) cells per second through the
+//      suffix-scan extend (r2 fetch included), the second hot loop.
+//   3. End-to-end scans — identical scans with --cpu-kernel=scalar vs the
+//      dispatched kernel; positions/s and the whole ScanProfile embedded.
+//
+// Output: stdout tables + BENCH_SCAN.json (schema omega.bench).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dp_matrix.h"
+#include "core/grid.h"
+#include "core/omega_kernel_cpu.h"
+#include "core/scanner.h"
+#include "ld/ld_engine.h"
+#include "ld/snp_matrix.h"
+#include "util/cpu_features.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using omega::core::CpuKernelKind;
+
+/// ns per omega evaluation for one kernel body on the largest valid grid
+/// position (the measure_omega_rate protocol, kernel-parametrized).
+double measure_kernel_ns(const omega::io::Dataset& dataset,
+                         const omega::core::OmegaConfig& config,
+                         CpuKernelKind kind, double min_seconds = 0.4) {
+  const auto grid = omega::core::build_grid(dataset, config);
+  const omega::core::GridPosition* position = nullptr;
+  for (const auto& candidate : grid) {
+    if (candidate.valid && (position == nullptr ||
+                            candidate.combinations() > position->combinations())) {
+      position = &candidate;
+    }
+  }
+  if (position == nullptr) throw std::runtime_error("no valid grid position");
+
+  const omega::ld::SnpMatrix snps(dataset);
+  const omega::ld::PopcountLd engine(snps);
+  omega::core::DpMatrix m;
+  m.reset(position->lo);
+  m.extend(position->hi + 1, engine);
+
+  omega::core::OmegaKernelScratch scratch;
+  std::uint64_t evaluated = 0;
+  double best = 0.0;
+  omega::util::Timer timer;
+  do {
+    const auto result =
+        omega::core::omega_kernel_search(m, *position, kind, scratch);
+    evaluated += result.evaluated;
+    best = result.max_omega;  // defeat dead-code elimination
+  } while (timer.seconds() < min_seconds);
+  (void)best;
+  return timer.seconds() * 1e9 / static_cast<double>(evaluated);
+}
+
+/// Eq. (3) cells per second through reset + suffix-scan extend (includes the
+/// engine's r2 block fetch, as in a real scan).
+double measure_extend_rate(const omega::io::Dataset& dataset,
+                           std::size_t region_rows,
+                           double min_seconds = 0.4) {
+  const omega::ld::SnpMatrix snps(dataset);
+  const omega::ld::PopcountLd engine(snps);
+  omega::core::DpMatrix m;
+  std::uint64_t cells = 0;
+  omega::util::Timer timer;
+  do {
+    m.reset(0);
+    m.extend(region_rows, engine);
+    cells += region_rows * (region_rows - 1) / 2;
+  } while (timer.seconds() < min_seconds);
+  return static_cast<double>(cells) / timer.seconds();
+}
+
+std::string ns_str(double ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", ns);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  const bool avx2 = omega::core::cpu_kernel_avx2_available();
+  const CpuKernelKind dispatched =
+      omega::core::resolve_cpu_kernel(CpuKernelKind::Auto);
+  std::printf("scan hot path benchmark — host ISA: %s, dispatched kernel: %s\n\n",
+              omega::util::cpu_isa_summary().c_str(),
+              omega::core::cpu_kernel_name(dispatched));
+
+  omega::bench::BenchJson json("SCAN");
+  json.set("isa", omega::util::cpu_isa_summary())
+      .set("dispatched", omega::core::cpu_kernel_name(dispatched))
+      .set("avx2_available", avx2);
+
+  // --- 1. omega-kernel microbenchmark ------------------------------------
+  // Figure-style dataset, SNP windows: one large position dominated by the
+  // inner Eq. (2) loop, the regime of the paper's Fig. 8/Fig. 9 kernels.
+  const auto micro_dataset = omega::bench::figure_dataset(4'000, 50);
+  omega::core::OmegaConfig micro_config;
+  micro_config.grid_size = 40;
+  micro_config.window_unit = omega::core::WindowUnit::Snps;
+  micro_config.max_window = 3'000;
+  micro_config.min_window = 4;
+
+  const double scalar_ns =
+      measure_kernel_ns(micro_dataset, micro_config, CpuKernelKind::Scalar);
+  const double portable_ns =
+      measure_kernel_ns(micro_dataset, micro_config, CpuKernelKind::Portable);
+  const double avx2_ns =
+      avx2 ? measure_kernel_ns(micro_dataset, micro_config, CpuKernelKind::Avx2)
+           : 0.0;
+  const double dispatched_ns = dispatched == CpuKernelKind::Avx2
+                                   ? avx2_ns
+                                   : portable_ns;
+  const double speedup = scalar_ns / dispatched_ns;
+
+  omega::util::Table micro_table({"kernel", "ns/omega", "speedup vs scalar"});
+  micro_table.add_row({"scalar", ns_str(scalar_ns), "1.00"});
+  micro_table.add_row({"portable", ns_str(portable_ns),
+                       ns_str(scalar_ns / portable_ns)});
+  if (avx2) {
+    micro_table.add_row({"avx2", ns_str(avx2_ns),
+                         ns_str(scalar_ns / avx2_ns)});
+  }
+  std::printf("omega kernel (4000 SNPs x 50 samples, largest position):\n");
+  micro_table.print();
+  std::printf("dispatched (%s) speedup vs scalar: %.2fx %s\n\n",
+              omega::core::cpu_kernel_name(dispatched), speedup,
+              speedup >= 2.0 ? "[OK >= 2x]" : "[BELOW 2x TARGET]");
+
+  auto micro = omega::core::metrics::JsonValue::object();
+  micro.set("scalar_ns_per_eval", scalar_ns);
+  micro.set("portable_ns_per_eval", portable_ns);
+  if (avx2) micro.set("avx2_ns_per_eval", avx2_ns);
+  micro.set("dispatched_ns_per_eval", dispatched_ns);
+  micro.set("speedup_dispatched_vs_scalar", speedup);
+  json.set("omega_kernel", std::move(micro));
+
+  // --- 2. DP-matrix extend throughput ------------------------------------
+  const auto extend_dataset = omega::bench::figure_dataset(3'000, 50);
+  const double cells_per_s = measure_extend_rate(extend_dataset, 2'500);
+  std::printf("dp-matrix extend (2500-row region, r2 fetch included): "
+              "%.1f Mcells/s\n\n", cells_per_s / 1e6);
+  auto extend = omega::core::metrics::JsonValue::object();
+  extend.set("region_rows", 2'500);
+  extend.set("cells_per_s", cells_per_s);
+  json.set("extend", std::move(extend));
+
+  // --- 3. end-to-end scans ------------------------------------------------
+  const auto scan_dataset = omega::bench::figure_dataset(10'000, 50);
+  omega::core::OmegaConfig scan_config;
+  scan_config.grid_size = 150;
+  scan_config.window_unit = omega::core::WindowUnit::Snps;
+  scan_config.max_window = 2'000;
+  scan_config.min_window = 4;
+
+  omega::core::ScannerOptions scalar_options;
+  scalar_options.config = scan_config;
+  scalar_options.cpu_kernel = CpuKernelKind::Scalar;
+  const auto scalar_scan = omega::core::scan(scan_dataset, scalar_options);
+
+  omega::core::ScannerOptions auto_options = scalar_options;
+  auto_options.cpu_kernel = CpuKernelKind::Auto;
+  const auto auto_scan = omega::core::scan(scan_dataset, auto_options);
+
+  const double scalar_pps =
+      static_cast<double>(scalar_scan.profile.positions_scanned) /
+      scalar_scan.profile.total_seconds;
+  const double auto_pps =
+      static_cast<double>(auto_scan.profile.positions_scanned) /
+      auto_scan.profile.total_seconds;
+
+  omega::util::Table scan_table(
+      {"kernel", "positions/s", "scan s", "omega share %"});
+  scan_table.add_row({"scalar", ns_str(scalar_pps),
+                      ns_str(scalar_scan.profile.total_seconds),
+                      ns_str(100.0 * scalar_scan.profile.omega_share())});
+  scan_table.add_row({auto_scan.profile.kernel.selected.c_str(),
+                      ns_str(auto_pps),
+                      ns_str(auto_scan.profile.total_seconds),
+                      ns_str(100.0 * auto_scan.profile.omega_share())});
+  std::printf("end-to-end scan (10000 SNPs x 50 samples, 150 positions, "
+              "SNP windows <= 2000):\n");
+  scan_table.print();
+  std::printf("end-to-end speedup (positions/s): %.2fx\n", auto_pps / scalar_pps);
+
+  json.add_scan_profile("scan_scalar", scalar_scan.profile);
+  json.add_scan_profile("scan_dispatched", auto_scan.profile);
+  auto end_to_end = omega::core::metrics::JsonValue::object();
+  end_to_end.set("scalar_positions_per_s", scalar_pps);
+  end_to_end.set("dispatched_positions_per_s", auto_pps);
+  end_to_end.set("speedup", auto_pps / scalar_pps);
+  json.set("end_to_end", std::move(end_to_end));
+
+  json.write();
+  return speedup >= 2.0 || !avx2 ? 0 : 1;
+}

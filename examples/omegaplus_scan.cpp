@@ -129,6 +129,9 @@ int main(int argc, char** argv) {
       .describe("threads", "worker threads for the CPU scan (default 1)")
       .describe("ld", "popcount | gemm (default popcount)")
       .describe("backend", "cpu | gpu | fpga (default cpu)")
+      .describe("cpu-kernel",
+                "cpu omega kernel: auto | scalar | portable | avx2 "
+                "(default auto)")
       .describe("reports-dir", "output directory (default .)")
       .describe("simulate-snps", "simulation: number of SNPs")
       .describe("simulate-samples", "simulation: number of haplotypes")
@@ -206,6 +209,16 @@ int main(int argc, char** argv) {
   options.ld = cli.get("ld", "popcount") == "gemm"
                    ? omega::core::LdBackendKind::Gemm
                    : omega::core::LdBackendKind::Popcount;
+  try {
+    options.cpu_kernel =
+        omega::core::cpu_kernel_from_name(cli.get("cpu-kernel", "auto"));
+    // Fail fast on a forced-but-unrunnable kernel (e.g. --cpu-kernel=avx2 on
+    // a host without AVX2+FMA) instead of deep inside scan().
+    (void)omega::core::resolve_cpu_kernel(options.cpu_kernel);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
 
   const std::string metrics_path = cli.get("metrics-json", "");
   const bool trace_enabled = cli.get_bool("trace", false);
@@ -282,6 +295,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.profile.omega_evaluations),
               result.profile.total_seconds,
               result.profile.omega_throughput() / 1e6);
+  const auto& kernel = result.profile.kernel;
+  std::printf("cpu-kernel: requested %s, selected %s (avx2 %s)\n",
+              kernel.requested.c_str(), kernel.selected.c_str(),
+              kernel.avx2_supported ? "available" : "unavailable");
   const auto& faults = result.profile.faults;
   if (faults.faults_injected > 0 || faults.errors_caught > 0 ||
       faults.quarantined_positions > 0 || faults.degradations > 0) {

@@ -25,6 +25,10 @@
 
 #include "ld/ld_engine.h"
 
+namespace omega::par {
+class ThreadPool;
+}
+
 namespace omega::core {
 
 /// Lifetime reuse accounting of one DpMatrix (observability layer): how the
@@ -65,14 +69,31 @@ class DpMatrix {
     return i == j ? 0.0 : storage_[row_offset(i) + j];
   }
 
+  /// Raw contiguous slice of row `gi` of the packed triangle: entry k is
+  /// M(gi, base() + k) for k = 0 .. gi - base() - 1. The diagonal M(gi, gi)
+  /// is implicit (zero) and NOT part of the slice — vectorized kernels must
+  /// only read columns strictly below gi. Caller guarantees
+  /// base() <= gi < end().
+  [[nodiscard]] const double* row_data(std::size_t gi) const noexcept {
+    return storage_.data() + row_offset(gi - base_);
+  }
+
   /// Drops all state before `new_base` (new_base >= base). The kept
   /// sub-triangle is moved in place — this is the OmegaPlus relocation.
   void relocate(std::size_t new_base);
 
-  /// Grows coverage to [base, new_end) computing new rows via the recurrence;
-  /// r2 values for the new rows are fetched in one block from the engine
-  /// (which is where the GEMM engine gets its batch efficiency).
-  void extend(std::size_t new_end, const ld::LdEngine& engine);
+  /// Grows coverage to [base, new_end) computing new rows via the Eq. (3)
+  /// recurrence in telescoped form: row i equals row i-1 plus the suffix-sum
+  /// of row i's fresh r2 values, so the per-cell 4-term dependency chain
+  /// becomes one suffix scan per row (independent across rows) followed by a
+  /// vectorizable row add. r2 values for the new rows are fetched in one
+  /// block from the engine (which is where the GEMM engine gets its batch
+  /// efficiency) into a reusable scratch buffer. When `pool` is non-null,
+  /// large extends tile the suffix-scan phase across it; results are
+  /// bit-identical with or without a pool (per-row summation order is
+  /// fixed).
+  void extend(std::size_t new_end, const ld::LdEngine& engine,
+              par::ThreadPool* pool = nullptr);
 
   /// Number of r2 values fetched over the object's lifetime (reuse metric).
   [[nodiscard]] std::uint64_t r2_fetches() const noexcept { return r2_fetches_; }
@@ -94,6 +115,7 @@ class DpMatrix {
   std::size_t base_ = 0;
   std::size_t count_ = 0;
   std::vector<double> storage_;  // packed lower triangle, diagonal implicit 0
+  std::vector<float> r2_scratch_;  // reusable extend() fetch buffer
   std::uint64_t r2_fetches_ = 0;
   DpMatrixStats stats_;
 };

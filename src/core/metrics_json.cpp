@@ -503,6 +503,18 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   faults.set("backoff_virtual_seconds",
              profile.faults.backoff_virtual_seconds);
   doc.set("faults", std::move(faults));
+
+  // v4: CPU omega-kernel dispatch decision + per-body evaluation counts
+  // (docs/METRICS.md "kernel" block).
+  JsonValue kernel = JsonValue::object();
+  kernel.set("requested", profile.kernel.requested);
+  kernel.set("selected", profile.kernel.selected);
+  kernel.set("avx2_supported", profile.kernel.avx2_supported);
+  kernel.set("positions", profile.kernel.positions);
+  kernel.set("scalar_evaluations", profile.kernel.scalar_evaluations);
+  kernel.set("portable_evaluations", profile.kernel.portable_evaluations);
+  kernel.set("avx2_evaluations", profile.kernel.avx2_evaluations);
+  doc.set("kernel", std::move(kernel));
   return doc;
 }
 

@@ -9,40 +9,19 @@
 namespace omega::core {
 
 OmegaResult max_omega_search(const DpMatrix& m, const GridPosition& position) {
-  OmegaResult result;
-  if (!position.valid) return result;
-  const std::size_t c = position.c;
-
   // Loop order: right border b outer, left border a inner. For a fixed b,
   // M(b, a) walks row b of the packed triangle contiguously and M(c, a)
   // walks row c contiguously, so the scan streams two rows per outer
   // iteration instead of striding across the whole matrix — the CPU-side
   // analogue of the paper's "two columns per iteration of i" layout
   // observation (Fig. 9). Results are order-independent (strict max).
-  for (std::size_t b = position.b_min; b <= position.hi; ++b) {
-    const double right_sum = m.at_fast(b, c + 1);
-    const std::size_t r = b - c;
-    for (std::size_t a = position.lo; a <= position.a_max; ++a) {
-      const double left_sum = m.at_fast(c, a);
-      const double cross_sum = m.at_fast(b, a) - (left_sum + right_sum);
-      const std::size_t l = c - a + 1;
-      const double omega = omega_from_sums(left_sum, right_sum, cross_sum, l, r);
-      ++result.evaluated;
-      if (omega > result.max_omega) {
-        result.max_omega = omega;
-        result.best_a = a;
-        result.best_b = b;
-      }
-    }
-  }
-  return result;
+  if (!position.valid) return {};
+  return max_omega_search_range(m, position, position.b_min, position.hi);
 }
 
-namespace {
-
-/// Sequential search restricted to right borders [b_begin, b_end].
-OmegaResult search_b_range(const DpMatrix& m, const GridPosition& position,
-                           std::size_t b_begin, std::size_t b_end) {
+OmegaResult max_omega_search_range(const DpMatrix& m,
+                                   const GridPosition& position,
+                                   std::size_t b_begin, std::size_t b_end) {
   OmegaResult result;
   const std::size_t c = position.c;
   for (std::size_t b = b_begin; b <= b_end; ++b) {
@@ -64,8 +43,6 @@ OmegaResult search_b_range(const DpMatrix& m, const GridPosition& position,
   return result;
 }
 
-}  // namespace
-
 OmegaResult max_omega_search_parallel(par::ThreadPool& pool, const DpMatrix& m,
                                       const GridPosition& position) {
   OmegaResult result;
@@ -81,7 +58,7 @@ OmegaResult max_omega_search_parallel(par::ThreadPool& pool, const DpMatrix& m,
     if (begin > position.hi) break;
     const std::size_t end = std::min(position.hi, begin + chunk - 1);
     tasks.emplace_back([&, lane, begin, end] {
-      partials[lane] = search_b_range(m, position, begin, end);
+      partials[lane] = max_omega_search_range(m, position, begin, end);
     });
   }
   pool.run_blocking(std::move(tasks));

@@ -29,8 +29,18 @@ struct OmegaResult {
   std::uint64_t evaluated = 0;
 };
 
-/// Double-precision CPU evaluation of one grid position.
+/// Double-precision CPU evaluation of one grid position. This is the scalar
+/// reference loop — the arithmetic every other kernel (vectorized CPU,
+/// simulated GPU/FPGA) is validated against. The optimized bodies live in
+/// core/omega_kernel_cpu.h.
 OmegaResult max_omega_search(const DpMatrix& m, const GridPosition& position);
+
+/// Scalar reference search restricted to right borders [b_begin, b_end]
+/// (caller keeps the range inside [position.b_min, position.hi]). Building
+/// block of the parallel searches and of the kernel dispatch layer.
+OmegaResult max_omega_search_range(const DpMatrix& m,
+                                   const GridPosition& position,
+                                   std::size_t b_begin, std::size_t b_end);
 
 /// Fine-grained parallel variant: the right-border (outer) loop is split
 /// into contiguous chunks across the pool — the intra-position

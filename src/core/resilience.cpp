@@ -35,8 +35,9 @@ void RecoveryPolicy::validate() const {
 // FallbackBackend
 // ---------------------------------------------------------------------------
 
-FallbackBackend::FallbackBackend(std::unique_ptr<OmegaBackend> primary)
-    : primary_(std::move(primary)) {}
+FallbackBackend::FallbackBackend(std::unique_ptr<OmegaBackend> primary,
+                                 CpuKernelKind kind)
+    : primary_(std::move(primary)), cpu_(kind) {}
 
 std::string FallbackBackend::name() const {
   return degraded_ ? primary_->name() + "+degraded:cpu" : primary_->name();
@@ -59,6 +60,7 @@ OmegaResult FallbackBackend::max_omega(const DpMatrix& m,
 
 void FallbackBackend::contribute(ScanProfile& profile) const {
   primary_->contribute(profile);
+  cpu_.contribute(profile);  // kernel counters of any degraded positions
   if (degraded_) ++profile.faults.degradations;
 }
 

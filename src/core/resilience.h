@@ -63,7 +63,11 @@ class BackendError : public std::runtime_error {
 /// recovery engine untouched.
 class FallbackBackend final : public OmegaBackend {
  public:
-  explicit FallbackBackend(std::unique_ptr<OmegaBackend> primary);
+  /// `kind` selects the CPU kernel body used after degradation (the scan
+  /// driver passes its resolved --cpu-kernel choice so degraded positions use
+  /// the same arithmetic the pure-CPU scan would).
+  explicit FallbackBackend(std::unique_ptr<OmegaBackend> primary,
+                           CpuKernelKind kind = CpuKernelKind::Auto);
 
   [[nodiscard]] std::string name() const override;
   OmegaResult max_omega(const DpMatrix& m,

@@ -31,7 +31,7 @@ std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
 /// accumulated into `stages`.
 void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
                     const GridPosition& position, const ld::LdEngine& engine,
-                    StageTimes& stages) {
+                    StageTimes& stages, par::ThreadPool* pool = nullptr) {
   if (!reuse || !m_live || position.lo < m.base()) {
     const util::trace::Span span("scan.ld.reset");
     const util::Timer timer;
@@ -46,7 +46,7 @@ void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
   {
     const util::trace::Span span("scan.ld.extend");
     const util::Timer timer;
-    m.extend(position.hi + 1, engine);
+    m.extend(position.hi + 1, engine, pool);
     stages.ld_extend_seconds += timer.seconds();
   }
   m_live = true;
@@ -104,6 +104,10 @@ void merge_worker_profile(ScanProfile& into, const ScanProfile& from) {
   into.faults.quarantined_positions += from.faults.quarantined_positions;
   into.faults.degradations += from.faults.degradations;
   into.faults.backoff_virtual_seconds += from.faults.backoff_virtual_seconds;
+  into.kernel.positions += from.kernel.positions;
+  into.kernel.scalar_evaluations += from.kernel.scalar_evaluations;
+  into.kernel.portable_evaluations += from.kernel.portable_evaluations;
+  into.kernel.avx2_evaluations += from.kernel.avx2_evaluations;
   if (into.omega_backend.empty()) into.omega_backend = from.omega_backend;
 }
 
@@ -153,21 +157,63 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
 }
 
 /// Adapter presenting the intra-position parallel search as an OmegaBackend
-/// so the InnerPosition driver shares the recovery engine.
+/// so the InnerPosition driver shares the recovery engine. Routes through the
+/// dispatched kernel layer like CpuOmegaBackend and accounts evaluations the
+/// same way.
 class InnerPositionBackend final : public OmegaBackend {
  public:
-  explicit InnerPositionBackend(par::ThreadPool& pool) : pool_(pool) {}
+  InnerPositionBackend(par::ThreadPool& pool, CpuKernelKind kind)
+      : pool_(pool), kind_(kind) {}
   [[nodiscard]] std::string name() const override { return "cpu"; }
   OmegaResult max_omega(const DpMatrix& m,
                         const GridPosition& position) override {
-    return max_omega_search_parallel(pool_, m, position);
+    OmegaResult result =
+        omega_kernel_search_parallel(pool_, m, position, kind_, lane_scratch_);
+    counters_.add(kind_, result.evaluated);
+    ++positions_;
+    return result;
+  }
+  void contribute(ScanProfile& profile) const override {
+    profile.kernel.positions += positions_;
+    profile.kernel.scalar_evaluations += counters_.scalar_evaluations;
+    profile.kernel.portable_evaluations += counters_.portable_evaluations;
+    profile.kernel.avx2_evaluations += counters_.avx2_evaluations;
   }
 
  private:
   par::ThreadPool& pool_;
+  CpuKernelKind kind_;
+  std::vector<OmegaKernelScratch> lane_scratch_;
+  CpuKernelCounters counters_;
+  std::uint64_t positions_ = 0;
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// CpuOmegaBackend
+// ---------------------------------------------------------------------------
+
+CpuOmegaBackend::CpuOmegaBackend()
+    : kind_(resolve_cpu_kernel(CpuKernelKind::Auto)) {}
+
+CpuOmegaBackend::CpuOmegaBackend(CpuKernelKind kind)
+    : kind_(resolve_cpu_kernel(kind)) {}
+
+OmegaResult CpuOmegaBackend::max_omega(const DpMatrix& m,
+                                       const GridPosition& position) {
+  OmegaResult result = omega_kernel_search(m, position, kind_, scratch_);
+  counters_.add(kind_, result.evaluated);
+  ++positions_;
+  return result;
+}
+
+void CpuOmegaBackend::contribute(ScanProfile& profile) const {
+  profile.kernel.positions += positions_;
+  profile.kernel.scalar_evaluations += counters_.scalar_evaluations;
+  profile.kernel.portable_evaluations += counters_.portable_evaluations;
+  profile.kernel.avx2_evaluations += counters_.avx2_evaluations;
+}
 
 const PositionScore& ScanResult::best() const {
   const PositionScore* best = nullptr;
@@ -204,6 +250,9 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
                     backend_factory) {
   options.config.validate();
   options.recovery.validate();
+  // Resolve the CPU kernel once, up front: a forced-but-unavailable Avx2
+  // request fails here (std::runtime_error) before any work starts.
+  const CpuKernelKind kernel = resolve_cpu_kernel(options.cpu_kernel);
   const util::trace::Span scan_span("scan");
   util::Timer total;
 
@@ -216,14 +265,17 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   ScanResult result;
   result.scores.resize(grid.size());
   result.profile.ld_backend = engine->name();
+  result.profile.kernel.requested = cpu_kernel_name(options.cpu_kernel);
+  result.profile.kernel.selected = cpu_kernel_name(kernel);
+  result.profile.kernel.avx2_supported = cpu_kernel_avx2_available();
 
   auto make_backend = [&]() -> std::unique_ptr<OmegaBackend> {
-    if (!backend_factory) return std::make_unique<CpuOmegaBackend>();
+    if (!backend_factory) return std::make_unique<CpuOmegaBackend>(kernel);
     auto backend = backend_factory();
     // Graceful degradation: a device-lost error demotes this worker's
     // backend to the CPU loop instead of quarantining the rest of its chunk.
     if (options.recovery.fallback_to_cpu) {
-      backend = std::make_unique<FallbackBackend>(std::move(backend));
+      backend = std::make_unique<FallbackBackend>(std::move(backend), kernel);
     }
     return backend;
   };
@@ -242,7 +294,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     // The pool-backed search is routed through the same recovery engine as
     // the chunked drivers so NaN validation and quarantine behave uniformly.
     par::ThreadPool pool(options.threads - 1);
-    InnerPositionBackend backend(pool);
+    InnerPositionBackend backend(pool, kernel);
     DpMatrix m;
     bool m_live = false;
     ScanProfile& profile = result.profile;
@@ -251,8 +303,10 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       PositionScore& score = result.scores[g];
       score.position_bp = position.position_bp;
       if (!position.valid) continue;
+      // The pool is idle between omega searches — large extends borrow it
+      // for the suffix-scan phase.
       advance_matrix(m, m_live, options.reuse, position, *engine,
-                     profile.stages);
+                     profile.stages, &pool);
       RecoveryOutcome outcome;
       {
         const util::trace::Span span("scan.omega.search");
@@ -276,7 +330,8 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     profile.ld_seconds = profile.stages.ld_total();
     profile.omega_seconds = profile.stages.omega_search_seconds;
     merge_matrix_stats(profile, m);
-    profile.omega_backend = "cpu";
+    backend.contribute(profile);
+    profile.omega_backend = backend.name();
   } else {
     // Contiguous chunks preserve intra-chunk relocation reuse; each worker
     // owns a DP matrix and a backend instance.

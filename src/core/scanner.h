@@ -18,6 +18,7 @@
 #include "core/dp_matrix.h"
 #include "core/grid.h"
 #include "core/omega_config.h"
+#include "core/omega_kernel_cpu.h"
 #include "core/omega_search.h"
 #include "io/dataset.h"
 #include "ld/ld_engine.h"
@@ -40,14 +41,32 @@ class OmegaBackend {
   virtual void contribute(ScanProfile& profile) const { (void)profile; }
 };
 
-/// The plain OmegaPlus nested loop.
+/// The CPU omega loop, routed through the dispatched kernel layer
+/// (core/omega_kernel_cpu.h): Auto resolves to the AVX2 body when the binary
+/// and host support it, the portable fused loop otherwise, and the scalar
+/// reference only on explicit request. Evaluation counts per kernel body are
+/// merged into ScanProfile::kernel via contribute().
 class CpuOmegaBackend final : public OmegaBackend {
  public:
+  /// Resolves Auto against this binary/host.
+  CpuOmegaBackend();
+  /// Resolves `kind`; throws std::runtime_error when Avx2 is forced on a
+  /// host that cannot run it.
+  explicit CpuOmegaBackend(CpuKernelKind kind);
+
   [[nodiscard]] std::string name() const override { return "cpu"; }
   OmegaResult max_omega(const DpMatrix& m,
-                        const GridPosition& position) override {
-    return max_omega_search(m, position);
-  }
+                        const GridPosition& position) override;
+  void contribute(ScanProfile& profile) const override;
+
+  /// The concrete kernel this backend runs (never Auto).
+  [[nodiscard]] CpuKernelKind kernel() const noexcept { return kind_; }
+
+ private:
+  CpuKernelKind kind_;
+  OmegaKernelScratch scratch_;
+  CpuKernelCounters counters_;
+  std::uint64_t positions_ = 0;
 };
 
 /// Adapter delegating to a caller-owned backend. scan() destroys the
@@ -130,6 +149,11 @@ struct ScannerOptions {
   /// validation, quarantine, CPU degradation). Default-on and free when the
   /// backend never fails.
   RecoveryPolicy recovery;
+  /// Which CPU omega-kernel body evaluates grid positions (and serves as the
+  /// degradation target of accelerator backends). Auto resolves at scan
+  /// setup; forcing Avx2 on an unsupported binary/host makes scan() throw
+  /// std::runtime_error before any position is evaluated.
+  CpuKernelKind cpu_kernel = CpuKernelKind::Auto;
 };
 
 struct PositionScore {
@@ -209,6 +233,21 @@ struct FaultRecoveryStats {
   double backoff_virtual_seconds = 0.0;
 };
 
+/// CPU omega-kernel dispatch record (profile/metrics schema v4): which kernel
+/// was requested, what the dispatcher selected for this binary/host, and how
+/// many Eq. (2) evaluations each kernel body performed. Evaluation counters
+/// stay zero when an accelerator backend handled every position (they count
+/// the CPU kernel layer only, including fault-degradation work).
+struct CpuKernelStats {
+  std::string requested;  // "auto" | "scalar" | "portable" | "avx2"
+  std::string selected;   // concrete kernel Auto resolved to
+  bool avx2_supported = false;  // binary + host can run the AVX2 body
+  std::uint64_t positions = 0;  // grid positions evaluated by the CPU kernel
+  std::uint64_t scalar_evaluations = 0;
+  std::uint64_t portable_evaluations = 0;
+  std::uint64_t avx2_evaluations = 0;
+};
+
 /// Simulated-FPGA counters: pipeline occupancy of the §V design.
 struct FpgaProfile {
   std::uint64_t pipeline_cycles = 0;  // total accelerator cycles
@@ -239,6 +278,8 @@ struct ScanProfile {
   FpgaProfile fpga;
   /// Fault-injection and recovery accounting (v3).
   FaultRecoveryStats faults;
+  /// CPU kernel dispatch decision and per-body evaluation counts (v4).
+  CpuKernelStats kernel;
   /// Grid positions actually evaluated (valid positions).
   std::uint64_t positions_scanned = 0;
   /// Names recorded by the scan driver: the LD engine serving r2 fetches and

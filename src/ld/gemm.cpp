@@ -34,17 +34,23 @@ void pack_panel(const SnpMatrix& snps, PackSource source,
 }
 
 /// MR x NR microkernel: accumulates depth rank-1 updates into the int32 tile.
-/// a: depth x MR interleaved, b: depth x NR interleaved.
+/// a: depth x MR interleaved, b: depth x NR interleaved. Operands are 0/1
+/// bits, so the rank-1 update ai * bk[j] degenerates to a predicated add:
+/// widen bk once per k and add it into the rows whose a-lane is set. The
+/// inner j loop is a fixed-trip-count u8->i32 widening add with unit stride —
+/// exactly the shape the autovectorizer turns into packed adds — and the
+/// multiply leaves the loop entirely.
 void microkernel(const std::uint8_t* a, const std::uint8_t* b, std::size_t depth,
                  std::int32_t* c, std::size_t ldc) {
   std::int32_t acc[MR][NR] = {};
   for (std::size_t k = 0; k < depth; ++k) {
     const std::uint8_t* ak = a + k * MR;
     const std::uint8_t* bk = b + k * NR;
+    std::int32_t bw[NR];
+    for (std::size_t j = 0; j < NR; ++j) bw[j] = bk[j];
     for (std::size_t i = 0; i < MR; ++i) {
-      const std::int32_t ai = ak[i];
-      for (std::size_t j = 0; j < NR; ++j) {
-        acc[i][j] += ai * bk[j];
+      if (ak[i]) {
+        for (std::size_t j = 0; j < NR; ++j) acc[i][j] += bw[j];
       }
     }
   }
@@ -63,10 +69,11 @@ void microkernel_edge(const std::uint8_t* a, const std::uint8_t* b,
   for (std::size_t k = 0; k < depth; ++k) {
     const std::uint8_t* ak = a + k * MR;
     const std::uint8_t* bk = b + k * NR;
+    std::int32_t bw[NR] = {};
+    for (std::size_t j = 0; j < n; ++j) bw[j] = bk[j];
     for (std::size_t i = 0; i < m; ++i) {
-      const std::int32_t ai = ak[i];
-      for (std::size_t j = 0; j < n; ++j) {
-        acc[i][j] += ai * bk[j];
+      if (ak[i]) {
+        for (std::size_t j = 0; j < n; ++j) acc[i][j] += bw[j];
       }
     }
   }

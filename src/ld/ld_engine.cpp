@@ -1,8 +1,16 @@
 #include "ld/ld_engine.h"
 
+#include "util/bits.h"
 #include "util/trace.h"
 
 namespace omega::ld {
+
+namespace {
+/// How many j rows ahead the inner popcount loops hint the prefetcher. The
+/// word streams are short (samples/64 words), so each pair resolves quickly
+/// and a few-row lead keeps the next rows in flight without thrashing L1.
+constexpr std::size_t kPrefetchRows = 4;
+}  // namespace
 
 void PopcountLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
                           std::size_t j1, float* out, std::size_t ld) const {
@@ -13,6 +21,10 @@ void PopcountLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
     for (std::size_t i = i0; i < i1; ++i) {
       float* row = out + (i - i0) * ld;
       for (std::size_t j = j0; j < j1; ++j) {
+        if (j + kPrefetchRows < j1) {
+          util::prefetch_read(snps_.row(j + kPrefetchRows));
+          util::prefetch_read(snps_.mask(j + kPrefetchRows));
+        }
         row[j - j0] = r2_from_counts_f(snps_.pair_counts_complete(i, j));
       }
     }
@@ -23,6 +35,9 @@ void PopcountLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
     float* row = out + (i - i0) * ld;
     const std::int32_t ni = snps_.derived_count(i);
     for (std::size_t j = j0; j < j1; ++j) {
+      if (j + kPrefetchRows < j1) {
+        util::prefetch_read(snps_.row(j + kPrefetchRows));
+      }
       const PairCounts counts{n, ni, snps_.derived_count(j),
                               snps_.pair_count(i, j)};
       row[j - j0] = r2_from_counts_f(counts);

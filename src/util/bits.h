@@ -36,6 +36,17 @@ namespace omega::util {
   return total;
 }
 
+/// Read-prefetch hint for streaming loops that touch predictable rows a few
+/// iterations ahead (the popcount LD block walk). No-op on compilers without
+/// the builtin.
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 /// Popcount of a single word range.
 [[nodiscard]] inline std::int64_t popcount_range(const std::uint64_t* a,
                                                  std::size_t words) noexcept {

@@ -1,0 +1,35 @@
+#include "util/cpu_features.h"
+
+namespace omega::util {
+namespace {
+
+CpuFeatures detect() noexcept {
+  CpuFeatures features;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+bool cpu_has_avx2_fma() noexcept {
+  const CpuFeatures& features = cpu_features();
+  return features.avx2 && features.fma;
+}
+
+std::string cpu_isa_summary() {
+  const CpuFeatures& features = cpu_features();
+  if (features.avx2 && features.fma) return "avx2+fma";
+  if (features.avx2) return "avx2";
+  if (features.fma) return "fma";
+  return "baseline";
+}
+
+}  // namespace omega::util

@@ -1,0 +1,27 @@
+#pragma once
+// Runtime CPU feature detection for kernel dispatch. The AVX2+FMA omega
+// kernel is compiled into its own translation unit with per-file -mavx2
+// -mfma flags; whether it is *called* is decided here at runtime, so the
+// same binary runs correctly on hosts without those extensions.
+
+#include <string>
+
+namespace omega::util {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+/// Detected features of the executing CPU (cached after the first query).
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+/// True when both AVX2 and FMA are available — the requirement of the
+/// vectorized omega kernel's wide path.
+[[nodiscard]] bool cpu_has_avx2_fma() noexcept;
+
+/// Human-readable summary of the detected ISA level, e.g. "avx2+fma" or
+/// "baseline"; used by the CLI dispatch report and the bench harness.
+[[nodiscard]] std::string cpu_isa_summary();
+
+}  // namespace omega::util

@@ -396,10 +396,11 @@ TEST(FaultScan, TenPercentKernelLaunchFailuresRecoverBitIdentically) {
     EXPECT_EQ(faulty.scores[i].best_b, clean.scores[i].best_b);
   }
 
-  // The metrics document (schema v3) carries the same counters.
+  // The metrics document carries the same counters.
   const auto doc =
       omega::core::metrics::scan_metrics("fault-accept", faulty.profile);
-  EXPECT_EQ(doc.at("schema_version").as_int(), 3);
+  EXPECT_EQ(doc.at("schema_version").as_int(),
+            omega::core::metrics::kSchemaVersion);
   const auto& json_faults = doc.at("faults");
   EXPECT_EQ(json_faults.at("injected").as_uint(), faults.faults_injected);
   EXPECT_EQ(json_faults.at("retries").as_uint(), faults.retries);
