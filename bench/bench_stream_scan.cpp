@@ -1,0 +1,144 @@
+// Streaming-pipeline benchmark (docs/STREAMING.md):
+//
+//   1. Writes a figure-style simulated dataset to an ms fixture on disk
+//      (stream_fixture.ms — generated, gitignored) so the streamed path
+//      exercises the real two-pass file reader.
+//   2. Scans it twice: the classic in-memory load + core::scan, and the
+//      memory-bounded core::stream_scan over an MsChunkReader.
+//   3. Verifies the two result vectors are bitwise identical (max_omega,
+//      best_a/best_b, evaluated) — the streaming contract — and reports
+//      wall times plus the residency numbers that prove the memory bound:
+//      peak resident sites vs total sites, chunk count, overlap, and the
+//      fraction of IO hidden behind compute.
+//
+// Output: stdout tables + BENCH_STREAM.json (schema omega.bench). Exit 1 if
+// any position diverges from the in-memory scan.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scanner.h"
+#include "core/stream_scanner.h"
+#include "io/chunk_reader.h"
+#include "io/ms_format.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+std::string fmt(double value, const char* spec = "%.3f") {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), spec, value);
+  return buffer;
+}
+
+/// Positions where the two score vectors differ bitwise.
+std::size_t count_mismatches(const omega::core::ScanResult& a,
+                             const omega::core::ScanResult& b) {
+  if (a.scores.size() != b.scores.size()) return a.scores.size() + 1;
+  std::size_t mismatches = 0;
+  for (std::size_t g = 0; g < a.scores.size(); ++g) {
+    const auto& x = a.scores[g];
+    const auto& y = b.scores[g];
+    const bool same = x.valid == y.valid && x.position_bp == y.position_bp &&
+                      x.best_a == y.best_a && x.best_b == y.best_b &&
+                      x.evaluated == y.evaluated &&
+                      std::memcmp(&x.max_omega, &y.max_omega,
+                                  sizeof(double)) == 0;
+    if (!same) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t snps = argc > 1 ? std::stoul(argv[1]) : 20'000;
+  const std::size_t samples = argc > 2 ? std::stoul(argv[2]) : 50;
+  const std::size_t chunk_sites = argc > 3 ? std::stoul(argv[3]) : 4'000;
+  const std::string fixture = "stream_fixture.ms";
+
+  // --- fixture ------------------------------------------------------------
+  const auto source = omega::bench::figure_dataset(snps, samples);
+  omega::io::write_ms_file(fixture, {source}, "bench_stream_scan fixture");
+  omega::io::MsReadOptions ms_options;
+  ms_options.locus_length_bp = source.locus_length_bp();
+  std::printf("stream scan benchmark — fixture %s (%zu SNPs x %zu samples, "
+              "chunk target %zu sites)\n\n",
+              fixture.c_str(), snps, samples, chunk_sites);
+
+  omega::core::OmegaConfig config;
+  config.grid_size = 400;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 2'000;
+  config.min_window = 4;
+
+  omega::core::ScannerOptions options;
+  options.config = config;
+
+  // --- in-memory reference ------------------------------------------------
+  const omega::util::Timer mem_timer;
+  const auto replicates = omega::io::read_ms_file(fixture, ms_options);
+  const auto mem_result = omega::core::scan(replicates.at(0), options);
+  const double mem_seconds = mem_timer.seconds();
+
+  // --- streamed -----------------------------------------------------------
+  omega::core::StreamScanOptions stream_options;
+  stream_options.chunk_sites = chunk_sites;
+  const omega::util::Timer stream_timer;
+  omega::io::MsChunkReader reader(fixture, ms_options);
+  const auto stream_result =
+      omega::core::stream_scan(reader, options, stream_options);
+  const double stream_seconds = stream_timer.seconds();
+
+  const std::size_t mismatches = count_mismatches(mem_result, stream_result);
+  const auto& stream = stream_result.profile.stream;
+  const double residency_ratio =
+      stream.total_sites > 0
+          ? static_cast<double>(stream.peak_resident_sites) /
+                static_cast<double>(stream.total_sites)
+          : 0.0;
+
+  omega::util::Table table({"path", "wall s", "resident sites", "chunks"});
+  table.add_row({"in-memory (load + scan)", fmt(mem_seconds),
+                 std::to_string(stream.total_sites), "1"});
+  table.add_row({"streamed (index + scan)", fmt(stream_seconds),
+                 std::to_string(stream.peak_resident_sites),
+                 std::to_string(stream.chunks)});
+  table.print();
+  std::printf(
+      "\npeak residency: %zu of %zu sites (%.1f%%), overlap %llu sites\n"
+      "io %.3fs (stall %.3fs) -> %.0f%% hidden behind compute\n"
+      "bitwise vs in-memory: %s\n",
+      static_cast<std::size_t>(stream.peak_resident_sites),
+      static_cast<std::size_t>(stream.total_sites), 100.0 * residency_ratio,
+      static_cast<unsigned long long>(stream.overlap_sites), stream.io_seconds,
+      stream.io_stall_seconds, 100.0 * stream.io_overlap_ratio(),
+      mismatches == 0 ? "IDENTICAL"
+                      : (std::to_string(mismatches) + " positions diverge").c_str());
+
+  omega::bench::BenchJson json("STREAM");
+  json.set("fixture", fixture)
+      .set("snps", static_cast<std::uint64_t>(snps))
+      .set("samples", static_cast<std::uint64_t>(samples))
+      .set("chunk_sites", static_cast<std::uint64_t>(chunk_sites))
+      .set("in_memory_seconds", mem_seconds)
+      .set("streamed_seconds", stream_seconds)
+      .set("streamed_over_in_memory", stream_seconds / mem_seconds)
+      .set("peak_resident_sites", stream.peak_resident_sites)
+      .set("total_sites", stream.total_sites)
+      .set("residency_ratio", residency_ratio)
+      .set("chunks", stream.chunks)
+      .set("overlap_sites", stream.overlap_sites)
+      .set("io_overlap_ratio", stream.io_overlap_ratio())
+      .set("bitwise_identical", mismatches == 0);
+  json.add_scan_profile("in_memory", mem_result.profile);
+  json.add_scan_profile("streamed", stream_result.profile);
+  json.write();
+  return mismatches == 0 ? 0 : 1;
+}

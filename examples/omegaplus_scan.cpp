@@ -21,7 +21,9 @@
 #include "core/metrics_json.h"
 #include "core/report.h"
 #include "core/scanner.h"
+#include "core/stream_scanner.h"
 #include "hw/device_specs.h"
+#include "io/chunk_reader.h"
 #include "hw/fpga/fpga_backend.h"
 #include "hw/gpu/gpu_backend.h"
 #include "io/fasta.h"
@@ -127,6 +129,13 @@ int main(int argc, char** argv) {
       .describe("snp-windows", "interpret minwin/maxwin as SNP counts")
       .describe("side-cap", "max SNPs per sub-region, 0 = unlimited")
       .describe("threads", "worker threads for the CPU scan (default 1)")
+      .describe("stream",
+                "memory-bounded streaming scan: read the input in overlapping "
+                "chunks instead of loading it whole (ms/vcf stream from the "
+                "file; other inputs chunk in memory)")
+      .describe("chunk-sites",
+                "streaming: target segregating sites per chunk "
+                "(default 100000)")
       .describe("ld", "popcount | gemm (default popcount)")
       .describe("backend", "cpu | gpu | fpga (default cpu)")
       .describe("cpu-kernel",
@@ -184,13 +193,56 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto dataset = load_input(cli);
-  const double maf = cli.get_double("maf", 0.0);
-  if (maf > 0.0) {
-    const auto removed = dataset.filter_minor_allele(maf);
-    std::printf("maf filter %.3f: removed %zu sites\n", maf, removed);
+  const bool stream_mode = cli.get_bool("stream", false);
+  omega::io::Dataset dataset;
+  std::unique_ptr<omega::io::ChunkReader> reader;
+  if (stream_mode) {
+    const std::string input = cli.get("input", "");
+    std::string format = cli.get("format", "auto");
+    if (!input.empty() && format == "auto") format = detect_format(input);
+    const bool file_streamed =
+        !input.empty() && (format == "ms" || format == "vcf");
+    if (file_streamed && cli.get_double("maf", 0.0) > 0.0) {
+      std::fprintf(stderr,
+                   "error: --maf is not supported with streamed ms/vcf input "
+                   "(only the monomorphic filter runs record-at-a-time)\n");
+      return 2;
+    }
+    if (file_streamed && format == "ms") {
+      omega::io::MsReadOptions ms_options;
+      ms_options.locus_length_bp = cli.get_int("length", 1'000'000);
+      reader = std::make_unique<omega::io::MsChunkReader>(
+          input, ms_options,
+          static_cast<std::size_t>(cli.get_int("replicate", 0)));
+    } else if (file_streamed) {
+      auto vcf = std::make_unique<omega::io::VcfChunkReader>(input);
+      std::printf("vcf: %zu records, %zu skipped\n",
+                  vcf->load_report().records_total,
+                  vcf->load_report().records_skipped);
+      reader = std::move(vcf);
+    } else {
+      // Simulated / fasta inputs have no streaming parser; chunk the loaded
+      // dataset so the pipeline (and its metrics) still runs.
+      dataset = load_input(cli);
+      const double maf = cli.get_double("maf", 0.0);
+      if (maf > 0.0) {
+        const auto removed = dataset.filter_minor_allele(maf);
+        std::printf("maf filter %.3f: removed %zu sites\n", maf, removed);
+      }
+      reader = std::make_unique<omega::io::DatasetChunkReader>(dataset);
+    }
+    std::printf("stream: indexed %zu sites x %zu haplotypes (%s)\n",
+                reader->index().num_sites(), reader->index().num_samples,
+                reader->name().c_str());
+  } else {
+    dataset = load_input(cli);
+    const double maf = cli.get_double("maf", 0.0);
+    if (maf > 0.0) {
+      const auto removed = dataset.filter_minor_allele(maf);
+      std::printf("maf filter %.3f: removed %zu sites\n", maf, removed);
+    }
+    std::printf("dataset: %s\n", dataset.shape_string().c_str());
   }
-  std::printf("dataset: %s\n", dataset.shape_string().c_str());
 
   omega::core::ScannerOptions options;
   options.config.grid_size = static_cast<std::size_t>(cli.get_int("grid", 1'000));
@@ -240,12 +292,30 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("max-retries", 3));
   options.recovery.fallback_to_cpu = cli.get_bool("cpu-fallback", true);
 
+  omega::core::StreamScanOptions stream_options;
+  stream_options.chunk_sites =
+      static_cast<std::size_t>(cli.get_int("chunk-sites", 100'000));
+  if (stream_mode && options.threads > 1) {
+    std::printf("stream: compute is single-threaded; ignoring --threads\n");
+    options.threads = 1;
+  }
+
   const std::string backend = cli.get("backend", "cpu");
   omega::core::ScanResult result;
   std::string backend_name = "cpu";
   omega::par::ThreadPool pool;
+  // One dispatch for both drivers: the streamed and in-memory scans take the
+  // same options and backend factories.
+  const auto run =
+      [&](const std::function<std::unique_ptr<omega::core::OmegaBackend>()>&
+              factory) {
+        return stream_mode
+                   ? omega::core::stream_scan(*reader, options, stream_options,
+                                              factory)
+                   : omega::core::scan(dataset, options, factory);
+      };
   if (backend == "cpu") {
-    result = omega::core::scan(dataset, options);
+    result = run({});
     backend_name = options.threads > 1
                        ? "cpu x" + std::to_string(options.threads)
                        : "cpu";
@@ -256,8 +326,7 @@ int main(int argc, char** argv) {
     backend_options.fault_plan = fault_plan;
     backend_options.modeled_timeout_seconds = modeled_timeout;
     omega::hw::gpu::GpuOmegaBackend gpu(spec, pool, backend_options);
-    result = omega::core::scan(dataset, options,
-                               [&] { return omega::core::borrow_backend(gpu); });
+    result = run([&] { return omega::core::borrow_backend(gpu); });
     backend_name = gpu.name();
     std::printf("gpu-sim: modeled device time %.4f s (%llu on K1, %llu on K2)\n",
                 gpu.accounting().modeled_total_seconds,
@@ -270,9 +339,7 @@ int main(int argc, char** argv) {
     backend_options.modeled_timeout_seconds = modeled_timeout;
     omega::hw::fpga::FpgaOmegaBackend fpga(omega::hw::alveo_u200(),
                                            backend_options);
-    result = omega::core::scan(dataset, options, [&] {
-      return omega::core::borrow_backend(fpga);
-    });
+    result = run([&] { return omega::core::borrow_backend(fpga); });
     backend_name = fpga.name();
     std::printf("fpga-sim: modeled device time %.4f s (%llu hw / %llu sw omegas)\n",
                 fpga.accounting().modeled_total_seconds(),
@@ -289,8 +356,30 @@ int main(int argc, char** argv) {
 
   const std::string directory = cli.get("reports-dir", ".");
   std::filesystem::create_directories(directory);
-  const auto report_path = omega::core::write_run_files(
-      directory, name, dataset, options, result, backend_name);
+  std::string report_path;
+  if (stream_mode) {
+    const auto& index = reader->index();
+    const std::string summary =
+        std::to_string(index.num_sites()) + " sites x " +
+        std::to_string(index.num_samples) + " haplotypes, locus " +
+        std::to_string(index.locus_length_bp) + " bp (streamed)";
+    report_path =
+        omega::core::write_run_files(directory, name, summary,
+                                     index.has_missing, options, result,
+                                     backend_name);
+    const auto& stream = result.profile.stream;
+    std::printf(
+        "stream: %llu chunks, peak resident %llu of %llu sites "
+        "(overlap %llu), %.0f%% IO hidden\n",
+        static_cast<unsigned long long>(stream.chunks),
+        static_cast<unsigned long long>(stream.peak_resident_sites),
+        static_cast<unsigned long long>(stream.total_sites),
+        static_cast<unsigned long long>(stream.overlap_sites),
+        stream.io_overlap_ratio() * 100.0);
+  } else {
+    report_path = omega::core::write_run_files(directory, name, dataset,
+                                               options, result, backend_name);
+  }
   std::printf("scan: %llu omega evaluations in %.3f s (%.1f Mw/s)\n",
               static_cast<unsigned long long>(result.profile.omega_evaluations),
               result.profile.total_seconds,

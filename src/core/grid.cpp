@@ -21,12 +21,11 @@ std::size_t first_at_or_after(const std::vector<std::int64_t>& positions,
 
 }  // namespace
 
-GridPosition resolve_position(const io::Dataset& dataset,
+GridPosition resolve_position(const std::vector<std::int64_t>& positions,
                               const OmegaConfig& config,
                               std::int64_t position_bp) {
   GridPosition grid_position;
   grid_position.position_bp = position_bp;
-  const auto& positions = dataset.positions();
   const std::size_t sites = positions.size();
   if (sites < 2 * OmegaConfig::min_side_snps) return grid_position;
 
@@ -82,14 +81,14 @@ GridPosition resolve_position(const io::Dataset& dataset,
   return grid_position;
 }
 
-std::vector<GridPosition> build_grid(const io::Dataset& dataset,
-                                     const OmegaConfig& config) {
+std::vector<GridPosition> build_grid(
+    const std::vector<std::int64_t>& positions_bp, const OmegaConfig& config) {
   config.validate();
   std::vector<GridPosition> grid;
   grid.reserve(config.grid_size);
-  if (dataset.num_sites() == 0) return grid;
-  const double first = static_cast<double>(dataset.positions().front());
-  const double last = static_cast<double>(dataset.positions().back());
+  if (positions_bp.empty()) return grid;
+  const double first = static_cast<double>(positions_bp.front());
+  const double last = static_cast<double>(positions_bp.back());
   for (std::size_t k = 0; k < config.grid_size; ++k) {
     const double fraction =
         config.grid_size == 1
@@ -97,9 +96,20 @@ std::vector<GridPosition> build_grid(const io::Dataset& dataset,
             : static_cast<double>(k) / static_cast<double>(config.grid_size - 1);
     const auto position =
         static_cast<std::int64_t>(first + fraction * (last - first));
-    grid.push_back(resolve_position(dataset, config, position));
+    grid.push_back(resolve_position(positions_bp, config, position));
   }
   return grid;
+}
+
+GridPosition resolve_position(const io::Dataset& dataset,
+                              const OmegaConfig& config,
+                              std::int64_t position_bp) {
+  return resolve_position(dataset.positions(), config, position_bp);
+}
+
+std::vector<GridPosition> build_grid(const io::Dataset& dataset,
+                                     const OmegaConfig& config) {
+  return build_grid(dataset.positions(), config);
 }
 
 }  // namespace omega::core

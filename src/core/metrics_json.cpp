@@ -515,6 +515,22 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   kernel.set("portable_evaluations", profile.kernel.portable_evaluations);
   kernel.set("avx2_evaluations", profile.kernel.avx2_evaluations);
   doc.set("kernel", std::move(kernel));
+
+  // v5: streaming chunk-pipeline accounting (docs/STREAMING.md); all-zero
+  // for in-memory scans.
+  JsonValue stream = JsonValue::object();
+  stream.set("chunks", profile.stream.chunks);
+  stream.set("chunk_sites_target", profile.stream.chunk_sites_target);
+  stream.set("total_sites", profile.stream.total_sites);
+  stream.set("overlap_sites", profile.stream.overlap_sites);
+  stream.set("peak_resident_sites", profile.stream.peak_resident_sites);
+  stream.set("seam_carryovers", profile.stream.seam_carryovers);
+  stream.set("failed_chunks", profile.stream.failed_chunks);
+  stream.set("io_seconds", profile.stream.io_seconds);
+  stream.set("io_stall_seconds", profile.stream.io_stall_seconds);
+  stream.set("compute_seconds", profile.stream.compute_seconds);
+  stream.set("io_overlap_ratio", profile.stream.io_overlap_ratio());
+  doc.set("stream", std::move(stream));
   return doc;
 }
 

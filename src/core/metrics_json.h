@@ -22,7 +22,7 @@
 
 namespace omega::core::metrics {
 
-inline constexpr int kSchemaVersion = 4;
+inline constexpr int kSchemaVersion = 5;
 inline constexpr const char* kScanSchema = "omega.scan.metrics";
 inline constexpr const char* kBenchSchema = "omega.bench";
 

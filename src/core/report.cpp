@@ -6,9 +6,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/ios_guard.h"
+
 namespace omega::core {
 
 void write_report(std::ostream& out, const ScanResult& result) {
+  const util::IosFormatGuard format_guard(out);
   out << std::setprecision(6) << std::fixed;
   for (const auto& score : result.scores) {
     out << score.position_bp << '\t' << (score.valid ? score.max_omega : 0.0)
@@ -17,13 +20,14 @@ void write_report(std::ostream& out, const ScanResult& result) {
 }
 
 void write_info(std::ostream& out, const std::string& run_name,
-                const io::Dataset& dataset, const ScannerOptions& options,
-                const ScanResult& result,
+                const std::string& dataset_summary, bool has_missing,
+                const ScannerOptions& options, const ScanResult& result,
                 const std::string& backend_name) {
+  const util::IosFormatGuard format_guard(out);
   const auto& config = options.config;
   out << "OmegaPlus (libomega reimplementation) run: " << run_name << "\n\n";
-  out << "Dataset:      " << dataset.shape_string() << "\n";
-  out << "Missing data: " << (dataset.has_missing() ? "yes (pairwise-complete r2)" : "no")
+  out << "Dataset:      " << dataset_summary << "\n";
+  out << "Missing data: " << (has_missing ? "yes (pairwise-complete r2)" : "no")
       << "\n";
   out << "Grid size:    " << config.grid_size << "\n";
   out << "Window unit:  "
@@ -62,6 +66,17 @@ void write_info(std::ostream& out, const std::string& run_name,
         << " quarantined, " << faults.degradations << " degradations ("
         << faults.backoff_virtual_seconds << " s virtual backoff)\n";
   }
+
+  // Streaming summary (only for streamed runs, keeping the in-memory Info
+  // layout untouched).
+  const auto& stream = profile.stream;
+  if (stream.chunks > 0) {
+    out << "Streaming:    " << stream.chunks << " chunks (target "
+        << stream.chunk_sites_target << " sites), peak resident "
+        << stream.peak_resident_sites << " sites, "
+        << static_cast<int>(stream.io_overlap_ratio() * 100.0)
+        << "% IO hidden\n";
+  }
   out << "\n";
 
   out << "Top windows:\n";
@@ -74,9 +89,17 @@ void write_info(std::ostream& out, const std::string& run_name,
   }
 }
 
+void write_info(std::ostream& out, const std::string& run_name,
+                const io::Dataset& dataset, const ScannerOptions& options,
+                const ScanResult& result, const std::string& backend_name) {
+  write_info(out, run_name, dataset.shape_string(), dataset.has_missing(),
+             options, result, backend_name);
+}
+
 std::string write_run_files(const std::string& directory,
-                            const std::string& run_name, const io::Dataset& dataset,
-                            const ScannerOptions& options,
+                            const std::string& run_name,
+                            const std::string& dataset_summary,
+                            bool has_missing, const ScannerOptions& options,
                             const ScanResult& result,
                             const std::string& backend_name) {
   const std::string report_path =
@@ -87,8 +110,18 @@ std::string write_run_files(const std::string& directory,
   write_report(report, result);
   std::ofstream info(info_path);
   if (!info) throw std::runtime_error("cannot write " + info_path);
-  write_info(info, run_name, dataset, options, result, backend_name);
+  write_info(info, run_name, dataset_summary, has_missing, options, result,
+             backend_name);
   return report_path;
+}
+
+std::string write_run_files(const std::string& directory,
+                            const std::string& run_name, const io::Dataset& dataset,
+                            const ScannerOptions& options,
+                            const ScanResult& result,
+                            const std::string& backend_name) {
+  return write_run_files(directory, run_name, dataset.shape_string(),
+                         dataset.has_missing(), options, result, backend_name);
 }
 
 std::vector<std::pair<std::int64_t, double>> read_report(std::istream& in) {

@@ -24,11 +24,27 @@ void write_info(std::ostream& out, const std::string& run_name,
                 const io::Dataset& dataset, const ScannerOptions& options,
                 const ScanResult& result, const std::string& backend_name);
 
+/// Dataset-free form for streamed runs, which never hold the whole alignment:
+/// `dataset_summary` replaces the shape line (e.g. "120000 sites x 64
+/// haplotypes (streamed)") and `has_missing` the missing-data note.
+void write_info(std::ostream& out, const std::string& run_name,
+                const std::string& dataset_summary, bool has_missing,
+                const ScannerOptions& options, const ScanResult& result,
+                const std::string& backend_name);
+
 /// Writes both files into `directory` (created by the caller); returns the
 /// report path.
 std::string write_run_files(const std::string& directory,
                             const std::string& run_name, const io::Dataset& dataset,
                             const ScannerOptions& options,
+                            const ScanResult& result,
+                            const std::string& backend_name);
+
+/// Dataset-free form for streamed runs (see the write_info overload).
+std::string write_run_files(const std::string& directory,
+                            const std::string& run_name,
+                            const std::string& dataset_summary,
+                            bool has_missing, const ScannerOptions& options,
                             const ScanResult& result,
                             const std::string& backend_name);
 

@@ -1,0 +1,44 @@
+#pragma once
+// Internal glue shared by the two scan drivers: the in-memory scan
+// (scanner.cpp) and the streaming chunked scan (stream_scanner.cpp). Both
+// must advance the DP matrix, run the recovery-wrapped backend search, and
+// account profiles through the exact same code — any divergence here would
+// silently break the streamed-equals-in-memory bitwise guarantee the
+// streaming subsystem is tested against.
+//
+// Not installed API; include only from src/core/*.cpp.
+
+#include "core/dp_matrix.h"
+#include "core/grid.h"
+#include "core/scanner.h"
+#include "ld/ld_engine.h"
+#include "par/thread_pool.h"
+
+namespace omega::core::detail {
+
+/// Advances the DP matrix to `position`: the single home of the
+/// reset-vs-relocate policy, shared by every MT strategy and by the stream
+/// driver so the relocation behaviour cannot silently diverge between them.
+/// Stage wall time is accumulated into `stages`.
+void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
+                    const GridPosition& position, const ld::LdEngine& engine,
+                    StageTimes& stages, par::ThreadPool* pool = nullptr);
+
+/// Folds the matrix's relocation/fetch counters into the profile.
+void merge_matrix_stats(ScanProfile& profile, const DpMatrix& m);
+
+/// Folds a worker's (or chunk's) profile into the scan-wide one. Times add
+/// up as CPU-seconds across workers (ScanProfile's documented multithreaded
+/// semantics); counters add exactly.
+void merge_worker_profile(ScanProfile& into, const ScanProfile& from);
+
+/// Runs the recovery-wrapped omega search for one valid grid position and
+/// records the outcome into `score` (valid on success, quarantined on
+/// exhaustion) and `profile` (omega_search_seconds, evaluations,
+/// positions_scanned, fault counters). Returns score.valid.
+bool score_position(OmegaBackend& backend, const DpMatrix& m,
+                    const GridPosition& position,
+                    const RecoveryPolicy& recovery, ScanProfile& profile,
+                    PositionScore& score);
+
+}  // namespace omega::core::detail

@@ -4,12 +4,12 @@
 #include <stdexcept>
 
 #include "core/resilience.h"
+#include "core/scan_driver.h"
 #include "par/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
 namespace omega::core {
-namespace {
 
 std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
                                              const io::Dataset& dataset,
@@ -25,13 +25,11 @@ std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
   throw std::logic_error("unknown LD backend");
 }
 
-/// Advances the DP matrix to `position`: the single home of the
-/// reset-vs-relocate policy, shared by every MT strategy so the relocation
-/// behaviour cannot silently diverge between them. Stage wall time is
-/// accumulated into `stages`.
+namespace detail {
+
 void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
                     const GridPosition& position, const ld::LdEngine& engine,
-                    StageTimes& stages, par::ThreadPool* pool = nullptr) {
+                    StageTimes& stages, par::ThreadPool* pool) {
   if (!reuse || !m_live || position.lo < m.base()) {
     const util::trace::Span span("scan.ld.reset");
     const util::Timer timer;
@@ -111,6 +109,40 @@ void merge_worker_profile(ScanProfile& into, const ScanProfile& from) {
   if (into.omega_backend.empty()) into.omega_backend = from.omega_backend;
 }
 
+bool score_position(OmegaBackend& backend, const DpMatrix& m,
+                    const GridPosition& position,
+                    const RecoveryPolicy& recovery, ScanProfile& profile,
+                    PositionScore& score) {
+  RecoveryOutcome outcome;
+  {
+    const util::trace::Span span("scan.omega.search");
+    const util::Timer timer;
+    outcome = recover_max_omega(backend, m, position, recovery, profile.faults);
+    profile.stages.omega_search_seconds += timer.seconds();
+  }
+  if (!outcome.ok) {
+    score.quarantined = true;
+    return false;
+  }
+  score.max_omega = outcome.result.max_omega;
+  score.best_a = outcome.result.best_a;
+  score.best_b = outcome.result.best_b;
+  score.evaluated = outcome.result.evaluated;
+  score.valid = true;
+  profile.omega_evaluations += outcome.result.evaluated;
+  ++profile.positions_scanned;
+  return true;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::advance_matrix;
+using detail::merge_matrix_stats;
+using detail::merge_worker_profile;
+using detail::score_position;
+
 /// Scans a contiguous chunk of grid positions with its own DP matrix. Every
 /// backend call goes through the recovery engine: transient failures retry
 /// (virtual-clock backoff), exhausted positions are quarantined instead of
@@ -129,25 +161,7 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
     if (!position.valid) continue;
 
     advance_matrix(m, m_live, reuse, position, engine, profile.stages);
-    RecoveryOutcome outcome;
-    {
-      const util::trace::Span span("scan.omega.search");
-      const util::Timer timer;
-      outcome =
-          recover_max_omega(backend, m, position, recovery, profile.faults);
-      profile.stages.omega_search_seconds += timer.seconds();
-    }
-    if (!outcome.ok) {
-      score.quarantined = true;
-      continue;
-    }
-    score.max_omega = outcome.result.max_omega;
-    score.best_a = outcome.result.best_a;
-    score.best_b = outcome.result.best_b;
-    score.evaluated = outcome.result.evaluated;
-    score.valid = true;
-    profile.omega_evaluations += outcome.result.evaluated;
-    ++profile.positions_scanned;
+    score_position(backend, m, position, recovery, profile, score);
   }
   profile.ld_seconds += profile.stages.ld_total();
   profile.omega_seconds += profile.stages.omega_search_seconds;
@@ -307,25 +321,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       // for the suffix-scan phase.
       advance_matrix(m, m_live, options.reuse, position, *engine,
                      profile.stages, &pool);
-      RecoveryOutcome outcome;
-      {
-        const util::trace::Span span("scan.omega.search");
-        const util::Timer timer;
-        outcome = recover_max_omega(backend, m, position, options.recovery,
-                                    profile.faults);
-        profile.stages.omega_search_seconds += timer.seconds();
-      }
-      if (!outcome.ok) {
-        score.quarantined = true;
-        continue;
-      }
-      score.max_omega = outcome.result.max_omega;
-      score.best_a = outcome.result.best_a;
-      score.best_b = outcome.result.best_b;
-      score.evaluated = outcome.result.evaluated;
-      score.valid = true;
-      profile.omega_evaluations += outcome.result.evaluated;
-      ++profile.positions_scanned;
+      score_position(backend, m, position, options.recovery, profile, score);
     }
     profile.ld_seconds = profile.stages.ld_total();
     profile.omega_seconds = profile.stages.omega_search_seconds;

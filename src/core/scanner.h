@@ -248,6 +248,37 @@ struct CpuKernelStats {
   std::uint64_t avx2_evaluations = 0;
 };
 
+/// Streaming-scan accounting (profile/metrics schema v5): chunk geometry of
+/// the bounded-memory pipeline and how well chunk IO overlapped compute.
+/// All-zero when the scan ran in-memory.
+struct StreamStats {
+  std::uint64_t chunks = 0;             // chunks the stream plan produced
+  std::uint64_t chunk_sites_target = 0; // requested sites-per-chunk bound
+  std::uint64_t total_sites = 0;        // filtered sites across the stream
+  /// Sites materialized more than once because consecutive chunks share the
+  /// window-overlap region.
+  std::uint64_t overlap_sites = 0;
+  /// Max sites resident at once: current chunk + the prefetched next chunk
+  /// under double buffering. The memory bound the subsystem exists for.
+  std::uint64_t peak_resident_sites = 0;
+  /// Chunk seams crossed with the DP matrix relocated rather than rebuilt.
+  std::uint64_t seam_carryovers = 0;
+  /// Chunks whose scan failed even after the chunk-level retry; their grid
+  /// positions are quarantined and the stream continues.
+  std::uint64_t failed_chunks = 0;
+  double io_seconds = 0.0;        // chunk read/materialize time (IO thread)
+  double io_stall_seconds = 0.0;  // compute thread blocked waiting on IO
+  double compute_seconds = 0.0;   // per-chunk scan time (compute thread)
+
+  /// Fraction of IO time hidden behind compute (1 = fully overlapped,
+  /// 0 = fully serialized).
+  [[nodiscard]] double io_overlap_ratio() const noexcept {
+    if (io_seconds <= 0.0) return 0.0;
+    const double hidden = io_seconds - io_stall_seconds;
+    return hidden > 0.0 ? hidden / io_seconds : 0.0;
+  }
+};
+
 /// Simulated-FPGA counters: pipeline occupancy of the §V design.
 struct FpgaProfile {
   std::uint64_t pipeline_cycles = 0;  // total accelerator cycles
@@ -280,6 +311,8 @@ struct ScanProfile {
   FaultRecoveryStats faults;
   /// CPU kernel dispatch decision and per-body evaluation counts (v4).
   CpuKernelStats kernel;
+  /// Streaming chunk pipeline accounting (v5); all-zero for in-memory scans.
+  StreamStats stream;
   /// Grid positions actually evaluated (valid positions).
   std::uint64_t positions_scanned = 0;
   /// Names recorded by the scan driver: the LD engine serving r2 fetches and
@@ -326,5 +359,12 @@ struct ScanResult {
 ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
                 const std::function<std::unique_ptr<OmegaBackend>()>&
                     backend_factory = {});
+
+/// Resolves ScannerOptions::ld to a concrete engine over `snps` (or the
+/// Dataset for the naive oracle). Shared with the streaming driver, which
+/// builds one engine per chunk.
+std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
+                                             const io::Dataset& dataset,
+                                             const ld::SnpMatrix& snps);
 
 }  // namespace omega::core

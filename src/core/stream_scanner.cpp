@@ -1,0 +1,246 @@
+#include "core/stream_scanner.h"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/resilience.h"
+#include "core/scan_driver.h"
+#include "par/thread_pool.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace omega::core {
+
+void StreamScanOptions::validate() const {
+  if (chunk_sites == 0) {
+    throw std::invalid_argument("stream: chunk_sites must be >= 1");
+  }
+}
+
+std::vector<io::SiteRange> StreamPlan::site_ranges() const {
+  std::vector<io::SiteRange> ranges;
+  ranges.reserve(chunks.size());
+  for (const StreamChunkPlan& chunk : chunks) ranges.push_back(chunk.sites);
+  return ranges;
+}
+
+std::uint64_t StreamPlan::overlap_sites() const {
+  std::uint64_t overlap = 0;
+  for (std::size_t k = 1; k < chunks.size(); ++k) {
+    const std::size_t prev_end = chunks[k - 1].sites.end;
+    const std::size_t begin = chunks[k].sites.begin;
+    if (begin < prev_end) overlap += prev_end - begin;
+  }
+  return overlap;
+}
+
+StreamPlan plan_stream_chunks(const std::vector<std::int64_t>& positions_bp,
+                              const OmegaConfig& config,
+                              std::size_t chunk_sites) {
+  StreamPlan plan;
+  plan.grid = build_grid(positions_bp, config);
+
+  // Pack consecutive valid positions greedily. Grid positions are laid out
+  // left to right, so lo/hi are non-decreasing along the grid and the
+  // covering span of a chunk is [first lo, last hi + 1).
+  bool open = false;
+  StreamChunkPlan current;
+  std::size_t last_valid = 0;
+  auto close = [&](std::size_t grid_end) {
+    current.grid_end = grid_end;
+    plan.chunks.push_back(current);
+    open = false;
+  };
+  for (std::size_t g = 0; g < plan.grid.size(); ++g) {
+    const GridPosition& position = plan.grid[g];
+    if (!position.valid) continue;
+    const std::size_t end = position.hi + 1;
+    if (open && end - current.sites.begin <= chunk_sites) {
+      current.sites.end = std::max(current.sites.end, end);
+      last_valid = g;
+      continue;
+    }
+    if (open) close(last_valid + 1);
+    current = StreamChunkPlan{io::SiteRange{position.lo, end},
+                              plan.chunks.empty() ? 0 : last_valid + 1, 0};
+    last_valid = g;
+    open = true;
+  }
+  // The final chunk also absorbs any trailing invalid positions.
+  if (open) close(plan.grid.size());
+  return plan;
+}
+
+ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
+                       const StreamScanOptions& stream_options,
+                       const std::function<std::unique_ptr<OmegaBackend>()>&
+                           backend_factory) {
+  options.config.validate();
+  options.recovery.validate();
+  stream_options.validate();
+  if (options.threads > 1) {
+    throw std::invalid_argument(
+        "stream_scan: compute is single-threaded (options.threads must be 1); "
+        "per-worker chunks would defeat the memory bound");
+  }
+  const CpuKernelKind kernel = resolve_cpu_kernel(options.cpu_kernel);
+  const util::trace::Span scan_span("stream.scan");
+  const util::Timer total;
+
+  const io::StreamIndex& index = reader.index();
+  StreamPlan plan = plan_stream_chunks(index.positions_bp, options.config,
+                                       stream_options.chunk_sites);
+
+  ScanResult result;
+  result.scores.resize(plan.grid.size());
+  for (std::size_t g = 0; g < plan.grid.size(); ++g) {
+    result.scores[g].position_bp = plan.grid[g].position_bp;
+  }
+  ScanProfile& profile = result.profile;
+  profile.kernel.requested = cpu_kernel_name(options.cpu_kernel);
+  profile.kernel.selected = cpu_kernel_name(kernel);
+  profile.kernel.avx2_supported = cpu_kernel_avx2_available();
+
+  StreamStats& stream = profile.stream;
+  stream.chunks = plan.chunks.size();
+  stream.chunk_sites_target = stream_options.chunk_sites;
+  stream.total_sites = index.num_sites();
+  stream.overlap_sites = plan.overlap_sites();
+  for (std::size_t k = 0; k < plan.chunks.size(); ++k) {
+    // Peak residency is deterministic from the plan: chunk k plus, under
+    // double buffering, the chunk being prefetched behind it.
+    std::uint64_t resident = plan.chunks[k].sites.size();
+    if (stream_options.double_buffer && k + 1 < plan.chunks.size()) {
+      resident += plan.chunks[k + 1].sites.size();
+    }
+    stream.peak_resident_sites = std::max(stream.peak_resident_sites, resident);
+  }
+
+  if (plan.chunks.empty()) {
+    profile.total_seconds = total.seconds();
+    return result;  // no valid position anywhere — nothing to read
+  }
+
+  // One backend for the entire stream: degradation state (FallbackBackend)
+  // and fault-injection PRNG sequence must match the in-memory scan's single
+  // instance.
+  std::unique_ptr<OmegaBackend> backend;
+  if (!backend_factory) {
+    backend = std::make_unique<CpuOmegaBackend>(kernel);
+  } else {
+    backend = backend_factory();
+    if (options.recovery.fallback_to_cpu) {
+      backend = std::make_unique<FallbackBackend>(std::move(backend), kernel);
+    }
+  }
+
+  reader.plan(plan.site_ranges());
+
+  // Double-buffered fetch: one slot computes while the other fills on the IO
+  // pool. Fetches are strictly serialized (submit only after the previous
+  // get()), so the slot/io_seconds writes are published by the future.
+  par::ThreadPool io_pool(1);
+  std::optional<io::DatasetChunk> slots[2];
+  std::future<void> inflight;
+  auto submit_fetch = [&](std::size_t slot) {
+    inflight = io_pool.submit([&reader, &slots, &stream, slot] {
+      const util::Timer timer;
+      slots[slot] = reader.next();
+      stream.io_seconds += timer.seconds();
+    });
+  };
+
+  DpMatrix m;
+  bool m_live = false;
+  std::size_t cursor = 0;
+  submit_fetch(cursor);
+
+  for (std::size_t k = 0; k < plan.chunks.size(); ++k) {
+    const StreamChunkPlan& step = plan.chunks[k];
+    {
+      // Without double buffering only chunk 0 was prefetched; later chunks
+      // are fetched here, serialized with compute (the whole wait is stall).
+      if (!inflight.valid()) submit_fetch(cursor);
+      const util::trace::Span span("stream.io.wait");
+      const util::Timer stall;
+      inflight.get();
+      stream.io_stall_seconds += stall.seconds();
+    }
+    std::optional<io::DatasetChunk> chunk = std::move(slots[cursor]);
+    slots[cursor].reset();
+    if (stream_options.double_buffer && k + 1 < plan.chunks.size()) {
+      cursor = 1 - cursor;
+      submit_fetch(cursor);
+    }
+    if (!chunk.has_value()) {
+      throw std::runtime_error("stream_scan: reader ended before chunk " +
+                               std::to_string(k));
+    }
+    if (chunk->first_site != step.sites.begin ||
+        chunk->dataset.num_sites() != step.sites.size()) {
+      throw std::runtime_error("stream_scan: reader returned sites [" +
+                               std::to_string(chunk->first_site) + ", +" +
+                               std::to_string(chunk->dataset.num_sites()) +
+                               ") for planned chunk " + std::to_string(k));
+    }
+
+    // Scan the chunk's grid positions; a non-BackendError escape (the
+    // per-position recovery engine already absorbs BackendErrors) retries
+    // the whole chunk, then quarantines whatever is still unscored.
+    bool scanned = false;
+    for (std::size_t attempt = 0;
+         attempt <= stream_options.chunk_retries && !scanned; ++attempt) {
+      try {
+        const util::trace::Span span("stream.chunk");
+        const util::Timer compute;
+        const ld::SnpMatrix snps(chunk->dataset);
+        const auto inner = options.ld_factory
+                               ? options.ld_factory(snps)
+                               : make_ld_engine(options.ld, chunk->dataset, snps);
+        const ld::OffsetLd engine(*inner, chunk->first_site);
+        if (profile.ld_backend.empty()) profile.ld_backend = inner->name();
+        bool first_in_chunk = true;
+        for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
+          const GridPosition& position = plan.grid[g];
+          PositionScore& score = result.scores[g];
+          if (!position.valid || score.valid || score.quarantined) continue;
+          const bool carried =
+              m_live && options.reuse && position.lo >= m.base();
+          detail::advance_matrix(m, m_live, options.reuse, position, engine,
+                                 profile.stages);
+          if (first_in_chunk && k > 0 && carried) ++stream.seam_carryovers;
+          first_in_chunk = false;
+          detail::score_position(*backend, m, position, options.recovery,
+                                 profile, score);
+        }
+        stream.compute_seconds += compute.seconds();
+        scanned = true;
+      } catch (const std::exception&) {
+        // The matrix may hold a half-extended state; force a rebuild.
+        m_live = false;
+      }
+    }
+    if (!scanned) {
+      ++stream.failed_chunks;
+      m_live = false;
+      for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
+        if (!plan.grid[g].valid || result.scores[g].valid) continue;
+        result.scores[g].quarantined = true;
+        ++profile.faults.quarantined_positions;
+      }
+    }
+  }
+
+  profile.ld_seconds = profile.stages.ld_total();
+  profile.omega_seconds = profile.stages.omega_search_seconds;
+  detail::merge_matrix_stats(profile, m);
+  backend->contribute(profile);
+  profile.omega_backend = backend->name();
+  profile.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace omega::core

@@ -1,0 +1,228 @@
+#include "io/chunk_reader.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "io/parse_error.h"
+
+namespace omega::io {
+namespace {
+
+/// The keep rule of Dataset::remove_monomorphic, applied record-at-a-time:
+/// a site carries LD information iff both alleles are observed among the
+/// valid (non-missing) calls.
+bool is_polymorphic(const std::vector<std::uint8_t>& alleles) {
+  std::size_t derived = 0, valid = 0;
+  for (const std::uint8_t a : alleles) {
+    if (a == Dataset::kMissing) continue;
+    ++valid;
+    derived += (a == 1) ? 1 : 0;
+  }
+  return derived > 0 && derived < valid;
+}
+
+}  // namespace
+
+void ChunkReader::adopt_plan(std::vector<SiteRange> ranges,
+                             std::size_t num_sites) {
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    const SiteRange& r = ranges[k];
+    if (r.begin >= r.end || r.end > num_sites) {
+      throw std::invalid_argument("chunk plan: range " + std::to_string(k) +
+                                  " [" + std::to_string(r.begin) + ", " +
+                                  std::to_string(r.end) + ") invalid for " +
+                                  std::to_string(num_sites) + " sites");
+    }
+    if (k > 0 &&
+        (r.begin < ranges[k - 1].begin || r.end < ranges[k - 1].end)) {
+      throw std::invalid_argument(
+          "chunk plan: ranges must advance monotonically (range " +
+          std::to_string(k) + " steps backwards)");
+    }
+  }
+  ranges_ = std::move(ranges);
+  cursor_ = 0;
+}
+
+// ---------------------------------------------------------------- Dataset --
+
+DatasetChunkReader::DatasetChunkReader(const Dataset& dataset)
+    : dataset_(dataset) {
+  index_.positions_bp = dataset.positions();
+  index_.num_samples = dataset.num_samples();
+  index_.locus_length_bp = dataset.locus_length_bp();
+  index_.has_missing = dataset.has_missing();
+}
+
+void DatasetChunkReader::plan(std::vector<SiteRange> ranges) {
+  adopt_plan(std::move(ranges), index_.num_sites());
+}
+
+std::optional<DatasetChunk> DatasetChunkReader::next() {
+  if (cursor_ >= ranges_.size()) return std::nullopt;
+  const SiteRange range = ranges_[cursor_];
+  std::vector<std::int64_t> positions(
+      index_.positions_bp.begin() + static_cast<std::ptrdiff_t>(range.begin),
+      index_.positions_bp.begin() + static_cast<std::ptrdiff_t>(range.end));
+  std::vector<std::vector<std::uint8_t>> sites;
+  sites.reserve(range.size());
+  for (std::size_t s = range.begin; s < range.end; ++s) {
+    sites.push_back(dataset_.site(s));
+  }
+  DatasetChunk chunk{Dataset(std::move(positions), std::move(sites),
+                             index_.locus_length_bp),
+                     range.begin, cursor_};
+  ++cursor_;
+  return chunk;
+}
+
+// -------------------------------------------------------------------- VCF --
+
+VcfChunkReader::VcfChunkReader(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in) throw std::runtime_error("vcf: cannot open " + path_);
+  VcfStreamParser parser(in);
+  VcfRecord record;
+  std::int64_t last_raw_position = 0;
+  while (parser.next(record)) {
+    // locus length follows read_vcf: the last loadable record's position,
+    // whether or not the monomorphic filter keeps it.
+    last_raw_position = record.position_bp;
+    if (is_polymorphic(record.alleles)) {
+      index_.positions_bp.push_back(record.position_bp);
+      if (!index_.has_missing) {
+        index_.has_missing =
+            std::find(record.alleles.begin(), record.alleles.end(),
+                      Dataset::kMissing) != record.alleles.end();
+      }
+    }
+  }
+  index_.num_samples = parser.haplotypes();
+  index_.locus_length_bp = last_raw_position;
+  load_report_ = parser.report();
+}
+
+void VcfChunkReader::plan(std::vector<SiteRange> ranges) {
+  adopt_plan(std::move(ranges), index_.num_sites());
+  file_ = std::make_unique<std::ifstream>(path_);
+  if (!*file_) throw std::runtime_error("vcf: cannot reopen " + path_);
+  parser_ = std::make_unique<VcfStreamParser>(*file_);
+  buffer_.clear();
+  buffer_first_ = 0;
+  parsed_kept_ = 0;
+}
+
+void VcfChunkReader::fill_to(std::size_t target) {
+  VcfRecord record;
+  while (parsed_kept_ <= target && parser_->next(record)) {
+    if (!is_polymorphic(record.alleles)) continue;
+    buffer_.push_back(std::move(record.alleles));
+    ++parsed_kept_;
+  }
+}
+
+std::optional<DatasetChunk> VcfChunkReader::next() {
+  if (cursor_ >= ranges_.size()) return std::nullopt;
+  if (parser_ == nullptr) {
+    throw std::logic_error("vcf-stream: next() before plan()");
+  }
+  const SiteRange range = ranges_[cursor_];
+  // Release sites the remaining plan can no longer touch.
+  while (buffer_first_ < range.begin) {
+    buffer_.pop_front();
+    ++buffer_first_;
+  }
+  fill_to(range.end - 1);
+  if (parsed_kept_ < range.end) {
+    // Pass 1 indexed more kept sites than pass 2 found: the file changed
+    // between passes.
+    throw std::runtime_error("vcf-stream: " + path_ +
+                             " shrank between indexing and streaming");
+  }
+  std::vector<std::int64_t> positions(
+      index_.positions_bp.begin() + static_cast<std::ptrdiff_t>(range.begin),
+      index_.positions_bp.begin() + static_cast<std::ptrdiff_t>(range.end));
+  std::vector<std::vector<std::uint8_t>> sites;
+  sites.reserve(range.size());
+  for (std::size_t s = range.begin; s < range.end; ++s) {
+    sites.push_back(buffer_[s - buffer_first_]);
+  }
+  DatasetChunk chunk{Dataset(std::move(positions), std::move(sites),
+                             index_.locus_length_bp),
+                     range.begin, cursor_};
+  ++cursor_;
+  return chunk;
+}
+
+// --------------------------------------------------------------------- ms --
+
+MsChunkReader::MsChunkReader(const std::string& path, MsReadOptions options,
+                             std::size_t replicate) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ms: cannot open " + path);
+  raw_ = read_ms_replicate_raw(in, replicate);
+
+  const std::size_t sites = raw_.fractions.size();
+  for (const auto& hap : raw_.haplotypes) {
+    if (hap.size() != sites) {
+      throw ParseError("ms", raw_.replicate_line,
+                       "haplotype width " + std::to_string(hap.size()) +
+                           " != segsites " + std::to_string(sites));
+    }
+    for (const char c : hap) {
+      if (c != '0' && c != '1') {
+        throw ParseError("ms", raw_.replicate_line,
+                         std::string("invalid allele character '") + c + "'");
+      }
+    }
+  }
+
+  // Coordinates first (over every raw site — the dedup nudge depends on the
+  // unfiltered order), then the monomorphic filter, exactly as read_ms does.
+  const std::vector<std::int64_t> raw_positions =
+      ms_positions_bp(raw_.fractions, options, raw_.replicate_line);
+  for (std::size_t s = 0; s < sites; ++s) {
+    std::size_t derived = 0;
+    for (const auto& hap : raw_.haplotypes) derived += (hap[s] == '1') ? 1 : 0;
+    const bool keep = !options.drop_monomorphic ||
+                      (derived > 0 && derived < raw_.haplotypes.size());
+    if (keep) {
+      site_columns_.push_back(s);
+      index_.positions_bp.push_back(raw_positions[s]);
+    }
+  }
+  index_.num_samples = raw_.haplotypes.size();
+  index_.locus_length_bp =
+      std::max<std::int64_t>(options.locus_length_bp,
+                             raw_positions.empty() ? 0 : raw_positions.back());
+}
+
+void MsChunkReader::plan(std::vector<SiteRange> ranges) {
+  adopt_plan(std::move(ranges), index_.num_sites());
+}
+
+std::optional<DatasetChunk> MsChunkReader::next() {
+  if (cursor_ >= ranges_.size()) return std::nullopt;
+  const SiteRange range = ranges_[cursor_];
+  std::vector<std::int64_t> positions(
+      index_.positions_bp.begin() + static_cast<std::ptrdiff_t>(range.begin),
+      index_.positions_bp.begin() + static_cast<std::ptrdiff_t>(range.end));
+  std::vector<std::vector<std::uint8_t>> sites;
+  sites.reserve(range.size());
+  for (std::size_t s = range.begin; s < range.end; ++s) {
+    const std::size_t column = site_columns_[s];
+    std::vector<std::uint8_t> alleles(raw_.haplotypes.size());
+    for (std::size_t h = 0; h < raw_.haplotypes.size(); ++h) {
+      alleles[h] = static_cast<std::uint8_t>(raw_.haplotypes[h][column] - '0');
+    }
+    sites.push_back(std::move(alleles));
+  }
+  DatasetChunk chunk{Dataset(std::move(positions), std::move(sites),
+                             index_.locus_length_bp),
+                     range.begin, cursor_};
+  ++cursor_;
+  return chunk;
+}
+
+}  // namespace omega::io

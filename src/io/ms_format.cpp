@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -10,6 +11,7 @@
 #include <stdexcept>
 
 #include "io/parse_error.h"
+#include "util/ios_guard.h"
 
 namespace omega::io {
 namespace {
@@ -21,80 +23,33 @@ std::string strip(const std::string& line) {
   return line.substr(first, last - first + 1);
 }
 
-Dataset finish_replicate(const std::vector<double>& fractions,
-                         const std::vector<std::string>& haplotypes,
-                         const MsReadOptions& options,
-                         std::size_t replicate_line) {
-  const std::size_t sites = fractions.size();
-  for (const auto& hap : haplotypes) {
-    if (hap.size() != sites) {
-      throw ParseError("ms", replicate_line,
-                       "haplotype width " + std::to_string(hap.size()) +
-                           " != segsites " + std::to_string(sites));
-    }
-  }
-  std::vector<std::int64_t> positions(sites);
-  for (std::size_t s = 0; s < sites; ++s) {
-    if (fractions[s] < 0.0 || fractions[s] > 1.0) {
-      throw ParseError("ms", replicate_line, "position outside [0,1]");
-    }
-    positions[s] = static_cast<std::int64_t>(
-        std::llround(fractions[s] * static_cast<double>(options.locus_length_bp)));
-  }
-  if (options.deduplicate_positions) {
-    for (std::size_t s = 1; s < sites; ++s) {
-      if (positions[s] <= positions[s - 1]) positions[s] = positions[s - 1] + 1;
-    }
-  }
-  std::vector<std::vector<std::uint8_t>> matrix(sites);
-  for (std::size_t s = 0; s < sites; ++s) {
-    matrix[s].resize(haplotypes.size());
-    for (std::size_t h = 0; h < haplotypes.size(); ++h) {
-      const char c = haplotypes[h][s];
-      if (c != '0' && c != '1') {
-        throw ParseError("ms", replicate_line,
-                         std::string("invalid allele character '") + c + "'");
-      }
-      matrix[s][h] = static_cast<std::uint8_t>(c - '0');
-    }
-  }
-  const std::int64_t length =
-      std::max<std::int64_t>(options.locus_length_bp,
-                             positions.empty() ? 0 : positions.back());
-  Dataset dataset(std::move(positions), std::move(matrix), length);
-  if (options.drop_monomorphic) dataset.remove_monomorphic();
-  return dataset;
-}
-
-}  // namespace
-
-std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
-  std::vector<Dataset> replicates;
+/// Scans the stream replicate by replicate, handing each finished raw
+/// replicate to `sink`; sink returning false stops the scan early. The single
+/// home of the line-level ms grammar, shared by read_ms and
+/// read_ms_replicate_raw.
+void scan_ms(std::istream& in,
+             const std::function<bool(MsRawReplicate&&)>& sink) {
   std::string line;
   std::size_t line_number = 0;     // 1-based, for ParseError context
-  std::size_t replicate_line = 0;  // line of the opening "//"
   bool in_replicate = false;
   std::size_t expected_sites = 0;
-  std::vector<double> fractions;
-  std::vector<std::string> haplotypes;
+  MsRawReplicate raw;
 
-  auto flush = [&] {
-    if (in_replicate) {
-      replicates.push_back(
-          finish_replicate(fractions, haplotypes, options, replicate_line));
-      fractions.clear();
-      haplotypes.clear();
-      in_replicate = false;
-    }
+  auto flush = [&]() -> bool {
+    if (!in_replicate) return true;
+    in_replicate = false;
+    const bool keep_going = sink(std::move(raw));
+    raw = MsRawReplicate{};
+    return keep_going;
   };
 
   while (std::getline(in, line)) {
     ++line_number;
     const std::string text = strip(line);
     if (text == "//") {
-      flush();
+      if (!flush()) return;
       in_replicate = true;
-      replicate_line = line_number;
+      raw.replicate_line = line_number;
       expected_sites = 0;
       continue;
     }
@@ -111,16 +66,77 @@ std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
     if (text.rfind("positions:", 0) == 0) {
       std::istringstream fields(text.substr(10));
       double value = 0.0;
-      while (fields >> value) fractions.push_back(value);
-      if (expected_sites != 0 && fractions.size() != expected_sites) {
+      while (fields >> value) raw.fractions.push_back(value);
+      if (expected_sites != 0 && raw.fractions.size() != expected_sites) {
         throw ParseError("ms", line_number, "positions count != segsites");
       }
       continue;
     }
     // Haplotype row.
-    haplotypes.push_back(text);
+    raw.haplotypes.push_back(text);
   }
   flush();
+}
+
+Dataset finish_replicate(const MsRawReplicate& raw,
+                         const MsReadOptions& options) {
+  const std::size_t sites = raw.fractions.size();
+  for (const auto& hap : raw.haplotypes) {
+    if (hap.size() != sites) {
+      throw ParseError("ms", raw.replicate_line,
+                       "haplotype width " + std::to_string(hap.size()) +
+                           " != segsites " + std::to_string(sites));
+    }
+  }
+  std::vector<std::int64_t> positions =
+      ms_positions_bp(raw.fractions, options, raw.replicate_line);
+  std::vector<std::vector<std::uint8_t>> matrix(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    matrix[s].resize(raw.haplotypes.size());
+    for (std::size_t h = 0; h < raw.haplotypes.size(); ++h) {
+      const char c = raw.haplotypes[h][s];
+      if (c != '0' && c != '1') {
+        throw ParseError("ms", raw.replicate_line,
+                         std::string("invalid allele character '") + c + "'");
+      }
+      matrix[s][h] = static_cast<std::uint8_t>(c - '0');
+    }
+  }
+  const std::int64_t length =
+      std::max<std::int64_t>(options.locus_length_bp,
+                             positions.empty() ? 0 : positions.back());
+  Dataset dataset(std::move(positions), std::move(matrix), length);
+  if (options.drop_monomorphic) dataset.remove_monomorphic();
+  return dataset;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> ms_positions_bp(const std::vector<double>& fractions,
+                                          const MsReadOptions& options,
+                                          std::size_t replicate_line) {
+  std::vector<std::int64_t> positions(fractions.size());
+  for (std::size_t s = 0; s < fractions.size(); ++s) {
+    if (fractions[s] < 0.0 || fractions[s] > 1.0) {
+      throw ParseError("ms", replicate_line, "position outside [0,1]");
+    }
+    positions[s] = static_cast<std::int64_t>(std::llround(
+        fractions[s] * static_cast<double>(options.locus_length_bp)));
+  }
+  if (options.deduplicate_positions) {
+    for (std::size_t s = 1; s < positions.size(); ++s) {
+      if (positions[s] <= positions[s - 1]) positions[s] = positions[s - 1] + 1;
+    }
+  }
+  return positions;
+}
+
+std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options) {
+  std::vector<Dataset> replicates;
+  scan_ms(in, [&](MsRawReplicate&& raw) {
+    replicates.push_back(finish_replicate(raw, options));
+    return true;
+  });
   return replicates;
 }
 
@@ -131,8 +147,30 @@ std::vector<Dataset> read_ms_file(const std::string& path,
   return read_ms(in, options);
 }
 
+MsRawReplicate read_ms_replicate_raw(std::istream& in, std::size_t index) {
+  MsRawReplicate result;
+  bool found = false;
+  std::size_t seen = 0;
+  scan_ms(in, [&](MsRawReplicate&& raw) {
+    if (seen++ == index) {
+      result = std::move(raw);
+      found = true;
+      return false;  // stop scanning once the target replicate is complete
+    }
+    return true;
+  });
+  if (!found) {
+    throw std::runtime_error("ms: replicate " + std::to_string(index) +
+                             " not present (stream holds " +
+                             std::to_string(seen) + ")");
+  }
+  return result;
+}
+
 void write_ms(std::ostream& out, const std::vector<Dataset>& replicates,
               const std::string& command_line) {
+  // std::fixed/setprecision below must not leak into the caller's stream.
+  const util::IosFormatGuard format_guard(out);
   const std::size_t samples = replicates.empty() ? 0 : replicates.front().num_samples();
   out << command_line << ' ' << samples << ' ' << replicates.size() << "\n";
   out << "0 0 0\n";

@@ -12,7 +12,13 @@
 //
 // Positions are fractions of the locus; we convert to integer bp with the
 // caller-provided locus length (matching OmegaPlus's handling of ms input).
+//
+// Because ms is haplotype-major (each row is one haplotype across every
+// site), the streaming chunk reader cannot drop data mid-replicate; instead
+// read_ms_replicate_raw() keeps one replicate as compact text rows (1 byte
+// per allele) from which bounded site-major Dataset chunks are sliced.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -35,7 +41,30 @@ std::vector<Dataset> read_ms(std::istream& in, const MsReadOptions& options = {}
 std::vector<Dataset> read_ms_file(const std::string& path,
                                   const MsReadOptions& options = {});
 
-/// Writes replicates in ms format (fractional positions with 6 digits).
+/// One replicate in its raw textual shape: fractional positions plus
+/// haplotype rows kept as '0'/'1' strings — the compact holding format the
+/// chunk reader (io/chunk_reader.h) slices per-chunk Datasets from.
+struct MsRawReplicate {
+  std::vector<double> fractions;
+  std::vector<std::string> haplotypes;
+  std::size_t replicate_line = 0;  // line number of the opening "//"
+};
+
+/// Reads replicate `index` (0-based) without materializing a Dataset; throws
+/// ParseError on malformed input and std::runtime_error when the stream holds
+/// fewer replicates.
+MsRawReplicate read_ms_replicate_raw(std::istream& in, std::size_t index);
+
+/// Converts fractional positions into strictly-increasing bp positions with
+/// the exact llround + dedup-nudge arithmetic read_ms uses — shared so a
+/// streamed replicate lands on the same coordinates as the in-memory load.
+/// `replicate_line` seeds ParseError context for out-of-range fractions.
+std::vector<std::int64_t> ms_positions_bp(const std::vector<double>& fractions,
+                                          const MsReadOptions& options,
+                                          std::size_t replicate_line = 0);
+
+/// Writes replicates in ms format (fractional positions with 6 digits). The
+/// caller's stream formatting flags are restored on return.
 void write_ms(std::ostream& out, const std::vector<Dataset>& replicates,
               const std::string& command_line = "ms (libomega writer)");
 void write_ms_file(const std::string& path, const std::vector<Dataset>& replicates,

@@ -40,45 +40,49 @@ bool parse_gt(const std::string& gt, std::vector<std::uint8_t>& out) {
 
 }  // namespace
 
-Dataset read_vcf(std::istream& in, VcfLoadReport* report) {
-  VcfLoadReport local;
-  std::string line;
-  std::string contig;
-  std::size_t haplotypes = 0;
-  std::vector<std::int64_t> positions;
-  std::vector<std::vector<std::uint8_t>> sites;
-
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    auto fields = split_tabs(line);
-    if (fields.size() < 10) continue;
-    ++local.records_total;
-
-    if (contig.empty()) {
-      contig = fields[0];
-    } else if (fields[0] != contig) {
-      break;  // only the first contig
+bool VcfStreamParser::next(VcfRecord& record) {
+  if (done_) return false;
+  while (std::getline(in_, line_)) {
+    // CRLF input: getline keeps the \r, which would otherwise survive into
+    // the last GT field and make parse_gt reject every record.
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    if (line_.empty() || line_[0] == '#') continue;
+    auto fields = split_tabs(line_);
+    if (fields.size() < 10) {
+      // Short data lines are records too: count them as total + skipped so
+      // records_total always equals loaded + skipped.
+      ++report_.records_total;
+      ++report_.records_skipped;
+      continue;
     }
+    if (contig_.empty()) {
+      contig_ = fields[0];
+    } else if (fields[0] != contig_) {
+      done_ = true;  // only the first contig; the foreign record is not counted
+      return false;
+    }
+    ++report_.records_total;
+
     // POS must be a plain non-negative integer; garbage or out-of-range
     // values (an int64 overflow used to escape as std::out_of_range from
     // std::stoll) make this a skipped record, not a crashed load.
     const auto pos = try_parse_int64(fields[1]);
     if (!pos || *pos < 0) {
-      ++local.records_skipped;
+      ++report_.records_skipped;
       continue;
     }
     const std::string& ref = fields[3];
     const std::string& alt = fields[4];
     if (ref.size() != 1 || alt.size() != 1 || alt == "." || alt[0] == '<') {
-      ++local.records_skipped;
+      ++report_.records_skipped;
       continue;
     }
     // FORMAT must start with GT.
     if (fields[8].rfind("GT", 0) != 0) {
-      ++local.records_skipped;
+      ++report_.records_skipped;
       continue;
     }
-    std::vector<std::uint8_t> row;
+    record.alleles.clear();
     std::vector<std::uint8_t> gt_alleles;
     bool bad = false;
     for (std::size_t f = 9; f < fields.size(); ++f) {
@@ -89,27 +93,41 @@ Dataset read_vcf(std::istream& in, VcfLoadReport* report) {
         bad = true;
         break;
       }
-      row.insert(row.end(), gt_alleles.begin(), gt_alleles.end());
+      record.alleles.insert(record.alleles.end(), gt_alleles.begin(),
+                            gt_alleles.end());
     }
     if (bad) {
-      ++local.records_skipped;
+      ++report_.records_skipped;
       continue;
     }
-    if (haplotypes == 0) {
-      haplotypes = row.size();
-    } else if (row.size() != haplotypes) {
-      ++local.records_skipped;
+    if (haplotypes_ == 0) {
+      haplotypes_ = record.alleles.size();
+    } else if (record.alleles.size() != haplotypes_) {
+      ++report_.records_skipped;
       continue;  // inconsistent ploidy: skip rather than abort
     }
-    if (!positions.empty() && *pos <= positions.back()) {
-      ++local.records_skipped;
+    if (*pos <= last_position_) {
+      ++report_.records_skipped;
       continue;  // unsorted/duplicate positions
     }
-    positions.push_back(*pos);
-    sites.push_back(std::move(row));
+    last_position_ = *pos;
+    record.position_bp = *pos;
+    return true;
   }
+  done_ = true;
+  return false;
+}
 
-  if (report != nullptr) *report = local;
+Dataset read_vcf(std::istream& in, VcfLoadReport* report) {
+  VcfStreamParser parser(in);
+  std::vector<std::int64_t> positions;
+  std::vector<std::vector<std::uint8_t>> sites;
+  VcfRecord record;
+  while (parser.next(record)) {
+    positions.push_back(record.position_bp);
+    sites.push_back(std::move(record.alleles));
+  }
+  if (report != nullptr) *report = parser.report();
   const std::int64_t length = positions.empty() ? 0 : positions.back();
   Dataset dataset(std::move(positions), std::move(sites), length);
   dataset.remove_monomorphic();

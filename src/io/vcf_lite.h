@@ -4,8 +4,17 @@
 // simulators and by bcftools view on phased panels:
 //   #CHROM POS ID REF ALT QUAL FILTER INFO FORMAT S1 S2 ...
 // with GT fields like 0, 1, 0|1, 1/1. Multi-allelic records and records with
-// symbolic ALT alleles are skipped (counted, reported).
+// symbolic ALT alleles are skipped (counted, reported). CRLF line endings are
+// accepted (the trailing \r is stripped before field splitting).
+//
+// Two consumption modes share one record-level parser (VcfStreamParser, the
+// single home of the skip/count logic):
+//   * read_vcf()      — materializes the whole first contig into a Dataset;
+//   * VcfStreamParser — yields one record at a time, which is what the
+//     streaming chunk reader (io/chunk_reader.h) builds bounded-memory
+//     whole-genome scans on.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -15,8 +24,46 @@
 namespace omega::io {
 
 struct VcfLoadReport {
+  /// Every data line seen on the first contig, loadable or not; always equals
+  /// loaded records + records_skipped.
   std::size_t records_total = 0;
-  std::size_t records_skipped = 0;  // multi-allelic / symbolic / malformed GT
+  /// Short (< 10 fields) / multi-allelic / symbolic / malformed-GT /
+  /// unsorted records.
+  std::size_t records_skipped = 0;
+};
+
+/// One loadable record: its bp position and the per-haplotype alleles
+/// (0/1/Dataset::kMissing).
+struct VcfRecord {
+  std::int64_t position_bp = 0;
+  std::vector<std::uint8_t> alleles;
+};
+
+/// Incremental record-level VCF parser over the first contig. next() skips
+/// (and counts) unloadable records internally, so callers only ever see
+/// loadable ones; it returns false at end of input or on the first record of
+/// a second contig (which is neither counted nor loaded).
+class VcfStreamParser {
+ public:
+  explicit VcfStreamParser(std::istream& in) : in_(in) {}
+
+  /// Advances to the next loadable record. `record.alleles` is overwritten
+  /// (capacity reused across calls).
+  bool next(VcfRecord& record);
+
+  [[nodiscard]] const VcfLoadReport& report() const noexcept { return report_; }
+  /// Haplotype count locked in by the first loaded record (0 before then).
+  [[nodiscard]] std::size_t haplotypes() const noexcept { return haplotypes_; }
+  [[nodiscard]] const std::string& contig() const noexcept { return contig_; }
+
+ private:
+  std::istream& in_;
+  VcfLoadReport report_;
+  std::string contig_;
+  std::string line_;
+  std::int64_t last_position_ = -1;
+  std::size_t haplotypes_ = 0;
+  bool done_ = false;
 };
 
 /// Loads the first contig's records (or all records if they share a contig).

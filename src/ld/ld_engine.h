@@ -83,6 +83,36 @@ class GemmLd final : public LdEngine {
   GemmBlocking blocking_;
 };
 
+/// Index-translation adapter for the streaming scanner: lets an engine built
+/// over one chunk of the alignment serve r2 requests addressed in global SNP
+/// indices. The chunk's first site has global index `offset`; every request
+/// is shifted down by it. The omega/DP layer is untouched — it keeps global
+/// indexing whether the scan is in-memory or streamed, which is what makes
+/// the two bitwise comparable.
+class OffsetLd final : public LdEngine {
+ public:
+  /// `inner` serves chunk-local indices [0, inner.num_sites()); the adapter
+  /// serves global indices [offset, offset + inner.num_sites()).
+  OffsetLd(const LdEngine& inner, std::size_t offset)
+      : inner_(inner), offset_(offset) {}
+
+  void r2_block(std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+                float* out, std::size_t ld) const override {
+    // note_served is deliberately not called: the inner engine already
+    // counts, and the fetch totals must match the in-memory scan's.
+    inner_.r2_block(i0 - offset_, i1 - offset_, j0 - offset_, j1 - offset_,
+                    out, ld);
+  }
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  [[nodiscard]] std::size_t num_sites() const override {
+    return offset_ + inner_.num_sites();
+  }
+
+ private:
+  const LdEngine& inner_;
+  std::size_t offset_;
+};
+
 /// Unpacked O(samples)-per-pair oracle straight off the Dataset; tests only.
 class NaiveLd final : public LdEngine {
  public:

@@ -43,6 +43,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_item(Item& item) {
+  if (item.batch == nullptr) {
+    // submit() task: the wrapper owns its promise and never throws.
+    item.task();
+    return;
+  }
   try {
     item.task();
   } catch (...) {
@@ -98,6 +103,24 @@ void ThreadPool::run_blocking(std::vector<std::function<void()>> tasks) {
   for (const std::exception_ptr& error : batch.errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(Item{nullptr, 0, [promise, task = std::move(task)] {
+                            try {
+                              task();
+                              promise->set_value();
+                            } catch (...) {
+                              promise->set_exception(std::current_exception());
+                            }
+                          }});
+  }
+  cv_.notify_one();
+  return future;
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

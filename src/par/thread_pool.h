@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -35,6 +36,13 @@ class ThreadPool {
   /// then the exception of the earliest-submitted failing task is rethrown —
   /// deterministic regardless of which worker ran which task first.
   void run_blocking(std::vector<std::function<void()>> tasks);
+
+  /// Enqueues one fire-and-collect task and returns immediately; the future
+  /// delivers the task's completion (or rethrows its exception) on get().
+  /// Unlike run_blocking, the submitting thread does NOT participate — this
+  /// is the overlap primitive the streaming scanner prefetches chunks with
+  /// (IO on a pool thread while the caller computes).
+  std::future<void> submit(std::function<void()> task);
 
  private:
   struct Batch;

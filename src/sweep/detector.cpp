@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "core/metrics_json.h"
 #include "hw/device_specs.h"
@@ -90,6 +91,74 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
     candidate.omega = score.max_omega;
     candidate.window_start_bp = dataset.position(score.best_a);
     candidate.window_end_bp = dataset.position(score.best_b);
+    report.candidates.push_back(candidate);
+  }
+  return report;
+}
+
+DetectionReport detect_sweeps_stream(io::ChunkReader& reader,
+                                     const DetectorOptions& options,
+                                     const core::StreamScanOptions& stream_options,
+                                     std::size_t max_candidates) {
+  core::ScannerOptions scanner_options;
+  scanner_options.config = options.config;
+  scanner_options.ld = options.ld;
+  scanner_options.recovery = options.recovery;
+
+  DetectionReport report;
+  core::ScanResult scan_result;
+
+  switch (options.backend) {
+    case Backend::Cpu: {
+      report.backend_name = "cpu";
+      scan_result = core::stream_scan(reader, scanner_options, stream_options);
+      break;
+    }
+    case Backend::CpuThreaded: {
+      throw std::invalid_argument(
+          "detect_sweeps_stream: streamed compute is single-threaded; use "
+          "Backend::Cpu");
+    }
+    case Backend::GpuSim: {
+      static par::ThreadPool pool;  // sized to hardware concurrency
+      const auto spec = hw::tesla_k80();
+      report.backend_name = "gpu-sim:" + spec.name;
+      scanner_options.ld_factory = [&](const ld::SnpMatrix& snps) {
+        return std::make_unique<hw::gpu::GpuLdEngine>(snps, pool, spec);
+      };
+      scan_result =
+          core::stream_scan(reader, scanner_options, stream_options, [&] {
+            hw::gpu::GpuBackendOptions backend_options;
+            backend_options.fault_plan = options.fault_plan;
+            return std::make_unique<hw::gpu::GpuOmegaBackend>(spec, pool,
+                                                              backend_options);
+          });
+      break;
+    }
+    case Backend::FpgaSim: {
+      const auto spec = hw::alveo_u200();
+      report.backend_name = "fpga-sim:" + spec.name;
+      scan_result =
+          core::stream_scan(reader, scanner_options, stream_options, [&] {
+            hw::fpga::FpgaBackendOptions backend_options;
+            backend_options.fault_plan = options.fault_plan;
+            return std::make_unique<hw::fpga::FpgaOmegaBackend>(
+                spec, backend_options);
+          });
+      break;
+    }
+  }
+
+  const auto& positions = reader.index().positions_bp;
+  report.profile = scan_result.profile;
+  for (const auto& score : scan_result.top(max_candidates)) {
+    if (!score.valid) continue;
+    Candidate candidate;
+    candidate.position_bp = score.position_bp;
+    candidate.omega = score.max_omega;
+    candidate.window_start_bp =
+        positions.at(score.best_a);
+    candidate.window_end_bp = positions.at(score.best_b);
     report.candidates.push_back(candidate);
   }
   return report;

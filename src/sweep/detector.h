@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/scanner.h"
+#include "core/stream_scanner.h"
+#include "io/chunk_reader.h"
 #include "io/dataset.h"
 #include "util/fault.h"
 
@@ -62,5 +64,15 @@ struct DetectionReport {
 DetectionReport detect_sweeps(const io::Dataset& dataset,
                               const DetectorOptions& options = {},
                               std::size_t max_candidates = 10);
+
+/// Streaming counterpart: scans through a ChunkReader under the bounded-
+/// memory pipeline (core::stream_scan) and produces a report identical to
+/// detect_sweeps on the same data. Candidate window coordinates come from
+/// the reader's position index. Backend::CpuThreaded is rejected
+/// (std::invalid_argument) — streamed compute is single-threaded.
+DetectionReport detect_sweeps_stream(
+    io::ChunkReader& reader, const DetectorOptions& options = {},
+    const core::StreamScanOptions& stream_options = {},
+    std::size_t max_candidates = 10);
 
 }  // namespace omega::sweep

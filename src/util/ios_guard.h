@@ -1,0 +1,33 @@
+#pragma once
+// RAII guard for std::ios formatting state. Writers that set std::fixed /
+// setprecision on a caller-provided stream must restore the caller's flags on
+// every exit path; instantiating this guard first is the whole contract.
+
+#include <ios>
+
+namespace omega::util {
+
+class IosFormatGuard {
+ public:
+  explicit IosFormatGuard(std::ios& stream)
+      : stream_(stream), flags_(stream.flags()), precision_(stream.precision()),
+        width_(stream.width()), fill_(stream.fill()) {}
+  ~IosFormatGuard() {
+    stream_.flags(flags_);
+    stream_.precision(precision_);
+    stream_.width(width_);
+    stream_.fill(fill_);
+  }
+
+  IosFormatGuard(const IosFormatGuard&) = delete;
+  IosFormatGuard& operator=(const IosFormatGuard&) = delete;
+
+ private:
+  std::ios& stream_;
+  std::ios::fmtflags flags_;
+  std::streamsize precision_;
+  std::streamsize width_;
+  char fill_;
+};
+
+}  // namespace omega::util

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <sstream>
 
 #include "io/dataset.h"
@@ -169,6 +170,24 @@ TEST(MsFormat, WriteReadRoundTrip) {
   }
 }
 
+TEST(MsFormat, WriteRestoresStreamFormatting) {
+  // write_ms needs fixed 6-digit fractions internally but must not leak that
+  // state: a caller printing doubles afterwards should see its own format.
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(3);
+  omega::io::write_ms(out, {tiny_dataset()});
+  out << 1.5;
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1.500e+00"), std::string::npos)
+      << "caller formatting clobbered by write_ms";
+
+  std::ostringstream defaults;
+  omega::io::write_ms(defaults, {tiny_dataset()});
+  defaults << 1e-10;  // fixed precision 6 would print 0.000000
+  EXPECT_NE(defaults.str().find("1e-10"), std::string::npos)
+      << "write_ms left std::fixed on the stream";
+}
+
 TEST(Fasta, ParsesRecordsAndExtractsSnps) {
   const std::string text =
       ">s1\nACGTA\n"
@@ -310,6 +329,45 @@ TEST(VcfLite, OddHaplotypeCountTrailingHaploid) {
   const Dataset back = omega::io::read_vcf(in);
   EXPECT_EQ(back.num_samples(), 3u);  // one diploid pair + one haploid
   EXPECT_EQ(back.allele(0, 2), 1);
+}
+
+TEST(VcfLite, CrlfLineEndingsLoseNoRecords) {
+  // Windows-edited / http-transferred VCFs terminate every line with \r\n.
+  // The trailing \r must be stripped before field splitting — otherwise the
+  // last genotype column parses as (e.g.) "1|1\r" and every record is
+  // silently skipped.
+  const std::string text =
+      "##fileformat=VCFv4.2\r\n"
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\tS2\r\n"
+      "1\t100\t.\tA\tT\t.\tPASS\t.\tGT\t0|1\t1|1\r\n"
+      "1\t200\t.\tC\tG\t.\tPASS\t.\tGT\t0|0\t0|1\r\n";
+  std::istringstream in(text);
+  omega::io::VcfLoadReport report;
+  const Dataset d = omega::io::read_vcf(in, &report);
+  EXPECT_EQ(report.records_total, 2u);
+  EXPECT_EQ(report.records_skipped, 0u);
+  ASSERT_EQ(d.num_sites(), 2u);
+  EXPECT_EQ(d.num_samples(), 4u);
+  EXPECT_EQ(d.position(1), 200);
+  EXPECT_EQ(d.allele(0, 3), 1);  // S2's second haplotype, the \r-adjacent call
+}
+
+TEST(VcfLite, ShortRecordsCountTowardTotals) {
+  // A data line with fewer than 10 fields is unloadable; it must show up in
+  // BOTH records_total and records_skipped so total == loaded + skipped
+  // holds and the loss is visible.
+  const std::string text =
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\n"
+      "1\t100\t.\tA\tT\t.\tPASS\t.\tGT\t0|1\n"
+      "1\t150\t.\tA\tT\t.\tPASS\t.\n"  // truncated: 8 fields
+      "1\t200\t.\tC\tG\t.\tPASS\t.\tGT\t0|1\n";
+  std::istringstream in(text);
+  omega::io::VcfLoadReport report;
+  const Dataset d = omega::io::read_vcf(in, &report);
+  EXPECT_EQ(d.num_sites(), 2u);
+  EXPECT_EQ(report.records_skipped, 1u);
+  EXPECT_EQ(report.records_total, 3u);
+  EXPECT_EQ(report.records_total, d.num_sites() + report.records_skipped);
 }
 
 TEST(VcfLite, SkipsNonBiallelicKeepsMissingCalls) {

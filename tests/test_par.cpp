@@ -157,6 +157,34 @@ TEST_P(PoolSizes, ParallelForChunksPartitionTheRange) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizes, ::testing::Values(1, 2, 4, 8));
 
+TEST(ThreadPoolSubmit, FutureSynchronizesWithTheTask) {
+  ThreadPool pool(1);
+  int value = 0;
+  auto done = pool.submit([&] { value = 42; });
+  done.get();  // publishes the worker's write
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolSubmit, SerializedSubmitsRunInOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    // One task in flight at a time — the streaming prefetch discipline.
+    pool.submit([&order, i] { order.push_back(i); }).get();
+  }
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolSubmit, ExceptionArrivesThroughTheFuture) {
+  ThreadPool pool(2);
+  auto failing = pool.submit([] { throw std::runtime_error("io failed"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // The pool survives: batch dispatch and further submits still work.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
 TEST(ParallelFor, EmptyAndSingleRanges) {
   ThreadPool pool(2);
   int count = 0;
