@@ -2,6 +2,11 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "core/dp_matrix.h"
 #include "core/grid.h"
@@ -9,15 +14,51 @@
 #include "ld/ld_engine.h"
 #include "ld/snp_matrix.h"
 #include "sim/dataset_factory.h"
+#include "util/cpu_features.h"
 #include "util/timer.h"
 
+#ifndef OMEGA_GIT_SHA
+#define OMEGA_GIT_SHA "unknown"
+#endif
+
 namespace omega::bench {
+
+namespace {
+
+std::string hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buffer[256] = {};
+  if (::gethostname(buffer, sizeof(buffer) - 1) == 0 && buffer[0] != '\0') {
+    return buffer;
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+core::metrics::JsonValue host_context() {
+  auto host = core::metrics::JsonValue::object();
+  host.set("hostname", hostname());
+  host.set("cpu", util::cpu_model());
+  host.set("isa", util::cpu_isa_summary());
+#if defined(NDEBUG)
+  host.set("build_type", "release");
+#else
+  host.set("build_type", "debug");
+#endif
+  host.set("git_sha", OMEGA_GIT_SHA);
+  host.set("threads",
+           static_cast<int>(std::thread::hardware_concurrency()));
+  return host;
+}
 
 BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
   root_ = core::metrics::JsonValue::object();
   root_.set("schema", core::metrics::kBenchSchema);
   root_.set("schema_version", core::metrics::kSchemaVersion);
   root_.set("bench", name_);
+  root_.set("host", host_context());
   root_.set("results", core::metrics::JsonValue::object());
 }
 

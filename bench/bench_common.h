@@ -24,6 +24,10 @@ namespace omega::bench {
 ///
 /// Scan profiles are embedded with add_scan_profile (full per-stage /
 /// per-backend breakdown); scalar headline numbers go in with set().
+///
+/// Every document also carries a "host" block (hostname, CPU model, ISA
+/// level, build type, git SHA, hardware threads) so omega_metrics_diff can
+/// refuse comparisons between numbers measured on different machines.
 class BenchJson {
  public:
   explicit BenchJson(std::string name);
@@ -44,6 +48,11 @@ class BenchJson {
   std::string name_;
   core::metrics::JsonValue root_;
 };
+
+/// The execution-context block stamped into every BenchJson root: hostname,
+/// CPU model (util::cpu_model), ISA summary, build type, git SHA (baked in at
+/// configure time; "unknown" outside a git checkout), hardware threads.
+[[nodiscard]] core::metrics::JsonValue host_context();
 
 /// The paper's GPU evaluation setup (§VI-A): 1,000 equidistant omega
 /// positions, window sizes in SNPs — maximum 20,000 and minimum 1,000.

@@ -1,0 +1,48 @@
+# CTest script: a scan that aborts (missing input file) must still write the
+# --metrics-json document, stamped with "aborted": true, before exiting
+# non-zero. Invoked as:
+#   cmake -DSCAN_BIN=... -DWORK_DIR=... -P cli_abort_metrics.cmake
+
+foreach(var SCAN_BIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_abort_metrics: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(metrics_file "${WORK_DIR}/abort_metrics.json")
+execute_process(
+  COMMAND "${SCAN_BIN}"
+    --name abort_test
+    --input "${WORK_DIR}/does_not_exist.vcf"
+    --metrics-json "${metrics_file}"
+    --reports-dir "${WORK_DIR}"
+  RESULT_VARIABLE scan_result
+  OUTPUT_VARIABLE scan_output
+  ERROR_VARIABLE scan_output)
+
+if(scan_result EQUAL 0)
+  message(FATAL_ERROR
+    "cli_abort_metrics: scan of a missing input succeeded unexpectedly\n"
+    "${scan_output}")
+endif()
+if(NOT EXISTS "${metrics_file}")
+  message(FATAL_ERROR
+    "cli_abort_metrics: aborted scan (exit ${scan_result}) wrote no metrics "
+    "document\n${scan_output}")
+endif()
+
+file(READ "${metrics_file}" metrics_text)
+if(NOT metrics_text MATCHES "\"aborted\": true")
+  message(FATAL_ERROR
+    "cli_abort_metrics: metrics document lacks \"aborted\": true:\n"
+    "${metrics_text}")
+endif()
+if(NOT metrics_text MATCHES "\"error\":")
+  message(FATAL_ERROR
+    "cli_abort_metrics: metrics document lacks the \"error\" field:\n"
+    "${metrics_text}")
+endif()
+message(STATUS "cli_abort_metrics: abort document written (exit ${scan_result})")

@@ -12,9 +12,14 @@
 //         --simulate-samples 100 --plant-sweep --backend fpga
 //
 // Output: <reports-dir>/OmegaPlus_Report.<name> and OmegaPlus_Info.<name>.
+// Observability outputs (--metrics-json, --trace-out, --metrics-text,
+// --progress) are documented in docs/OBSERVABILITY.md; the metrics document
+// is emitted even when the scan aborts, with "aborted": true and the error.
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 
@@ -35,6 +40,8 @@
 #include "sim/sweep_overlay.h"
 #include "util/cli.h"
 #include "util/fault.h"
+#include "util/progress.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace {
@@ -114,85 +121,14 @@ omega::io::Dataset load_input(const omega::util::Cli& cli) {
   throw std::runtime_error("unknown format: " + format);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  omega::util::Cli cli(argc, argv);
-  cli.describe("name", "run name used in the output file names (required)")
-      .describe("input", "input file; omit to simulate a dataset")
-      .describe("format", "ms | vcf | fasta | auto (default auto)")
-      .describe("replicate", "ms replicate index (default 0)")
-      .describe("length", "locus length in bp for ms input / simulation")
-      .describe("grid", "number of omega positions (default 1000)")
-      .describe("minwin", "minimum window in bp (default 10000)")
-      .describe("maxwin", "maximum window in bp (default 200000)")
-      .describe("snp-windows", "interpret minwin/maxwin as SNP counts")
-      .describe("side-cap", "max SNPs per sub-region, 0 = unlimited")
-      .describe("threads", "worker threads for the CPU scan (default 1)")
-      .describe("stream",
-                "memory-bounded streaming scan: read the input in overlapping "
-                "chunks instead of loading it whole (ms/vcf stream from the "
-                "file; other inputs chunk in memory)")
-      .describe("chunk-sites",
-                "streaming: target segregating sites per chunk "
-                "(default 100000)")
-      .describe("ld", "popcount | gemm (default popcount)")
-      .describe("backend", "cpu | gpu | fpga (default cpu)")
-      .describe("cpu-kernel",
-                "cpu omega kernel: auto | scalar | portable | avx2 "
-                "(default auto)")
-      .describe("reports-dir", "output directory (default .)")
-      .describe("simulate-snps", "simulation: number of SNPs")
-      .describe("simulate-samples", "simulation: number of haplotypes")
-      .describe("simulate-rho", "simulation: recombination intensity")
-      .describe("plant-sweep", "simulation: impose a hitchhiking overlay sweep")
-      .describe("structured-sweep",
-                "simulation: structured-coalescent sweep (alpha-driven)")
-      .describe("sweep-alpha", "structured sweep: alpha = 2Ns (default 1000)")
-      .describe("simulate-theta", "structured sweep: theta (default 150)")
-      .describe("maf", "drop sites with minor-allele frequency below this")
-      .describe("mt-strategy", "grid | inner (default grid)")
-      .describe("sweep-pos", "simulation: sweep position in bp")
-      .describe("sweep-carriers", "simulation: carrier fraction")
-      .describe("seed", "simulation seed")
-      .describe("impute", "fasta: impute gaps as major allele (default true)")
-      .describe("metrics-json",
-                "write the scan metrics document (omega.scan.metrics schema) "
-                "to this path")
-      .describe("trace",
-                "record trace spans during the scan; embedded in the "
-                "--metrics-json document")
-      .describe("fault-mode",
-                "inject accelerator faults: none | kernel-launch | timeout | "
-                "nan | device-lost | mixed (default none)")
-      .describe("fault-rate", "per-call fault probability (default 0.1)")
-      .describe("fault-seed", "fault-injection PRNG seed (default 1337)")
-      .describe("fault-after",
-                "first backend call eligible for injection (default 0)")
-      .describe("device-lost-after",
-                "lose the device permanently at the N-th backend call")
-      .describe("modeled-timeout",
-                "per-position modeled device-time budget in seconds; "
-                "exceeding it raises a timeout error (0 = off)")
-      .describe("max-retries",
-                "retries per position before quarantine (default 3)")
-      .describe("cpu-fallback",
-                "demote a lost device to the CPU loop instead of "
-                "quarantining the rest of its chunk (default true)");
-  if (cli.wants_help()) {
-    std::printf("%s",
-                cli.help_text("omegaplus_scan — OmegaPlus-style sweep scanner")
-                    .c_str());
-    return 0;
-  }
-  cli.reject_unknown();
-
-  const std::string name = cli.get("name", "");
-  if (name.empty()) {
-    std::fprintf(stderr, "error: --name is required (see --help)\n");
-    return 2;
-  }
-
+/// Loads the input, runs the scan, and writes reports plus any requested
+/// observability outputs. Split out of main() so the abort path there can
+/// still emit the metrics/trace documents when anything here throws.
+int run_scan(const omega::util::Cli& cli, const std::string& name,
+             const std::string& metrics_path, bool trace_enabled,
+             omega::util::ProgressReporter* progress,
+             const std::function<void()>& write_trace_file,
+             const std::function<void()>& write_metrics_text) {
   const bool stream_mode = cli.get_bool("stream", false);
   omega::io::Dataset dataset;
   std::unique_ptr<omega::io::ChunkReader> reader;
@@ -261,6 +197,7 @@ int main(int argc, char** argv) {
   options.ld = cli.get("ld", "popcount") == "gemm"
                    ? omega::core::LdBackendKind::Gemm
                    : omega::core::LdBackendKind::Popcount;
+  options.progress = progress;
   try {
     options.cpu_kernel =
         omega::core::cpu_kernel_from_name(cli.get("cpu-kernel", "auto"));
@@ -271,10 +208,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
   }
-
-  const std::string metrics_path = cli.get("metrics-json", "");
-  const bool trace_enabled = cli.get_bool("trace", false);
-  if (trace_enabled) omega::util::trace::enable();
 
   // Fault injection (simulated accelerators only) + recovery policy.
   omega::util::fault::FaultPlan fault_plan;
@@ -417,5 +350,167 @@ int main(int argc, char** argv) {
     omega::core::metrics::write_json_file(metrics_path, metrics);
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
+  write_trace_file();
+  write_metrics_text();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  omega::util::Cli cli(argc, argv);
+  cli.describe("name", "run name used in the output file names (required)")
+      .describe("input", "input file; omit to simulate a dataset")
+      .describe("format", "ms | vcf | fasta | auto (default auto)")
+      .describe("replicate", "ms replicate index (default 0)")
+      .describe("length", "locus length in bp for ms input / simulation")
+      .describe("grid", "number of omega positions (default 1000)")
+      .describe("minwin", "minimum window in bp (default 10000)")
+      .describe("maxwin", "maximum window in bp (default 200000)")
+      .describe("snp-windows", "interpret minwin/maxwin as SNP counts")
+      .describe("side-cap", "max SNPs per sub-region, 0 = unlimited")
+      .describe("threads", "worker threads for the CPU scan (default 1)")
+      .describe("stream",
+                "memory-bounded streaming scan: read the input in overlapping "
+                "chunks instead of loading it whole (ms/vcf stream from the "
+                "file; other inputs chunk in memory)")
+      .describe("chunk-sites",
+                "streaming: target segregating sites per chunk "
+                "(default 100000)")
+      .describe("ld", "popcount | gemm (default popcount)")
+      .describe("backend", "cpu | gpu | fpga (default cpu)")
+      .describe("cpu-kernel",
+                "cpu omega kernel: auto | scalar | portable | avx2 "
+                "(default auto)")
+      .describe("reports-dir", "output directory (default .)")
+      .describe("simulate-snps", "simulation: number of SNPs")
+      .describe("simulate-samples", "simulation: number of haplotypes")
+      .describe("simulate-rho", "simulation: recombination intensity")
+      .describe("plant-sweep", "simulation: impose a hitchhiking overlay sweep")
+      .describe("structured-sweep",
+                "simulation: structured-coalescent sweep (alpha-driven)")
+      .describe("sweep-alpha", "structured sweep: alpha = 2Ns (default 1000)")
+      .describe("simulate-theta", "structured sweep: theta (default 150)")
+      .describe("maf", "drop sites with minor-allele frequency below this")
+      .describe("mt-strategy", "grid | inner (default grid)")
+      .describe("sweep-pos", "simulation: sweep position in bp")
+      .describe("sweep-carriers", "simulation: carrier fraction")
+      .describe("seed", "simulation seed")
+      .describe("impute", "fasta: impute gaps as major allele (default true)")
+      .describe("metrics-json",
+                "write the scan metrics document (omega.scan.metrics schema) "
+                "to this path")
+      .describe("trace",
+                "record trace spans during the scan; embedded in the "
+                "--metrics-json document")
+      .describe("trace-out",
+                "write the scan trace as a Chrome trace-event JSON file "
+                "(loadable in Perfetto / chrome://tracing); implies --trace")
+      .describe("metrics-text",
+                "write the telemetry registry in Prometheus text exposition "
+                "format to this path ('-' for stdout)")
+      .describe("progress",
+                "live progress on stderr; optional value sets the minimum "
+                "seconds between updates (default 1.0), e.g. --progress=5")
+      .describe("fault-mode",
+                "inject accelerator faults: none | kernel-launch | timeout | "
+                "nan | device-lost | mixed (default none)")
+      .describe("fault-rate", "per-call fault probability (default 0.1)")
+      .describe("fault-seed", "fault-injection PRNG seed (default 1337)")
+      .describe("fault-after",
+                "first backend call eligible for injection (default 0)")
+      .describe("device-lost-after",
+                "lose the device permanently at the N-th backend call")
+      .describe("modeled-timeout",
+                "per-position modeled device-time budget in seconds; "
+                "exceeding it raises a timeout error (0 = off)")
+      .describe("max-retries",
+                "retries per position before quarantine (default 3)")
+      .describe("cpu-fallback",
+                "demote a lost device to the CPU loop instead of "
+                "quarantining the rest of its chunk (default true)");
+  if (cli.wants_help()) {
+    std::printf("%s",
+                cli.help_text("omegaplus_scan — OmegaPlus-style sweep scanner")
+                    .c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const std::string name = cli.get("name", "");
+  if (name.empty()) {
+    std::fprintf(stderr, "error: --name is required (see --help)\n");
+    return 2;
+  }
+
+  // Observability outputs are resolved before any heavy work so the abort
+  // path below can still emit them when loading or scanning fails.
+  const std::string metrics_path = cli.get("metrics-json", "");
+  const std::string trace_path = cli.get("trace-out", "");
+  const std::string metrics_text_path = cli.get("metrics-text", "");
+  const bool trace_enabled =
+      cli.get_bool("trace", false) || !trace_path.empty();
+  if (trace_enabled) omega::util::trace::enable();
+
+  std::unique_ptr<omega::util::ProgressReporter> progress;
+  if (cli.has("progress")) {
+    // `--progress` alone parses as the value "true"; `--progress=5` sets the
+    // update interval in seconds.
+    const std::string raw = cli.get("progress", "true");
+    const double interval = raw == "true" ? 1.0 : std::stod(raw);
+    progress = std::make_unique<omega::util::ProgressReporter>(
+        omega::util::ProgressReporter::stderr_sink(), interval);
+  }
+
+  const auto write_trace_file = [&] {
+    if (trace_path.empty()) return;
+    omega::core::metrics::write_json_file(
+        trace_path, omega::core::metrics::chrome_trace());
+    std::printf("trace written to %s\n", trace_path.c_str());
+  };
+  const auto write_metrics_text = [&] {
+    if (metrics_text_path.empty()) return;
+    const std::string text = omega::util::telemetry::to_text();
+    if (metrics_text_path == "-") {
+      std::fputs(text.c_str(), stdout);
+      return;
+    }
+    std::ofstream out(metrics_text_path);
+    if (!out) throw std::runtime_error("cannot write " + metrics_text_path);
+    out << text;
+    std::printf("telemetry text written to %s\n", metrics_text_path.c_str());
+  };
+
+  try {
+    return run_scan(cli, name, metrics_path, trace_enabled, progress.get(),
+                    write_trace_file, write_metrics_text);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    if (!metrics_path.empty()) {
+      // The metrics document is emitted even on abort so automation always
+      // has an artifact to inspect: whatever telemetry accumulated before the
+      // failure, plus "aborted": true and the error text.
+      omega::core::ScanProfile profile;
+      profile.telemetry = omega::util::telemetry::snapshot();
+      auto metrics = omega::core::metrics::scan_metrics(name, profile);
+      metrics.set("aborted", true);
+      metrics.set("error", std::string(error.what()));
+      if (trace_enabled) {
+        metrics.set("trace", omega::core::metrics::trace_to_json());
+      }
+      try {
+        omega::core::metrics::write_json_file(metrics_path, metrics);
+        std::printf("metrics written to %s\n", metrics_path.c_str());
+      } catch (const std::exception& write_error) {
+        std::fprintf(stderr, "error: %s\n", write_error.what());
+      }
+    }
+    try {
+      write_trace_file();
+      write_metrics_text();
+    } catch (const std::exception& write_error) {
+      std::fprintf(stderr, "error: %s\n", write_error.what());
+    }
+    return 1;
+  }
 }

@@ -1,0 +1,212 @@
+#include "core/metrics_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace omega::core::metrics {
+
+namespace {
+
+bool contains(std::string_view haystack, std::string_view needle) noexcept {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// Identity/context keys that are not comparable measurements. Skipped only
+/// at the document root (an embedded scan document's "name" is fair game).
+bool skip_root_key(std::string_view key) noexcept {
+  return key == "schema" || key == "schema_version" || key == "name" ||
+         key == "bench" || key == "host";
+}
+
+/// Subtrees whose values are distributions rather than scalar measurements;
+/// skipped at ANY depth — bench documents embed whole scan-metrics documents
+/// under results.<key>, nesting their telemetry/trace blocks.
+bool skip_distribution(std::string_view key) noexcept {
+  return key == "telemetry" || key == "trace";
+}
+
+void flatten(const JsonValue& value, const std::string& prefix,
+             std::vector<std::pair<std::string, double>>& out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::Int:
+    case JsonValue::Kind::Double:
+      out.emplace_back(prefix, value.as_double());
+      return;
+    case JsonValue::Kind::Object:
+      for (const auto& [key, member] : value.members()) {
+        if (prefix.empty() && skip_root_key(key)) continue;
+        if (skip_distribution(key)) continue;
+        flatten(member, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      return;
+    case JsonValue::Kind::Array: {
+      std::size_t index = 0;
+      for (const JsonValue& item : value.items()) {
+        flatten(item, prefix + "[" + std::to_string(index) + "]", out);
+        ++index;
+      }
+      return;
+    }
+    default:
+      return;  // strings/bools/nulls are not measurements
+  }
+}
+
+const JsonValue* host_field(const JsonValue& doc, std::string_view field) {
+  const JsonValue* host = doc.find("host");
+  if (host == nullptr || !host->is_object()) return nullptr;
+  const JsonValue* value = host->find(field);
+  return (value != nullptr && value->kind() == JsonValue::Kind::String)
+             ? value
+             : nullptr;
+}
+
+std::string percent(double change) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", change * 100.0);
+  return buffer;
+}
+
+}  // namespace
+
+Direction metric_direction(std::string_view path) noexcept {
+  // Rates first: "omega_throughput_per_s" contains no time token, but
+  // "io_overlap_ratio" must not be classified by a future "io_seconds"-style
+  // rule, so higher-is-better tokens take precedence.
+  if (contains(path, "per_s") || contains(path, "throughput") ||
+      contains(path, "speedup") || contains(path, "rate") ||
+      contains(path, "ratio")) {
+    return Direction::HigherIsBetter;
+  }
+  if (contains(path, "seconds") || contains(path, "_ns") ||
+      contains(path, "cycles") || contains(path, "stall")) {
+    return Direction::LowerIsBetter;
+  }
+  return Direction::Informational;
+}
+
+std::size_t DiffReport::regressions() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(deltas.begin(), deltas.end(),
+                    [](const MetricDelta& d) { return d.regressed; }));
+}
+
+DiffReport diff_metrics(const JsonValue& baseline, const JsonValue& candidate,
+                        const DiffOptions& options) {
+  DiffReport report;
+
+  const JsonValue* base_schema = baseline.find("schema");
+  const JsonValue* cand_schema = candidate.find("schema");
+  if (base_schema != nullptr && cand_schema != nullptr &&
+      *base_schema != *cand_schema) {
+    report.error = "schema mismatch: " + base_schema->as_string() + " vs " +
+                   cand_schema->as_string();
+    return report;
+  }
+  const JsonValue* base_version = baseline.find("schema_version");
+  const JsonValue* cand_version = candidate.find("schema_version");
+  if (base_version != nullptr && cand_version != nullptr &&
+      *base_version != *cand_version) {
+    report.error =
+        "schema version mismatch: " + std::to_string(base_version->as_int()) +
+        " vs " + std::to_string(cand_version->as_int());
+    return report;
+  }
+
+  if (!options.allow_cross_host) {
+    for (const char* field : {"hostname", "cpu"}) {
+      const JsonValue* base_field = host_field(baseline, field);
+      const JsonValue* cand_field = host_field(candidate, field);
+      if (base_field != nullptr && cand_field != nullptr &&
+          base_field->as_string() != cand_field->as_string()) {
+        report.error = std::string("host mismatch (") + field + "): \"" +
+                       base_field->as_string() + "\" vs \"" +
+                       cand_field->as_string() +
+                       "\" — pass --allow-cross-host to compare anyway";
+        return report;
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, double>> base_leaves;
+  std::vector<std::pair<std::string, double>> cand_leaves;
+  flatten(baseline, "", base_leaves);
+  flatten(candidate, "", cand_leaves);
+
+  for (const auto& [path, base_value] : base_leaves) {
+    const auto it = std::find_if(
+        cand_leaves.begin(), cand_leaves.end(),
+        [&path = path](const auto& leaf) { return leaf.first == path; });
+    if (it == cand_leaves.end()) continue;  // structure changed; not gating
+
+    MetricDelta delta;
+    delta.path = path;
+    delta.baseline = base_value;
+    delta.candidate = it->second;
+    delta.direction = metric_direction(path);
+    delta.change = base_value != 0.0
+                       ? (it->second - base_value) / std::abs(base_value)
+                       : 0.0;
+
+    const bool matches_watch =
+        std::any_of(options.watch.begin(), options.watch.end(),
+                    [&path = path](const std::string& needle) {
+                      return contains(path, needle);
+                    });
+    delta.watched = options.watch.empty()
+                        ? delta.direction != Direction::Informational
+                        : matches_watch;
+
+    if (delta.watched) {
+      // Sub-floor time baselines have unbounded relative noise; never gate
+      // on them.
+      const bool floored = contains(path, "seconds") &&
+                           delta.baseline < options.min_seconds;
+      if (!floored) {
+        switch (delta.direction) {
+          case Direction::LowerIsBetter:
+            delta.regressed =
+                delta.baseline > 0.0 &&
+                delta.candidate > delta.baseline * (1.0 + options.threshold);
+            break;
+          case Direction::HigherIsBetter:
+            delta.regressed =
+                delta.baseline > 0.0 &&
+                delta.candidate < delta.baseline * (1.0 - options.threshold);
+            break;
+          case Direction::Informational:
+            delta.regressed =
+                (delta.baseline != 0.0 &&
+                 std::abs(delta.change) > options.threshold) ||
+                (delta.baseline == 0.0 && delta.candidate != 0.0);
+            break;
+        }
+      }
+    }
+    if (delta.regressed) report.regressed = true;
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+std::string render_diff_table(const DiffReport& report, bool all) {
+  if (!report.error.empty()) return "error: " + report.error + "\n";
+  util::Table table({"metric", "baseline", "candidate", "change", "flag"});
+  for (const MetricDelta& delta : report.deltas) {
+    const bool interesting =
+        all || delta.regressed || (delta.watched && delta.change != 0.0);
+    if (!interesting) continue;
+    const char* flag = delta.regressed ? "REGRESSED"
+                       : delta.watched ? "ok"
+                                       : "";
+    table.add_row({delta.path, util::Table::num(delta.baseline, 6),
+                   util::Table::num(delta.candidate, 6),
+                   percent(delta.change), flag});
+  }
+  return table.str();
+}
+
+}  // namespace omega::core::metrics

@@ -1,0 +1,79 @@
+#pragma once
+// Comparison engine behind tools/omega_metrics_diff: flattens two metrics
+// documents (omega.scan.metrics or omega.bench) into dotted numeric paths,
+// classifies each path's improvement direction from its name, and flags
+// regressions beyond a relative threshold. Lives in core (not the tool) so
+// the regression logic is unit-testable on fixture JsonValues and reusable
+// by future CI harnesses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics_json.h"
+
+namespace omega::core::metrics {
+
+/// Which way "better" points for a metric, inferred from its path.
+enum class Direction {
+  LowerIsBetter,   // times: *seconds*, *_ns*, *cycles*, *stall*
+  HigherIsBetter,  // rates: *per_s*, *throughput*, *speedup*, *rate*, *ratio*
+  Informational,   // counters and geometry: compared but never gating alone
+};
+
+[[nodiscard]] Direction metric_direction(std::string_view path) noexcept;
+
+struct DiffOptions {
+  /// Relative change beyond which a watched metric counts as regressed
+  /// (0.20 = 20% worse).
+  double threshold = 0.20;
+  /// Time metrics with a baseline below this floor are never gating — their
+  /// relative noise is unbounded.
+  double min_seconds = 1e-4;
+  /// Substring filters selecting which paths gate the exit code. Empty: every
+  /// LowerIsBetter/HigherIsBetter metric is watched. A watch filter also
+  /// promotes Informational metrics it matches to gating.
+  std::vector<std::string> watch;
+  /// Compare documents from different hosts instead of refusing.
+  bool allow_cross_host = false;
+};
+
+struct MetricDelta {
+  std::string path;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// Relative change (candidate - baseline) / |baseline|; 0 when the baseline
+  /// is zero (the absolute values still tell the story).
+  double change = 0.0;
+  Direction direction = Direction::Informational;
+  bool watched = false;
+  bool regressed = false;
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> deltas;  // document order
+  /// Fatal comparison refusal (host mismatch, schema mismatch); when
+  /// non-empty, deltas are empty and `regressed` is false — the caller maps
+  /// this to its own exit code.
+  std::string error;
+  bool regressed = false;
+
+  [[nodiscard]] std::size_t regressions() const noexcept;
+};
+
+/// Compares two parsed metrics documents. Numeric leaves are flattened to
+/// dotted paths; non-numeric leaves, the "telemetry"/"trace" subtrees
+/// (distributions need their own tooling), and identity fields (schema,
+/// name, host) are skipped. When both documents carry a "host" block and
+/// options.allow_cross_host is false, differing hostname/cpu fields refuse
+/// the comparison (DiffReport::error).
+[[nodiscard]] DiffReport diff_metrics(const JsonValue& baseline,
+                                      const JsonValue& candidate,
+                                      const DiffOptions& options = {});
+
+/// Renders the per-stage comparison table (watched + regressed + changed
+/// rows; pass `all` to include every delta).
+[[nodiscard]] std::string render_diff_table(const DiffReport& report,
+                                            bool all = false);
+
+}  // namespace omega::core::metrics

@@ -1,5 +1,6 @@
 #include "core/metrics_json.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
@@ -531,12 +532,16 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   stream.set("compute_seconds", profile.stream.compute_seconds);
   stream.set("io_overlap_ratio", profile.stream.io_overlap_ratio());
   doc.set("stream", std::move(stream));
+
+  // v6: distributional telemetry (docs/OBSERVABILITY.md) — the registry
+  // delta attributed to this scan.
+  doc.set("telemetry", telemetry_json(profile.telemetry));
   return doc;
 }
 
 JsonValue trace_to_json() {
   JsonValue events = JsonValue::array();
-  for (const auto& event : util::trace::snapshot()) {
+  for (const auto& event : util::trace::take_snapshot().events) {
     JsonValue entry = JsonValue::object();
     entry.set("name", event.name);
     entry.set("thread", static_cast<std::int64_t>(event.thread_id));
@@ -546,5 +551,95 @@ JsonValue trace_to_json() {
   }
   return events;
 }
+
+JsonValue telemetry_json(const util::telemetry::RegistrySnapshot& snapshot) {
+  JsonValue block = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, value);
+  }
+  block.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.set(name, value);
+  }
+  block.set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    JsonValue entry = JsonValue::object();
+    entry.set("base", hist.base);
+    entry.set("count", hist.count);
+    entry.set("sum", hist.sum);
+    entry.set("min", hist.min);
+    entry.set("max", hist.max);
+    entry.set("mean", hist.mean());
+    entry.set("p50", hist.quantile(0.50));
+    entry.set("p90", hist.quantile(0.90));
+    entry.set("p99", hist.quantile(0.99));
+    JsonValue buckets = JsonValue::array();
+    for (std::size_t i = 0; i < util::telemetry::kHistogramBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;
+      JsonValue bucket = JsonValue::object();
+      bucket.set("le", hist.bucket_upper_bound(i));
+      bucket.set("count", hist.buckets[i]);
+      buckets.push_back(std::move(bucket));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+  block.set("histograms", std::move(histograms));
+  return block;
+}
+
+JsonValue chrome_trace(const util::trace::TraceSnapshot& snapshot) {
+  std::vector<util::trace::TraceEvent> sorted = snapshot.events;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const util::trace::TraceEvent& a,
+               const util::trace::TraceEvent& b) {
+              if (a.start_s != b.start_s) return a.start_s < b.start_s;
+              return a.thread_id < b.thread_id;
+            });
+
+  JsonValue events = JsonValue::array();
+  for (std::uint32_t tid = 0; tid < snapshot.num_threads; ++tid) {
+    JsonValue meta = JsonValue::object();
+    meta.set("ph", "M");
+    meta.set("name", "thread_name");
+    meta.set("pid", 1);
+    meta.set("tid", static_cast<std::int64_t>(tid));
+    JsonValue meta_args = JsonValue::object();
+    meta_args.set("name", tid == 0 ? std::string("scan-main")
+                                   : "worker-" + std::to_string(tid));
+    meta.set("args", std::move(meta_args));
+    events.push_back(std::move(meta));
+  }
+  for (const util::trace::TraceEvent& event : sorted) {
+    JsonValue entry = JsonValue::object();
+    if (event.duration_s > 0.0) {
+      entry.set("ph", "X");
+    } else {
+      entry.set("ph", "i");
+      entry.set("s", "t");  // thread-scoped instant
+    }
+    entry.set("name", event.name);
+    entry.set("pid", 1);
+    entry.set("tid", static_cast<std::int64_t>(event.thread_id));
+    entry.set("ts", event.start_s * 1e6);
+    if (event.duration_s > 0.0) entry.set("dur", event.duration_s * 1e6);
+    events.push_back(std::move(entry));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  JsonValue other = JsonValue::object();
+  other.set("recorded", snapshot.recorded);
+  other.set("dropped", snapshot.dropped);
+  other.set("num_threads", static_cast<std::int64_t>(snapshot.num_threads));
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+JsonValue chrome_trace() { return chrome_trace(util::trace::take_snapshot()); }
 
 }  // namespace omega::core::metrics

@@ -19,10 +19,12 @@
 #include <vector>
 
 #include "core/scanner.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
 
 namespace omega::core::metrics {
 
-inline constexpr int kSchemaVersion = 5;
+inline constexpr int kSchemaVersion = 6;
 inline constexpr const char* kScanSchema = "omega.scan.metrics";
 inline constexpr const char* kBenchSchema = "omega.bench";
 
@@ -116,7 +118,26 @@ void write_json_file(const std::string& path, const JsonValue& value);
 JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile);
 
 /// Current util/trace.h buffer as a JSON array of {name, thread, start_s,
-/// duration_s} events (empty array when tracing is off).
+/// duration_s} events (empty array when tracing is off). Thread ids are
+/// session-relative (remapped to start at 0).
 JsonValue trace_to_json();
+
+/// A util/telemetry registry snapshot as the schema v6 "telemetry" block:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {base, count,
+/// sum, min, max, mean, p50, p90, p99, buckets:[{le, count}...]}}}. Only
+/// occupied buckets are materialized.
+JsonValue telemetry_json(const util::telemetry::RegistrySnapshot& snapshot);
+
+/// The current util/trace.h session as a Chrome trace-event document
+/// (loadable in Perfetto / chrome://tracing): {"traceEvents": [...],
+/// "displayTimeUnit": "ms", "otherData": {recorded, dropped, num_threads}}.
+/// Spans become "ph":"X" complete events (ts/dur in microseconds),
+/// zero-duration events become "ph":"i" thread-scoped instants, and each
+/// session-relative tid gets a "ph":"M" thread_name metadata record. Events
+/// are sorted by (ts, tid) so output is deterministic for a given ring state.
+JsonValue chrome_trace();
+
+/// Same, from an explicit snapshot (for tests and post-mortem export).
+JsonValue chrome_trace(const util::trace::TraceSnapshot& snapshot);
 
 }  // namespace omega::core::metrics

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/telemetry.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace omega::core {
@@ -80,10 +82,20 @@ RecoveryOutcome recover_max_omega(OmegaBackend& backend, const DpMatrix& m,
                                   const GridPosition& position,
                                   const RecoveryPolicy& policy,
                                   FaultRecoveryStats& stats) {
+  // Distributions behind the aggregate fault counters: how long failed
+  // attempts ran before erroring, and how the exponential backoff spread.
+  // One record per errors_caught / per retries respectively, so telemetry
+  // counts reconcile exactly against FaultRecoveryStats.
+  static util::telemetry::Histogram& attempt_hist =
+      util::telemetry::histogram("scan.retry.attempt_seconds");
+  static util::telemetry::Histogram& backoff_hist =
+      util::telemetry::histogram("scan.retry.backoff_seconds");
+
   RecoveryOutcome outcome;
   double backoff = policy.backoff_initial_seconds;
 
   for (std::size_t attempt = 0;; ++attempt) {
+    const util::Timer attempt_timer;
     try {
       OmegaResult result = backend.max_omega(m, position);
       if (!policy.validate_results || !result_is_poisoned(result)) {
@@ -95,6 +107,7 @@ RecoveryOutcome recover_max_omega(OmegaBackend& backend, const DpMatrix& m,
       ++stats.invalid_results;
     } catch (const BackendError& error) {
       ++stats.errors_caught;
+      attempt_hist.record(attempt_timer.seconds());
       if (!error.retryable()) {
         // Device lost with no fallback configured: give up immediately —
         // retrying a dead device only burns the retry budget.
@@ -114,6 +127,7 @@ RecoveryOutcome recover_max_omega(OmegaBackend& backend, const DpMatrix& m,
     }
     ++stats.retries;
     stats.backoff_virtual_seconds += backoff;
+    backoff_hist.record(backoff);
     backoff *= policy.backoff_multiplier;
     util::trace::instant("scan.recover.retry");
   }

@@ -35,10 +35,12 @@ void merge_worker_profile(ScanProfile& into, const ScanProfile& from);
 /// Runs the recovery-wrapped omega search for one valid grid position and
 /// records the outcome into `score` (valid on success, quarantined on
 /// exhaustion) and `profile` (omega_search_seconds, evaluations,
-/// positions_scanned, fault counters). Returns score.valid.
+/// positions_scanned, fault counters). When `progress` is non-null, reports
+/// one position (plus fault/quarantine deltas) to it. Returns score.valid.
 bool score_position(OmegaBackend& backend, const DpMatrix& m,
                     const GridPosition& position,
                     const RecoveryPolicy& recovery, ScanProfile& profile,
-                    PositionScore& score);
+                    PositionScore& score,
+                    util::ProgressReporter* progress = nullptr);
 
 }  // namespace omega::core::detail

@@ -6,6 +6,8 @@
 #include "core/resilience.h"
 #include "core/scan_driver.h"
 #include "par/thread_pool.h"
+#include "util/progress.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -30,22 +32,37 @@ namespace detail {
 void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
                     const GridPosition& position, const ld::LdEngine& engine,
                     StageTimes& stages, par::ThreadPool* pool) {
+  // Per-stage latency distributions; resolved once, then lock-free records.
+  // Registered metrics are never deallocated, so these references stay valid
+  // across telemetry::reset().
+  static util::telemetry::Histogram& reset_hist =
+      util::telemetry::histogram("scan.reset_seconds");
+  static util::telemetry::Histogram& relocate_hist =
+      util::telemetry::histogram("scan.relocate_seconds");
+  static util::telemetry::Histogram& extend_hist =
+      util::telemetry::histogram("scan.extend_seconds");
   if (!reuse || !m_live || position.lo < m.base()) {
     const util::trace::Span span("scan.ld.reset");
     const util::Timer timer;
     m.reset(position.lo);
-    stages.ld_reset_seconds += timer.seconds();
+    const double elapsed = timer.seconds();
+    stages.ld_reset_seconds += elapsed;
+    reset_hist.record(elapsed);
   } else {
     const util::trace::Span span("scan.ld.relocate");
     const util::Timer timer;
     m.relocate(position.lo);
-    stages.ld_relocate_seconds += timer.seconds();
+    const double elapsed = timer.seconds();
+    stages.ld_relocate_seconds += elapsed;
+    relocate_hist.record(elapsed);
   }
   {
     const util::trace::Span span("scan.ld.extend");
     const util::Timer timer;
     m.extend(position.hi + 1, engine, pool);
-    stages.ld_extend_seconds += timer.seconds();
+    const double elapsed = timer.seconds();
+    stages.ld_extend_seconds += elapsed;
+    extend_hist.record(elapsed);
   }
   m_live = true;
 }
@@ -112,13 +129,23 @@ void merge_worker_profile(ScanProfile& into, const ScanProfile& from) {
 bool score_position(OmegaBackend& backend, const DpMatrix& m,
                     const GridPosition& position,
                     const RecoveryPolicy& recovery, ScanProfile& profile,
-                    PositionScore& score) {
+                    PositionScore& score, util::ProgressReporter* progress) {
+  const std::uint64_t faults_before =
+      profile.faults.errors_caught + profile.faults.invalid_results;
   RecoveryOutcome outcome;
   {
     const util::trace::Span span("scan.omega.search");
     const util::Timer timer;
     outcome = recover_max_omega(backend, m, position, recovery, profile.faults);
     profile.stages.omega_search_seconds += timer.seconds();
+  }
+  if (progress != nullptr) {
+    util::ProgressReporter::Delta delta;
+    delta.positions = 1;
+    delta.faults = profile.faults.errors_caught +
+                   profile.faults.invalid_results - faults_before;
+    delta.quarantined = outcome.ok ? 0 : 1;
+    progress->advance(delta);
   }
   if (!outcome.ok) {
     score.quarantined = true;
@@ -150,7 +177,8 @@ using detail::score_position;
 void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
                 std::size_t end, const ld::LdEngine& engine, bool reuse,
                 const RecoveryPolicy& recovery, OmegaBackend& backend,
-                std::vector<PositionScore>& scores, ScanProfile& profile) {
+                std::vector<PositionScore>& scores, ScanProfile& profile,
+                util::ProgressReporter* progress) {
   DpMatrix m;
   bool m_live = false;
 
@@ -161,7 +189,7 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
     if (!position.valid) continue;
 
     advance_matrix(m, m_live, reuse, position, engine, profile.stages);
-    score_position(backend, m, position, recovery, profile, score);
+    score_position(backend, m, position, recovery, profile, score, progress);
   }
   profile.ld_seconds += profile.stages.ld_total();
   profile.omega_seconds += profile.stages.omega_search_seconds;
@@ -269,6 +297,10 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   const CpuKernelKind kernel = resolve_cpu_kernel(options.cpu_kernel);
   const util::trace::Span scan_span("scan");
   util::Timer total;
+  // Registry state at scan start: the end-of-scan delta attributes the
+  // process-wide telemetry to this scan (ScanProfile::telemetry docs).
+  const util::telemetry::RegistrySnapshot telemetry_begin =
+      util::telemetry::snapshot();
 
   const ld::SnpMatrix snps(dataset);
   const auto engine = options.ld_factory
@@ -282,6 +314,14 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   result.profile.kernel.requested = cpu_kernel_name(options.cpu_kernel);
   result.profile.kernel.selected = cpu_kernel_name(kernel);
   result.profile.kernel.avx2_supported = cpu_kernel_avx2_available();
+
+  if (options.progress != nullptr) {
+    std::uint64_t valid_positions = 0;
+    for (const GridPosition& position : grid) {
+      if (position.valid) ++valid_positions;
+    }
+    options.progress->begin(valid_positions, /*chunks_total=*/0);
+  }
 
   auto make_backend = [&]() -> std::unique_ptr<OmegaBackend> {
     if (!backend_factory) return std::make_unique<CpuOmegaBackend>(kernel);
@@ -297,7 +337,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   if (options.threads <= 1) {
     auto backend = make_backend();
     scan_chunk(grid, 0, grid.size(), *engine, options.reuse, options.recovery,
-               *backend, result.scores, result.profile);
+               *backend, result.scores, result.profile, options.progress);
   } else if (options.mt_strategy ==
              ScannerOptions::MtStrategy::InnerPosition) {
     if (backend_factory) {
@@ -321,7 +361,8 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       // for the suffix-scan phase.
       advance_matrix(m, m_live, options.reuse, position, *engine,
                      profile.stages, &pool);
-      score_position(backend, m, position, options.recovery, profile, score);
+      score_position(backend, m, position, options.recovery, profile, score,
+                     options.progress);
     }
     profile.ld_seconds = profile.stages.ld_total();
     profile.omega_seconds = profile.stages.omega_search_seconds;
@@ -343,7 +384,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       tasks.emplace_back([&, w, begin, end] {
         auto backend = make_backend();
         scan_chunk(grid, begin, end, *engine, options.reuse, options.recovery,
-                   *backend, result.scores, profiles[w]);
+                   *backend, result.scores, profiles[w], options.progress);
       });
     }
     pool.run_blocking(std::move(tasks));
@@ -355,6 +396,9 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     }
   }
   result.profile.total_seconds = total.seconds();
+  result.profile.telemetry =
+      util::telemetry::snapshot().delta_since(telemetry_begin);
+  if (options.progress != nullptr) options.progress->finish();
   return result;
 }
 

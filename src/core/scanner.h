@@ -23,6 +23,11 @@
 #include "io/dataset.h"
 #include "ld/ld_engine.h"
 #include "ld/snp_matrix.h"
+#include "util/telemetry.h"
+
+namespace omega::util {
+class ProgressReporter;
+}
 
 namespace omega::core {
 
@@ -154,6 +159,12 @@ struct ScannerOptions {
   /// setup; forcing Avx2 on an unsupported binary/host makes scan() throw
   /// std::runtime_error before any position is evaluated.
   CpuKernelKind cpu_kernel = CpuKernelKind::Auto;
+  /// Optional live progress reporter (util/progress.h). The scan drivers call
+  /// begin()/advance()/finish() on it: one advance per scored position (with
+  /// retry/quarantine deltas) plus one per streamed chunk. Not owned; must
+  /// outlive the scan. The reporter rate-limits internally, so the per-
+  /// position overhead is a mutex-guarded accumulate.
+  util::ProgressReporter* progress = nullptr;
 };
 
 struct PositionScore {
@@ -313,6 +324,13 @@ struct ScanProfile {
   CpuKernelStats kernel;
   /// Streaming chunk pipeline accounting (v5); all-zero for in-memory scans.
   StreamStats stream;
+  /// Distributional telemetry attributed to this scan (v6): the delta of the
+  /// process-wide util/telemetry registry between scan start and end —
+  /// queue-depth, task/chunk/retry-latency histograms, overlap-ratio gauges
+  /// (docs/OBSERVABILITY.md). Gauges carry end-of-scan values. Deltas from
+  /// concurrent scans in one process overlap; single-scan processes (the CLI,
+  /// the benches) attribute exactly.
+  util::telemetry::RegistrySnapshot telemetry;
   /// Grid positions actually evaluated (valid positions).
   std::uint64_t positions_scanned = 0;
   /// Names recorded by the scan driver: the LD engine serving r2 fetches and

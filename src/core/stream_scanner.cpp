@@ -9,6 +9,8 @@
 #include "core/resilience.h"
 #include "core/scan_driver.h"
 #include "par/thread_pool.h"
+#include "util/progress.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -89,6 +91,14 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   const CpuKernelKind kernel = resolve_cpu_kernel(options.cpu_kernel);
   const util::trace::Span scan_span("stream.scan");
   const util::Timer total;
+  const util::telemetry::RegistrySnapshot telemetry_begin =
+      util::telemetry::snapshot();
+  util::telemetry::Histogram& fetch_hist =
+      util::telemetry::histogram("stream.chunk_fetch_seconds");
+  util::telemetry::Histogram& chunk_scan_hist =
+      util::telemetry::histogram("stream.chunk_scan_seconds");
+  util::telemetry::Histogram& stall_hist =
+      util::telemetry::histogram("stream.io_stall_seconds");
 
   const io::StreamIndex& index = reader.index();
   StreamPlan plan = plan_stream_chunks(index.positions_bp, options.config,
@@ -119,8 +129,19 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     stream.peak_resident_sites = std::max(stream.peak_resident_sites, resident);
   }
 
+  if (options.progress != nullptr) {
+    std::uint64_t valid_positions = 0;
+    for (const GridPosition& position : plan.grid) {
+      if (position.valid) ++valid_positions;
+    }
+    options.progress->begin(valid_positions, plan.chunks.size());
+  }
+
   if (plan.chunks.empty()) {
     profile.total_seconds = total.seconds();
+    profile.telemetry =
+        util::telemetry::snapshot().delta_since(telemetry_begin);
+    if (options.progress != nullptr) options.progress->finish();
     return result;  // no valid position anywhere — nothing to read
   }
 
@@ -146,10 +167,12 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   std::optional<io::DatasetChunk> slots[2];
   std::future<void> inflight;
   auto submit_fetch = [&](std::size_t slot) {
-    inflight = io_pool.submit([&reader, &slots, &stream, slot] {
+    inflight = io_pool.submit([&reader, &slots, &stream, &fetch_hist, slot] {
       const util::Timer timer;
       slots[slot] = reader.next();
-      stream.io_seconds += timer.seconds();
+      const double elapsed = timer.seconds();
+      stream.io_seconds += elapsed;
+      fetch_hist.record(elapsed);
     });
   };
 
@@ -167,7 +190,9 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
       const util::trace::Span span("stream.io.wait");
       const util::Timer stall;
       inflight.get();
-      stream.io_stall_seconds += stall.seconds();
+      const double stalled = stall.seconds();
+      stream.io_stall_seconds += stalled;
+      stall_hist.record(stalled);
     }
     std::optional<io::DatasetChunk> chunk = std::move(slots[cursor]);
     slots[cursor].reset();
@@ -214,9 +239,11 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
           if (first_in_chunk && k > 0 && carried) ++stream.seam_carryovers;
           first_in_chunk = false;
           detail::score_position(*backend, m, position, options.recovery,
-                                 profile, score);
+                                 profile, score, options.progress);
         }
-        stream.compute_seconds += compute.seconds();
+        const double chunk_seconds = compute.seconds();
+        stream.compute_seconds += chunk_seconds;
+        chunk_scan_hist.record(chunk_seconds);
         scanned = true;
       } catch (const std::exception&) {
         // The matrix may hold a half-extended state; force a rebuild.
@@ -226,11 +253,24 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     if (!scanned) {
       ++stream.failed_chunks;
       m_live = false;
+      std::uint64_t chunk_quarantined = 0;
       for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
         if (!plan.grid[g].valid || result.scores[g].valid) continue;
         result.scores[g].quarantined = true;
         ++profile.faults.quarantined_positions;
+        ++chunk_quarantined;
       }
+      if (options.progress != nullptr && chunk_quarantined > 0) {
+        util::ProgressReporter::Delta delta;
+        delta.positions = chunk_quarantined;
+        delta.quarantined = chunk_quarantined;
+        options.progress->advance(delta);
+      }
+    }
+    if (options.progress != nullptr) {
+      util::ProgressReporter::Delta delta;
+      delta.chunks = 1;
+      options.progress->advance(delta);
     }
   }
 
@@ -240,6 +280,10 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   backend->contribute(profile);
   profile.omega_backend = backend->name();
   profile.total_seconds = total.seconds();
+  util::telemetry::gauge("stream.io_overlap_ratio")
+      .set(stream.io_overlap_ratio());
+  profile.telemetry = util::telemetry::snapshot().delta_since(telemetry_begin);
+  if (options.progress != nullptr) options.progress->finish();
   return result;
 }
 

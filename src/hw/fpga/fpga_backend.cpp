@@ -5,6 +5,7 @@
 
 #include "core/omega_search.h"
 #include "core/resilience.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace omega::hw::fpga {
@@ -137,10 +138,17 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
   }
   accounting_.hw_omegas += cycles.hw_omegas;
   accounting_.sw_omegas += cycles.sw_omegas;
-  accounting_.modeled_hw_seconds +=
+  const double hw_seconds =
       static_cast<double>(cycles.hw_cycles) / spec_.clock_hz;
-  accounting_.modeled_sw_seconds +=
+  const double sw_seconds =
       static_cast<double>(cycles.sw_omegas) / options_.software_omega_rate;
+  accounting_.modeled_hw_seconds += hw_seconds;
+  accounting_.modeled_sw_seconds += sw_seconds;
+  // One sample per completed position run (watchdog-killed runs excluded),
+  // the FPGA analogue of gpu.launch_modeled_seconds.
+  static util::telemetry::Histogram& launch_hist =
+      util::telemetry::histogram("fpga.launch_modeled_seconds");
+  launch_hist.record(hw_seconds + sw_seconds);
   return result;
 }
 

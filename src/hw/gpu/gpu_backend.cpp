@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/resilience.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -144,7 +145,12 @@ core::OmegaResult GpuOmegaBackend::max_omega(
     result.max_omega = std::numeric_limits<double>::quiet_NaN();
   }
 
-  // Device-model accounting.
+  // Device-model accounting. The histogram records one sample per completed
+  // launch, so its count reconciles against kernel1_launches +
+  // kernel2_launches (watchdog-killed launches are accounted in neither).
+  static util::telemetry::Histogram& launch_hist =
+      util::telemetry::histogram("gpu.launch_modeled_seconds");
+  launch_hist.record(cost.total_s);
   if (choice == KernelChoice::Kernel1) {
     ++accounting_.positions_kernel1;
     accounting_.omegas_kernel1 += combos;

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <exception>
 
+#include "util/telemetry.h"
+#include "util/timer.h"
+
 namespace omega::par {
 
 struct ThreadPool::Batch {
@@ -24,6 +27,11 @@ struct ThreadPool::Batch {
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  // Base 1.0: queue depth is a small-integer distribution, so buckets are
+  // <=1, <=2, <=4, ... instead of nanosecond-scaled bounds.
+  queue_depth_hist_ = &util::telemetry::histogram("pool.queue_depth", 1.0);
+  task_seconds_hist_ = &util::telemetry::histogram("pool.task_seconds");
+  tasks_total_ = &util::telemetry::counter("pool.tasks_total");
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -43,9 +51,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_item(Item& item) {
+  const util::Timer timer;
   if (item.batch == nullptr) {
     // submit() task: the wrapper owns its promise and never throws.
     item.task();
+    task_seconds_hist_->record(timer.seconds());
+    tasks_total_->add(1);
     return;
   }
   try {
@@ -53,6 +64,8 @@ void ThreadPool::run_item(Item& item) {
   } catch (...) {
     item.batch->errors[item.index] = std::current_exception();
   }
+  task_seconds_hist_->record(timer.seconds());
+  tasks_total_->add(1);
   item.batch->finish_one();
 }
 
@@ -79,6 +92,7 @@ void ThreadPool::run_blocking(std::vector<std::function<void()>> tasks) {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       queue_.push_back(Item{&batch, i, std::move(tasks[i])});
+      queue_depth_hist_->record(static_cast<double>(queue_.size()));
     }
   }
   cv_.notify_all();
@@ -118,6 +132,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
                               promise->set_exception(std::current_exception());
                             }
                           }});
+    queue_depth_hist_->record(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;

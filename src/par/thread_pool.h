@@ -18,6 +18,11 @@
 #include <thread>
 #include <vector>
 
+namespace omega::util::telemetry {
+class Counter;
+class Histogram;
+}
+
 namespace omega::par {
 
 class ThreadPool {
@@ -59,6 +64,13 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<Item> queue_;
   bool stopping_ = false;
+  // Process-wide telemetry (util/telemetry.h), resolved once per pool:
+  // queue depth sampled at each enqueue, per-task wall latency, and a task
+  // counter. The registry never deallocates, so these stay valid for the
+  // pool's lifetime.
+  util::telemetry::Histogram* queue_depth_hist_ = nullptr;
+  util::telemetry::Histogram* task_seconds_hist_ = nullptr;
+  util::telemetry::Counter* tasks_total_ = nullptr;
 };
 
 /// Parallel loop over [begin, end) with dynamic chunking.

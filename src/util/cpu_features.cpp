@@ -1,5 +1,9 @@
 #include "util/cpu_features.h"
 
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#include <cpuid.h>
+#endif
+
 namespace omega::util {
 namespace {
 
@@ -30,6 +34,35 @@ std::string cpu_isa_summary() {
   if (features.avx2) return "avx2";
   if (features.fma) return "fma";
   return "baseline";
+}
+
+std::string cpu_model() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  // CPUID leaves 0x80000002..4 spell out the 48-byte brand string.
+  if (__get_cpuid_max(0x80000000U, nullptr) < 0x80000004U) return "unknown";
+  unsigned int regs[12] = {};
+  for (unsigned int leaf = 0; leaf < 3; ++leaf) {
+    __get_cpuid(0x80000002U + leaf, &regs[leaf * 4 + 0], &regs[leaf * 4 + 1],
+                &regs[leaf * 4 + 2], &regs[leaf * 4 + 3]);
+  }
+  char raw[49] = {};
+  for (unsigned int i = 0; i < 12; ++i) {
+    raw[i * 4 + 0] = static_cast<char>(regs[i] & 0xFF);
+    raw[i * 4 + 1] = static_cast<char>((regs[i] >> 8) & 0xFF);
+    raw[i * 4 + 2] = static_cast<char>((regs[i] >> 16) & 0xFF);
+    raw[i * 4 + 3] = static_cast<char>((regs[i] >> 24) & 0xFF);
+  }
+  // Normalize: collapse runs of spaces, trim both ends.
+  std::string model;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p == ' ' && (model.empty() || model.back() == ' ')) continue;
+    model.push_back(*p);
+  }
+  while (!model.empty() && model.back() == ' ') model.pop_back();
+  return model.empty() ? "unknown" : model;
+#else
+  return "unknown";
+#endif
 }
 
 }  // namespace omega::util

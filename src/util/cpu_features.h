@@ -24,4 +24,10 @@ struct CpuFeatures {
 /// "baseline"; used by the CLI dispatch report and the bench harness.
 [[nodiscard]] std::string cpu_isa_summary();
 
+/// Marketing model string of the executing CPU (x86 CPUID brand string,
+/// whitespace-normalized), or "unknown" where unavailable. Stamped into
+/// BENCH_*.json host blocks so omega_metrics_diff can refuse cross-host
+/// comparisons.
+[[nodiscard]] std::string cpu_model();
+
 }  // namespace omega::util

@@ -1,0 +1,285 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace omega::util::telemetry {
+
+namespace {
+
+constexpr std::size_t kLast = kHistogramBuckets - 1;
+
+double upper_bound_for(double base, std::size_t index) noexcept {
+  return std::ldexp(base, static_cast<int>(index));
+}
+
+std::size_t index_for(double base, double value) noexcept {
+  if (!(value > base)) return 0;
+  // log2 gets us within one bucket of the right answer; the fixup loops make
+  // the boundary exact (a value equal to an upper bound belongs to that
+  // bucket), which the tests assert at machine-representable boundaries.
+  const double ratio = value / base;
+  double guess = std::ceil(std::log2(ratio));
+  if (!(guess >= 0.0)) guess = 0.0;
+  if (guess > static_cast<double>(kLast)) guess = static_cast<double>(kLast);
+  std::size_t i = static_cast<std::size_t>(guess);
+  while (i > 0 && value <= upper_bound_for(base, i - 1)) --i;
+  while (i < kLast && value > upper_bound_for(base, i)) ++i;
+  return i;
+}
+
+}  // namespace
+
+double HistogramSnapshot::bucket_upper_bound(std::size_t index) const noexcept {
+  return upper_bound_for(base, std::min(index, kLast));
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return std::clamp(bucket_upper_bound(i), min, max);
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& begin) const noexcept {
+  HistogramSnapshot delta = *this;
+  delta.count = count >= begin.count ? count - begin.count : 0;
+  delta.sum = std::max(0.0, sum - begin.sum);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    delta.buckets[i] =
+        buckets[i] >= begin.buckets[i] ? buckets[i] - begin.buckets[i] : 0;
+  }
+  if (delta.count == 0) {
+    delta.sum = 0.0;
+    delta.min = 0.0;
+    delta.max = 0.0;
+  }
+  return delta;
+}
+
+std::size_t Histogram::bucket_index(double value) const noexcept {
+  return index_for(base_, value);
+}
+
+double Histogram::bucket_upper_bound(std::size_t index) const noexcept {
+  return upper_bound_for(base_, std::min(index, kLast));
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  snap.base = base_;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const HistogramSnapshot* RegistrySnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const auto& [key, snap] : histograms) {
+    if (key == name) return &snap;
+  }
+  return nullptr;
+}
+
+std::uint64_t RegistrySnapshot::counter_value(
+    std::string_view name) const noexcept {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+RegistrySnapshot RegistrySnapshot::delta_since(
+    const RegistrySnapshot& begin) const {
+  RegistrySnapshot delta;
+  delta.gauges = gauges;  // gauges are levels, not flows — keep the end value
+  delta.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    std::uint64_t before = 0;
+    for (const auto& [bname, bvalue] : begin.counters) {
+      if (bname == name) {
+        before = bvalue;
+        break;
+      }
+    }
+    delta.counters.emplace_back(name, value >= before ? value - before : 0);
+  }
+  delta.histograms.reserve(histograms.size());
+  for (const auto& [name, snap] : histograms) {
+    const HistogramSnapshot* before = begin.find_histogram(name);
+    delta.histograms.emplace_back(
+        name, before != nullptr ? snap.delta_since(*before) : snap);
+  }
+  return delta;
+}
+
+namespace {
+
+// Name-keyed maps of heap-allocated metrics: addresses stay stable across
+// rehash-free std::map growth and are intentionally never freed by reset().
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+
+  static Registry& instance() {
+    static Registry* registry = new Registry();  // immortal: outlives statics
+    return *registry;
+  }
+};
+
+std::string sanitized(std::string_view name) {
+  std::string out = "omega_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void format_number(std::ostringstream& out, double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    out << value;
+  }
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& registry = Registry::instance();
+  const std::scoped_lock lock(registry.mutex);
+  auto it = registry.counters.find(name);
+  if (it == registry.counters.end()) {
+    it = registry.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& registry = Registry::instance();
+  const std::scoped_lock lock(registry.mutex);
+  auto it = registry.gauges.find(name);
+  if (it == registry.gauges.end()) {
+    it = registry.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name, double base) {
+  Registry& registry = Registry::instance();
+  const std::scoped_lock lock(registry.mutex);
+  auto it = registry.histograms.find(name);
+  if (it == registry.histograms.end()) {
+    it = registry.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>(base))
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot snapshot() {
+  Registry& registry = Registry::instance();
+  const std::scoped_lock lock(registry.mutex);
+  RegistrySnapshot snap;
+  snap.counters.reserve(registry.counters.size());
+  for (const auto& [name, metric] : registry.counters) {
+    snap.counters.emplace_back(name, metric->value());
+  }
+  snap.gauges.reserve(registry.gauges.size());
+  for (const auto& [name, metric] : registry.gauges) {
+    snap.gauges.emplace_back(name, metric->value());
+  }
+  snap.histograms.reserve(registry.histograms.size());
+  for (const auto& [name, metric] : registry.histograms) {
+    snap.histograms.emplace_back(name, metric->snapshot());
+  }
+  return snap;
+}
+
+void reset() {
+  Registry& registry = Registry::instance();
+  const std::scoped_lock lock(registry.mutex);
+  for (const auto& [name, metric] : registry.counters) metric->reset();
+  for (const auto& [name, metric] : registry.gauges) metric->reset();
+  for (const auto& [name, metric] : registry.histograms) metric->reset();
+}
+
+std::string to_text() {
+  const RegistrySnapshot snap = snapshot();
+  std::ostringstream out;
+  out.precision(12);
+  for (const auto& [name, value] : snap.counters) {
+    const std::string id = sanitized(name);
+    out << "# TYPE " << id << " counter\n";
+    out << id << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string id = sanitized(name);
+    out << "# TYPE " << id << " gauge\n";
+    out << id << " ";
+    format_number(out, value);
+    out << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string id = sanitized(name);
+    out << "# TYPE " << id << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += hist.buckets[i];
+      // Only materialize buckets up to the last occupied one; the +Inf
+      // bucket below carries the full count either way.
+      if (hist.buckets[i] == 0) continue;
+      out << id << "_bucket{le=\"" << hist.bucket_upper_bound(i) << "\"} "
+          << cumulative << "\n";
+    }
+    out << id << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    out << id << "_sum ";
+    format_number(out, hist.sum);
+    out << "\n";
+    out << id << "_count " << hist.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace omega::util::telemetry

@@ -1,0 +1,208 @@
+#pragma once
+// Process-wide metrics registry for the scan telemetry subsystem: named
+// counters, gauges, and log-bucketed latency histograms with a lock-free
+// record path. The aggregate ScanProfile answers "how much total"; this layer
+// answers the distributional questions operators actually ask — tail latency
+// of chunk fetches, retry-backoff spread, pool queue depth — and feeds the
+// metrics schema v6 "telemetry" block plus the Prometheus-style text
+// exposition (docs/OBSERVABILITY.md).
+//
+// Usage contract:
+//   * counter()/gauge()/histogram() resolve a name to a metric under a mutex;
+//     hot paths resolve once (constructor member or function-local static)
+//     and then touch only atomics.
+//   * Registered metrics are NEVER deallocated — reset() zeroes values in
+//     place — so cached references and pointers stay valid for the process
+//     lifetime, including across reset() calls from tests.
+//   * Histograms use power-of-two buckets: bucket i covers
+//     (base * 2^(i-1), base * 2^i], bucket 0 additionally absorbs everything
+//     <= base, and the last bucket absorbs everything above its bound.
+//     Quantiles are bucket-resolved (the bucket upper bound, clamped into the
+//     observed [min, max]) — within a factor of 2, deterministic, and exactly
+//     testable against the documented boundaries.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace omega::util::telemetry {
+
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+namespace detail {
+
+/// Relaxed CAS add for atomic doubles (portable stand-in for the C++20
+/// floating fetch_add).
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value-wins instantaneous measurement (ratios, levels).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept { detail::atomic_add(value_, delta); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of one histogram, safe to keep and serialize.
+struct HistogramSnapshot {
+  double base = 1e-9;  // upper bound of bucket 0
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double bucket_upper_bound(std::size_t index) const noexcept;
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Bucket-resolved quantile estimate, q in [0, 1]: the upper bound of the
+  /// bucket holding the ceil(q * count)-th smallest sample, clamped into the
+  /// exact observed [min, max]. Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Per-sample difference against an earlier snapshot of the same histogram:
+  /// count/sum/buckets subtract (clamped at zero); base, min and max keep the
+  /// later snapshot's values (extremes are not invertible).
+  [[nodiscard]] HistogramSnapshot delta_since(
+      const HistogramSnapshot& begin) const noexcept;
+};
+
+/// Log2-bucketed distribution with an exact count/sum/min/max sidecar.
+/// record() is lock-free: bucket index computation plus a handful of relaxed
+/// atomic updates. Non-finite samples are dropped (counted separately).
+class Histogram {
+ public:
+  /// `base` is the upper bound of the first bucket; every later bucket
+  /// doubles it. The default suits latencies in seconds (1 ns .. ~292 years);
+  /// pass 1.0 for small-integer distributions such as queue depths.
+  explicit Histogram(double base = 1e-9) noexcept : base_(base) {}
+
+  void record(double value) noexcept {
+    if (value != value || value - value != 0.0) {  // NaN or +-Inf
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sum_, value);
+    detail::atomic_min(min_, value);
+    detail::atomic_max(max_, value);
+  }
+
+  /// Index of the bucket `value` lands in; exact at the power-of-two
+  /// boundaries (a value equal to a bucket's upper bound belongs to it).
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+  [[nodiscard]] double bucket_upper_bound(std::size_t index) const noexcept;
+  [[nodiscard]] double base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  double base_;
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Point-in-time copy of every registered metric, name-sorted so emitted
+/// documents are stable and diffable.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      std::string_view name) const noexcept;
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name)
+      const noexcept;
+
+  /// Activity since `begin` (typically taken at scan start): counters and
+  /// histogram contents subtract; gauges keep the later value. Metrics absent
+  /// from `begin` are taken whole. This is how ScanProfile::telemetry
+  /// attributes process-wide metrics to one scan without resetting the
+  /// registry under concurrent users.
+  [[nodiscard]] RegistrySnapshot delta_since(const RegistrySnapshot& begin)
+      const;
+};
+
+/// Resolves `name` to the process-wide metric, registering it on first use.
+/// The returned reference is valid forever (see header comment). For
+/// histogram(), `base` applies only to the registering call; later callers
+/// get the existing instance regardless of the base they pass.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name, double base = 1e-9);
+
+[[nodiscard]] RegistrySnapshot snapshot();
+
+/// Zeroes every registered metric in place. Cached references stay valid;
+/// registrations are never removed.
+void reset();
+
+/// Prometheus-style text exposition of the current registry state: counters
+/// and gauges as single samples, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`. Metric names are sanitized to
+/// `omega_<name with [^a-zA-Z0-9_] -> _>`.
+[[nodiscard]] std::string to_text();
+
+}  // namespace omega::util::telemetry

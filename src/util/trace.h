@@ -9,6 +9,7 @@
 // Span names must be string literals (or otherwise outlive the registry):
 // events store the pointer, not a copy, to keep the enabled-path cheap.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -87,11 +88,57 @@ inline void record(const char* name, double start_s, double duration_s) {
 }
 
 /// Copy of the buffered events (unordered across threads; sort by start_s if
-/// chronology matters).
+/// chronology matters). Thread ids here are the raw process-lifetime ids —
+/// use take_snapshot() for exporter-facing, session-relative ids.
 [[nodiscard]] inline std::vector<TraceEvent> snapshot() {
   auto& r = detail::registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
   return r.ring;
+}
+
+/// Exporter-facing view of the current session: buffered events with thread
+/// ids remapped to a dense 0-based range, plus ring-overflow accounting.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;  // thread_id remapped: 0..num_threads-1
+  std::uint64_t recorded = 0;      // lifetime count since enable()
+  std::uint64_t dropped = 0;       // events overwritten by ring wraparound
+  std::uint32_t num_threads = 0;   // distinct threads among buffered events
+};
+
+/// Snapshot with session-relative thread ids. detail::thread_id() hands out
+/// ids once per thread for the process lifetime, so a second enable() session
+/// would otherwise start its tracks at a nonzero id; remapping at snapshot
+/// time (raw ids sorted ascending -> 0,1,2,...) keeps every exported session's
+/// tracks numbered from 0 while preserving relative thread order.
+[[nodiscard]] inline TraceSnapshot take_snapshot() {
+  TraceSnapshot snap;
+  {
+    auto& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    snap.events = r.ring;
+    snap.recorded = r.recorded;
+    snap.dropped = r.recorded - r.ring.size();
+  }
+  std::vector<std::uint32_t> raw_ids;
+  raw_ids.reserve(8);
+  for (const TraceEvent& event : snap.events) {
+    bool seen = false;
+    for (std::uint32_t id : raw_ids) {
+      if (id == event.thread_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) raw_ids.push_back(event.thread_id);
+  }
+  std::sort(raw_ids.begin(), raw_ids.end());
+  for (TraceEvent& event : snap.events) {
+    const auto it =
+        std::lower_bound(raw_ids.begin(), raw_ids.end(), event.thread_id);
+    event.thread_id = static_cast<std::uint32_t>(it - raw_ids.begin());
+  }
+  snap.num_threads = static_cast<std::uint32_t>(raw_ids.size());
+  return snap;
 }
 
 /// Events recorded since enable(); snapshot().size() is min(this, capacity).

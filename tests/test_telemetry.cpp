@@ -1,0 +1,775 @@
+// Telemetry subsystem tests: histogram bucket/quantile math against the
+// documented boundaries, registry reset/delta semantics, concurrent updates
+// from thread-pool workers, the Prometheus text and schema-v6 JSON
+// exposition, Chrome-trace export well-formedness (re-parsed with the
+// repo's own JSON parser), progress rate limiting under a virtual clock,
+// count reconciliation between per-scan telemetry and ScanProfile counters
+// for every backend, and the metrics-diff regression engine behind
+// tools/omega_metrics_diff.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/metrics_diff.h"
+#include "core/metrics_json.h"
+#include "core/scanner.h"
+#include "core/stream_scanner.h"
+#include "hw/device_specs.h"
+#include "hw/fpga/fpga_backend.h"
+#include "hw/gpu/gpu_backend.h"
+#include "io/chunk_reader.h"
+#include "par/thread_pool.h"
+#include "sim/dataset_factory.h"
+#include "util/fault.h"
+#include "util/progress.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
+
+namespace {
+
+namespace telemetry = omega::util::telemetry;
+using omega::core::metrics::JsonValue;
+using omega::util::ProgressReporter;
+using omega::util::ProgressUpdate;
+using telemetry::Histogram;
+using telemetry::kHistogramBuckets;
+
+omega::io::Dataset telemetry_dataset(std::uint64_t seed,
+                                     std::size_t sites = 140) {
+  return omega::sim::make_dataset({.snps = sites,
+                                   .samples = 24,
+                                   .locus_length_bp = 1'000'000,
+                                   .rho = 25.0,
+                                   .seed = seed});
+}
+
+omega::core::ScannerOptions telemetry_options() {
+  omega::core::ScannerOptions options;
+  options.config.grid_size = 16;
+  options.config.window_unit = omega::core::WindowUnit::Snps;
+  options.config.max_window = 300;
+  options.config.min_window = 40;
+  return options;
+}
+
+std::uint64_t valid_scores(const omega::core::ScanResult& result) {
+  std::uint64_t n = 0;
+  for (const auto& score : result.scores) {
+    if (score.valid) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram math
+
+TEST(TelemetryHistogram, BucketBoundariesAreExact) {
+  const Histogram h(1.0);
+  // Bucket 0 absorbs everything <= base; bucket i covers (base*2^(i-1),
+  // base*2^i], with values exactly on an upper bound belonging to it.
+  EXPECT_EQ(h.bucket_index(-3.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.0001), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(2.0001), 2u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(8.0), 3u);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_bound(3), 8.0);
+  // The last bucket absorbs everything above its bound.
+  EXPECT_EQ(h.bucket_index(1e300), kHistogramBuckets - 1);
+}
+
+TEST(TelemetryHistogram, DefaultBaseSuitsSecondScaleLatencies) {
+  const Histogram h;  // base 1e-9 (1 ns)
+  EXPECT_EQ(h.bucket_index(1e-9), 0u);
+  EXPECT_EQ(h.bucket_index(1.5e-9), 1u);
+  EXPECT_EQ(h.bucket_index(2e-9), 1u);
+  // 1 ms sits in bucket 20: 1e-9 * 2^20 = 1.048576e-3 >= 1e-3 > 2^19 * 1e-9.
+  EXPECT_EQ(h.bucket_index(1e-3), 20u);
+  EXPECT_GT(h.bucket_upper_bound(20), 1e-3);
+  EXPECT_LT(h.bucket_upper_bound(19), 1e-3);
+}
+
+TEST(TelemetryHistogram, QuantilesAreBucketResolvedAndClamped) {
+  Histogram h(1.0);
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.5);
+  // Rank ceil(0.5*100) = 50 -> sample 50 -> bucket (32, 64] -> bound 64.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 64.0);
+  // Rank 90 -> sample 90 -> bucket (64, 128] -> bound 128, clamped to the
+  // observed max of 100.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.9), 100.0);
+  // q = 0 clamps the rank to the first sample; q = 1 to the last.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);
+}
+
+TEST(TelemetryHistogram, EmptyHistogramAndNonFiniteSamples) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean(), 0.0);
+  h.record(std::nan(""));
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.snapshot().count, 0u) << "non-finite samples must not count";
+  EXPECT_EQ(h.dropped(), 3u);
+  h.record(1.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+  EXPECT_DOUBLE_EQ(h.snapshot().sum, 1.0) << "sum must not be NaN-poisoned";
+}
+
+TEST(TelemetryHistogram, DeltaSinceSubtractsPerBucket) {
+  Histogram h(1.0);
+  h.record(1.0);
+  h.record(3.0);
+  const auto begin = h.snapshot();
+  h.record(5.0);
+  h.record(7.0);
+  const auto delta = h.snapshot().delta_since(begin);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_DOUBLE_EQ(delta.sum, 12.0);
+  // Both new samples fall in bucket (4, 8].
+  EXPECT_EQ(delta.buckets[3], 2u);
+  EXPECT_EQ(delta.buckets[0], 0u);
+  // Extremes keep the later snapshot's values (not invertible)...
+  EXPECT_DOUBLE_EQ(delta.min, 1.0);
+  EXPECT_DOUBLE_EQ(delta.max, 7.0);
+  // ...except an empty delta, which zeroes them.
+  const auto none = h.snapshot().delta_since(h.snapshot());
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.sum, 0.0);
+  EXPECT_DOUBLE_EQ(none.min, 0.0);
+  EXPECT_DOUBLE_EQ(none.max, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+
+TEST(TelemetryRegistry, ResolvesToTheSameInstanceAndResetsInPlace) {
+  auto& c = telemetry::counter("test.registry.counter");
+  auto& h = telemetry::histogram("test.registry.hist", 1.0);
+  auto& g = telemetry::gauge("test.registry.gauge");
+  EXPECT_EQ(&c, &telemetry::counter("test.registry.counter"));
+  EXPECT_EQ(&h, &telemetry::histogram("test.registry.hist"));
+  c.add(5);
+  h.record(2.0);
+  g.set(1.5);
+  telemetry::reset();
+  // reset() zeroes in place; cached references stay valid and usable.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  c.add(1);
+  EXPECT_EQ(telemetry::counter("test.registry.counter").value(), 1u);
+}
+
+TEST(TelemetryRegistry, HistogramBaseIsFixedByFirstRegistration) {
+  auto& h = telemetry::histogram("test.registry.base", 1.0);
+  auto& again = telemetry::histogram("test.registry.base", 123.0);
+  EXPECT_EQ(&h, &again);
+  EXPECT_DOUBLE_EQ(again.base(), 1.0);
+}
+
+TEST(TelemetryRegistry, SnapshotDeltaAttributesAnInterval) {
+  auto& c = telemetry::counter("test.registry.delta");
+  auto& h = telemetry::histogram("test.registry.delta_hist", 1.0);
+  c.add(3);
+  h.record(1.0);
+  const auto begin = telemetry::snapshot();
+  c.add(4);
+  h.record(2.0);
+  h.record(2.0);
+  const auto delta = telemetry::snapshot().delta_since(begin);
+  EXPECT_EQ(delta.counter_value("test.registry.delta"), 4u);
+  const auto* hist = delta.find_histogram("test.registry.delta_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_DOUBLE_EQ(hist->sum, 4.0);
+  EXPECT_EQ(delta.counter_value("test.registry.absent"), 0u);
+  EXPECT_EQ(delta.find_histogram("test.registry.absent"), nullptr);
+}
+
+TEST(TelemetryRegistry, SnapshotIsNameSorted) {
+  (void)telemetry::counter("test.sort.b");
+  (void)telemetry::counter("test.sort.a");
+  const auto snap = telemetry::snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+TEST(TelemetryConcurrency, CountersAndHistogramsFromPoolWorkers) {
+  auto& c = telemetry::counter("test.concurrent.counter");
+  auto& h = telemetry::histogram("test.concurrent.hist", 1.0);
+  const auto count_before = c.value();
+  const auto hist_before = h.snapshot().count;
+  constexpr int kTasks = 64;
+  constexpr int kIncrementsPerTask = 250;
+  omega::par::ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.push_back([&c, &h] {
+      for (int i = 0; i < kIncrementsPerTask; ++i) {
+        c.add(1);
+        h.record(static_cast<double>(i % 7));
+      }
+    });
+  }
+  pool.run_blocking(std::move(tasks));
+  EXPECT_EQ(c.value() - count_before,
+            static_cast<std::uint64_t>(kTasks) * kIncrementsPerTask);
+  EXPECT_EQ(h.snapshot().count - hist_before,
+            static_cast<std::uint64_t>(kTasks) * kIncrementsPerTask);
+}
+
+TEST(TelemetryConcurrency, ThreadPoolPopulatesItsOwnMetrics) {
+  const auto before = telemetry::snapshot();
+  {
+    omega::par::ThreadPool pool(2);
+    std::vector<std::function<void()>> tasks(32, [] {});
+    pool.run_blocking(std::move(tasks));
+    pool.submit([] {}).get();
+  }
+  const auto delta = telemetry::snapshot().delta_since(before);
+  EXPECT_EQ(delta.counter_value("pool.tasks_total"), 33u);
+  const auto* latency = delta.find_histogram("pool.task_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 33u);
+  const auto* depth = delta.find_histogram("pool.queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->count, 33u) << "one queue-depth sample per enqueue";
+}
+
+// ---------------------------------------------------------------------------
+// Exposition formats
+
+TEST(TelemetryText, PrometheusExpositionShape) {
+  telemetry::reset();
+  telemetry::counter("text.demo.count").add(2);
+  telemetry::gauge("text.demo.ratio").set(0.5);
+  auto& h = telemetry::histogram("text.demo.latency", 1.0);
+  h.record(1.5);
+  h.record(3.0);
+  const std::string text = telemetry::to_text();
+  EXPECT_NE(text.find("# TYPE omega_text_demo_count counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("omega_text_demo_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE omega_text_demo_ratio gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE omega_text_demo_latency histogram"),
+            std::string::npos);
+  // Cumulative buckets: 1.5 -> (1,2], 3.0 -> (2,4]; the +Inf bucket always
+  // carries the total count.
+  EXPECT_NE(text.find("omega_text_demo_latency_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("omega_text_demo_latency_bucket{le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("omega_text_demo_latency_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("omega_text_demo_latency_sum 4.5"), std::string::npos);
+  EXPECT_NE(text.find("omega_text_demo_latency_count 2"), std::string::npos);
+}
+
+TEST(TelemetryJson, SchemaBlockRoundTripsThroughTheParser) {
+  telemetry::reset();
+  telemetry::counter("json.demo.count").add(2);
+  telemetry::gauge("json.demo.gauge").set(0.25);
+  telemetry::histogram("json.demo.hist", 1.0).record(3.0);
+  const auto doc = omega::core::metrics::telemetry_json(telemetry::snapshot());
+  const auto parsed = JsonValue::parse(doc.dump());
+  EXPECT_EQ(parsed.at("counters").at("json.demo.count").as_uint(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("json.demo.gauge").as_double(),
+                   0.25);
+  const auto& hist = parsed.at("histograms").at("json.demo.hist");
+  EXPECT_EQ(hist.at("count").as_uint(), 1u);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").as_double(), 3.0);
+  // 3.0 clamps to the observed extremes for every quantile.
+  EXPECT_DOUBLE_EQ(hist.at("p50").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("p99").as_double(), 3.0);
+  const auto& buckets = hist.at("buckets").items();
+  ASSERT_EQ(buckets.size(), 1u) << "only occupied buckets materialize";
+  EXPECT_DOUBLE_EQ(buckets[0].at("le").as_double(), 4.0);
+  EXPECT_EQ(buckets[0].at("count").as_uint(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export + session-relative thread ids
+
+TEST(TraceSession, ThreadIdsAreSessionRelative) {
+  omega::util::trace::enable(64);
+  omega::util::trace::record("main-span", 0.0, 1.0);
+  std::thread([] { omega::util::trace::record("worker-span", 0.5, 1.0); })
+      .join();
+  const auto snap = omega::util::trace::take_snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.num_threads, 2u);
+  std::set<std::uint32_t> tids;
+  for (const auto& event : snap.events) tids.insert(event.thread_id);
+  EXPECT_EQ(tids, (std::set<std::uint32_t>{0u, 1u}));
+
+  // A later session records from a brand-new thread whose raw process-wide
+  // id keeps growing; the exported id must still start at 0.
+  omega::util::trace::enable(64);
+  std::thread([] { omega::util::trace::record("second-session", 0.0, 1.0); })
+      .join();
+  const auto second = omega::util::trace::take_snapshot();
+  ASSERT_EQ(second.events.size(), 1u);
+  EXPECT_EQ(second.num_threads, 1u);
+  EXPECT_EQ(second.events[0].thread_id, 0u);
+  omega::util::trace::disable();
+}
+
+TEST(TraceSession, RingOverflowIsReportedAsDropped) {
+  omega::util::trace::enable(4);
+  for (int i = 0; i < 10; ++i) {
+    omega::util::trace::record("spam", static_cast<double>(i), 0.25);
+  }
+  const auto snap = omega::util::trace::take_snapshot();
+  EXPECT_EQ(snap.recorded, 10u);
+  EXPECT_EQ(snap.events.size(), 4u);
+  EXPECT_EQ(snap.dropped, 6u);
+  // The drop count reaches the exported trace metadata.
+  const auto doc = omega::core::metrics::chrome_trace();
+  EXPECT_EQ(doc.at("otherData").at("dropped").as_uint(), 6u);
+  EXPECT_EQ(doc.at("otherData").at("recorded").as_uint(), 10u);
+  omega::util::trace::disable();
+}
+
+TEST(ChromeTrace, StreamedFaultyScanExportsWellFormedJson) {
+  omega::util::trace::enable();
+  const auto dataset = telemetry_dataset(71, 160);
+  omega::io::DatasetChunkReader reader(dataset);
+  auto options = telemetry_options();
+  omega::core::StreamScanOptions stream_options;
+  stream_options.chunk_sites = 40;  // force a multi-chunk scan
+  omega::util::fault::FaultPlan plan;
+  plan.mode = omega::util::fault::FaultMode::KernelLaunch;
+  plan.rate = 0.25;
+  plan.seed = 4242;
+  omega::par::ThreadPool pool(2);
+  const auto spec = omega::hw::tesla_k80();
+  const auto result = omega::core::stream_scan(
+      reader, options, stream_options, [&] {
+        omega::hw::gpu::GpuBackendOptions backend_options;
+        backend_options.fault_plan = plan;
+        return std::make_unique<omega::hw::gpu::GpuOmegaBackend>(
+            spec, pool, backend_options);
+      });
+  ASSERT_GT(result.profile.stream.chunks, 1u);
+  ASSERT_GT(result.profile.faults.faults_injected, 0u);
+
+  // Export, serialize, and re-parse with the repo's own strict parser.
+  const std::string text = omega::core::metrics::chrome_trace().dump();
+  const auto parsed = JsonValue::parse(text);
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = parsed.at("traceEvents").items();
+  ASSERT_FALSE(events.empty());
+  bool saw_complete = false;
+  bool saw_instant = false;
+  bool saw_thread_name = false;
+  bool saw_recovery = false;
+  std::set<std::int64_t> tids;
+  for (const auto& event : events) {
+    const std::string ph = event.at("ph").as_string();
+    tids.insert(event.at("tid").as_int());
+    if (ph == "X") {
+      saw_complete = true;
+      EXPECT_GE(event.at("ts").as_double(), 0.0);
+      EXPECT_GE(event.at("dur").as_double(), 0.0);
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(event.at("s").as_string(), "t");
+      if (event.at("name").as_string().rfind("scan.recover.", 0) == 0) {
+        saw_recovery = true;
+      }
+    } else if (ph == "M") {
+      saw_thread_name = true;
+      EXPECT_EQ(event.at("name").as_string(), "thread_name");
+    } else {
+      ADD_FAILURE() << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_recovery) << "faulty scan must export recovery instants";
+  EXPECT_EQ(*tids.begin(), 0) << "thread ids must be session-relative";
+  omega::util::trace::disable();
+}
+
+// ---------------------------------------------------------------------------
+// Progress reporting
+
+TEST(ProgressRateLimit, VirtualClockGatesEmissions) {
+  double now = 0.0;
+  std::vector<ProgressUpdate> updates;
+  ProgressReporter reporter(
+      [&](const ProgressUpdate& update) { updates.push_back(update); },
+      /*interval_seconds=*/1.0, [&] { return now; });
+  reporter.begin(100, 10);
+  EXPECT_EQ(reporter.emitted(), 1u) << "begin() emits the initial update";
+  reporter.advance({.positions = 10});
+  reporter.advance({.positions = 10});
+  EXPECT_EQ(reporter.emitted(), 1u) << "suppressed inside the interval";
+  now = 0.5;
+  reporter.advance({.positions = 10});
+  EXPECT_EQ(reporter.emitted(), 1u);
+  now = 1.0;
+  reporter.advance({.positions = 10});
+  EXPECT_EQ(reporter.emitted(), 2u) << "interval boundary emits";
+  EXPECT_EQ(updates.back().positions_done, 40u)
+      << "suppressed deltas still accumulate";
+  now = 1.2;
+  reporter.advance({.positions = 20, .faults = 3});
+  EXPECT_EQ(reporter.emitted(), 2u);
+  reporter.finish();
+  EXPECT_EQ(reporter.emitted(), 3u) << "finish() always emits";
+  EXPECT_TRUE(updates.back().final);
+  EXPECT_EQ(updates.back().positions_done, 60u);
+  EXPECT_EQ(updates.back().faults, 3u);
+  reporter.finish();
+  EXPECT_EQ(reporter.emitted(), 3u) << "finish() is idempotent";
+}
+
+TEST(ProgressRateLimit, ThroughputAndEtaFromTheClock) {
+  double now = 0.0;
+  ProgressReporter reporter([](const ProgressUpdate&) {}, 1.0,
+                            [&] { return now; });
+  reporter.begin(100);
+  now = 2.0;
+  reporter.advance({.positions = 50});
+  const auto update = reporter.last_update();
+  EXPECT_DOUBLE_EQ(update.elapsed_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(update.positions_per_second, 25.0);
+  EXPECT_DOUBLE_EQ(update.eta_seconds, 2.0) << "50 left at 25/s";
+  EXPECT_NE(update.line().find("50/100 positions"), std::string::npos);
+  EXPECT_NE(update.line().find("ETA"), std::string::npos);
+}
+
+TEST(ProgressRateLimit, AdvanceWithoutBeginSelfStarts) {
+  double now = 5.0;
+  ProgressReporter reporter([](const ProgressUpdate&) {}, 1.0,
+                            [&] { return now; });
+  reporter.advance({.positions = 1});
+  EXPECT_EQ(reporter.emitted(), 1u) << "first advance emits when never begun";
+  EXPECT_EQ(reporter.last_update().positions_done, 1u);
+  EXPECT_EQ(reporter.last_update().positions_total, 0u);
+  reporter.finish();
+  EXPECT_TRUE(reporter.last_update().final);
+}
+
+TEST(ProgressScan, ScanDriverFeedsTheReporter) {
+  const auto dataset = telemetry_dataset(81);
+  auto options = telemetry_options();
+  std::vector<ProgressUpdate> updates;
+  ProgressReporter reporter(
+      [&](const ProgressUpdate& update) { updates.push_back(update); },
+      /*interval_seconds=*/0.0);  // emit every advance
+  options.progress = &reporter;
+  const auto result = omega::core::scan(dataset, options);
+  ASSERT_FALSE(updates.empty());
+  EXPECT_TRUE(updates.back().final);
+  EXPECT_EQ(updates.back().positions_total, valid_scores(result));
+  EXPECT_EQ(updates.back().positions_done, valid_scores(result));
+}
+
+TEST(ProgressScan, StreamScanReportsChunks) {
+  const auto dataset = telemetry_dataset(82, 160);
+  omega::io::DatasetChunkReader reader(dataset);
+  auto options = telemetry_options();
+  omega::core::StreamScanOptions stream_options;
+  stream_options.chunk_sites = 40;
+  std::vector<ProgressUpdate> updates;
+  ProgressReporter reporter(
+      [&](const ProgressUpdate& update) { updates.push_back(update); }, 0.0);
+  options.progress = &reporter;
+  const auto result =
+      omega::core::stream_scan(reader, options, stream_options);
+  ASSERT_FALSE(updates.empty());
+  EXPECT_TRUE(updates.back().final);
+  EXPECT_EQ(updates.back().chunks_total, result.profile.stream.chunks);
+  EXPECT_EQ(updates.back().chunks_done, result.profile.stream.chunks);
+  EXPECT_EQ(updates.back().positions_done, valid_scores(result));
+}
+
+// ---------------------------------------------------------------------------
+// Per-scan telemetry reconciles with ScanProfile counters
+
+TEST(TelemetryScan, CpuScanPopulatesStageHistograms) {
+  const auto dataset = telemetry_dataset(91);
+  const auto result = omega::core::scan(dataset, telemetry_options());
+  const auto& tel = result.profile.telemetry;
+  const auto* reset_hist = tel.find_histogram("scan.reset_seconds");
+  const auto* extend_hist = tel.find_histogram("scan.extend_seconds");
+  const auto* relocate_hist = tel.find_histogram("scan.relocate_seconds");
+  ASSERT_NE(reset_hist, nullptr);
+  ASSERT_NE(extend_hist, nullptr);
+  ASSERT_NE(relocate_hist, nullptr);
+  EXPECT_GT(reset_hist->count, 0u);
+  EXPECT_GT(extend_hist->count, 0u);
+  // Every scored position either reset or relocated the DP matrix.
+  EXPECT_EQ(reset_hist->count + relocate_hist->count, valid_scores(result));
+}
+
+TEST(TelemetryScan, GpuLaunchHistogramMatchesKernelLaunchCounts) {
+  const auto dataset = telemetry_dataset(92);
+  omega::par::ThreadPool pool(2);
+  omega::hw::gpu::GpuOmegaBackend gpu(omega::hw::tesla_k80(), pool, {});
+  const auto result = omega::core::scan(
+      dataset, telemetry_options(),
+      [&] { return omega::core::borrow_backend(gpu); });
+  const auto* launches =
+      result.profile.telemetry.find_histogram("gpu.launch_modeled_seconds");
+  ASSERT_NE(launches, nullptr);
+  EXPECT_GT(launches->count, 0u);
+  EXPECT_EQ(launches->count, gpu.accounting().positions_kernel1 +
+                                 gpu.accounting().positions_kernel2);
+}
+
+TEST(TelemetryScan, FpgaLaunchHistogramCountsCompletedPositions) {
+  const auto dataset = telemetry_dataset(93);
+  omega::hw::fpga::FpgaOmegaBackend fpga(omega::hw::alveo_u200(), {});
+  const auto result = omega::core::scan(
+      dataset, telemetry_options(),
+      [&] { return omega::core::borrow_backend(fpga); });
+  const auto* launches =
+      result.profile.telemetry.find_histogram("fpga.launch_modeled_seconds");
+  ASSERT_NE(launches, nullptr);
+  EXPECT_EQ(launches->count, valid_scores(result));
+}
+
+TEST(TelemetryScan, RetryHistogramsReconcileWithFaultCounters) {
+  const auto dataset = telemetry_dataset(94);
+  omega::util::fault::FaultPlan plan;
+  plan.mode = omega::util::fault::FaultMode::KernelLaunch;
+  plan.rate = 0.3;
+  plan.seed = 777;
+  omega::par::ThreadPool pool(2);
+  const auto spec = omega::hw::tesla_k80();
+  const auto result = omega::core::scan(
+      dataset, telemetry_options(), [&] {
+        omega::hw::gpu::GpuBackendOptions backend_options;
+        backend_options.fault_plan = plan;
+        return std::make_unique<omega::hw::gpu::GpuOmegaBackend>(
+            spec, pool, backend_options);
+      });
+  const auto& faults = result.profile.faults;
+  ASSERT_GT(faults.retries, 0u);
+  const auto& tel = result.profile.telemetry;
+  const auto* backoff = tel.find_histogram("scan.retry.backoff_seconds");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_EQ(backoff->count, faults.retries)
+      << "one backoff sample per retry";
+  const auto* attempts = tel.find_histogram("scan.retry.attempt_seconds");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_EQ(attempts->count, faults.errors_caught)
+      << "one attempt-latency sample per caught error";
+}
+
+TEST(TelemetryScan, StreamHistogramsReconcileWithStreamProfile) {
+  const auto dataset = telemetry_dataset(95, 160);
+  omega::io::DatasetChunkReader reader(dataset);
+  auto options = telemetry_options();
+  omega::core::StreamScanOptions stream_options;
+  stream_options.chunk_sites = 40;
+  const auto result =
+      omega::core::stream_scan(reader, options, stream_options);
+  ASSERT_GT(result.profile.stream.chunks, 1u);
+  const auto& tel = result.profile.telemetry;
+  const auto* fetch = tel.find_histogram("stream.chunk_fetch_seconds");
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_EQ(fetch->count, result.profile.stream.chunks)
+      << "one fetch sample per chunk";
+  const auto* chunk_scan = tel.find_histogram("stream.chunk_scan_seconds");
+  ASSERT_NE(chunk_scan, nullptr);
+  EXPECT_GE(chunk_scan->count, result.profile.stream.chunks);
+  bool saw_overlap_gauge = false;
+  for (const auto& [name, value] : tel.gauges) {
+    if (name == "stream.io_overlap_ratio") {
+      saw_overlap_gauge = true;
+      EXPECT_DOUBLE_EQ(value, result.profile.stream.io_overlap_ratio());
+    }
+  }
+  EXPECT_TRUE(saw_overlap_gauge);
+}
+
+TEST(TelemetryScan, MetricsDocumentCarriesTheTelemetryBlock) {
+  const auto dataset = telemetry_dataset(96);
+  const auto result = omega::core::scan(dataset, telemetry_options());
+  const auto doc = omega::core::metrics::scan_metrics("tel", result.profile);
+  const auto parsed = JsonValue::parse(doc.dump(0));
+  EXPECT_EQ(parsed.at("schema_version").as_int(),
+            omega::core::metrics::kSchemaVersion);
+  const auto& tel = parsed.at("telemetry");
+  ASSERT_TRUE(tel.is_object());
+  const auto* hist = tel.at("histograms").find("scan.extend_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->at("count").as_uint(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// metrics-diff regression engine
+
+JsonValue diff_fixture(double omega_seconds, double throughput,
+                       const std::string& hostname = "host-a",
+                       const std::string& cpu = "cpu-a") {
+  auto doc = JsonValue::object();
+  doc.set("schema", omega::core::metrics::kScanSchema);
+  doc.set("schema_version", omega::core::metrics::kSchemaVersion);
+  doc.set("name", "fixture");
+  auto host = JsonValue::object();
+  host.set("hostname", hostname);
+  host.set("cpu", cpu);
+  doc.set("host", std::move(host));
+  auto stages = JsonValue::object();
+  stages.set("omega_seconds", omega_seconds);
+  stages.set("ld_seconds", 0.5);
+  stages.set("tiny_seconds", 5e-6);
+  doc.set("stages", std::move(stages));
+  auto counters = JsonValue::object();
+  counters.set("omega_evaluations", 1000);
+  doc.set("counters", std::move(counters));
+  doc.set("throughput_per_s", throughput);
+  return doc;
+}
+
+TEST(MetricsDiff, DirectionInferredFromThePath) {
+  using omega::core::metrics::Direction;
+  using omega::core::metrics::metric_direction;
+  EXPECT_EQ(metric_direction("stages.omega_seconds"),
+            Direction::LowerIsBetter);
+  EXPECT_EQ(metric_direction("fpga.stall_cycles"), Direction::LowerIsBetter);
+  EXPECT_EQ(metric_direction("throughput_per_s"), Direction::HigherIsBetter);
+  EXPECT_EQ(metric_direction("gpu.omega_throughput"),
+            Direction::HigherIsBetter);
+  // "ratio" outranks the lower-is-better tokens even when both appear.
+  EXPECT_EQ(metric_direction("stream.io_overlap_ratio"),
+            Direction::HigherIsBetter);
+  EXPECT_EQ(metric_direction("counters.omega_evaluations"),
+            Direction::Informational);
+}
+
+TEST(MetricsDiff, IdenticalDocumentsPass) {
+  const auto report = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), diff_fixture(1.0, 100.0));
+  EXPECT_TRUE(report.error.empty());
+  EXPECT_FALSE(report.regressed);
+  EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_FALSE(report.deltas.empty());
+}
+
+TEST(MetricsDiff, StageTimeRegressionBeyondThresholdGates) {
+  // 25% slower on a watched time metric with the default 20% threshold.
+  const auto report = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), diff_fixture(1.25, 100.0));
+  EXPECT_TRUE(report.regressed);
+  bool flagged = false;
+  for (const auto& delta : report.deltas) {
+    if (delta.path == "stages.omega_seconds") {
+      flagged = delta.regressed;
+      EXPECT_NEAR(delta.change, 0.25, 1e-12);
+    }
+  }
+  EXPECT_TRUE(flagged);
+  // 10% slower stays under the threshold.
+  const auto ok = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), diff_fixture(1.1, 100.0));
+  EXPECT_FALSE(ok.regressed);
+  // Improvements never gate.
+  const auto faster = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), diff_fixture(0.5, 100.0));
+  EXPECT_FALSE(faster.regressed);
+}
+
+TEST(MetricsDiff, ThroughputDropGatesInTheOtherDirection) {
+  const auto report = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), diff_fixture(1.0, 70.0));
+  EXPECT_TRUE(report.regressed);
+  const auto faster = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), diff_fixture(1.0, 130.0));
+  EXPECT_FALSE(faster.regressed);
+}
+
+TEST(MetricsDiff, MinSecondsFloorSuppressesSubThresholdTimeNoise) {
+  // tiny_seconds grows 10x but its baseline (5 us) is below the 100 us
+  // floor, so relative noise there must never gate.
+  auto baseline = diff_fixture(1.0, 100.0);
+  auto candidate = diff_fixture(1.0, 100.0);
+  candidate.at("stages").set("tiny_seconds", 5e-5);
+  const auto report =
+      omega::core::metrics::diff_metrics(baseline, candidate);
+  EXPECT_FALSE(report.regressed);
+}
+
+TEST(MetricsDiff, HostMismatchRefusedUnlessAllowed) {
+  const auto baseline = diff_fixture(1.0, 100.0, "host-a", "cpu-a");
+  const auto candidate = diff_fixture(1.0, 100.0, "host-b", "cpu-b");
+  const auto refused =
+      omega::core::metrics::diff_metrics(baseline, candidate);
+  EXPECT_FALSE(refused.error.empty());
+  EXPECT_TRUE(refused.deltas.empty());
+  EXPECT_FALSE(refused.regressed);
+  omega::core::metrics::DiffOptions options;
+  options.allow_cross_host = true;
+  const auto allowed =
+      omega::core::metrics::diff_metrics(baseline, candidate, options);
+  EXPECT_TRUE(allowed.error.empty());
+  EXPECT_FALSE(allowed.deltas.empty());
+}
+
+TEST(MetricsDiff, SchemaVersionMismatchRefused) {
+  auto baseline = diff_fixture(1.0, 100.0);
+  auto candidate = diff_fixture(1.0, 100.0);
+  candidate.set("schema_version", omega::core::metrics::kSchemaVersion - 1);
+  const auto report =
+      omega::core::metrics::diff_metrics(baseline, candidate);
+  EXPECT_FALSE(report.error.empty());
+}
+
+TEST(MetricsDiff, WatchFiltersGateAndPromote) {
+  // Watching only "counters" promotes the informational counter to gating
+  // and ignores the blatant stage regression.
+  omega::core::metrics::DiffOptions options;
+  options.watch = {"counters"};
+  auto baseline = diff_fixture(1.0, 100.0);
+  auto regressed_stage = diff_fixture(10.0, 100.0);
+  EXPECT_FALSE(
+      omega::core::metrics::diff_metrics(baseline, regressed_stage, options)
+          .regressed);
+  auto changed_counter = diff_fixture(1.0, 100.0);
+  changed_counter.at("counters").set("omega_evaluations", 2000);
+  EXPECT_TRUE(
+      omega::core::metrics::diff_metrics(baseline, changed_counter, options)
+          .regressed);
+}
+
+TEST(MetricsDiff, RenderedTableListsRegressions) {
+  const auto report = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), diff_fixture(2.0, 100.0));
+  const std::string table = omega::core::metrics::render_diff_table(report);
+  EXPECT_NE(table.find("stages.omega_seconds"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+}
+
+}  // namespace
