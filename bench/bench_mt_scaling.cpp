@@ -1,0 +1,90 @@
+// Work-stealing scan engine scaling: end-to-end wall-clock speedup of the
+// span scheduler at 1/2/4 workers on the Table IV bench shape, plus the
+// sched.* load-balance accounting (spans, steals, per-worker busy seconds).
+// Writes BENCH_MT.json (consumed by the bench_mt_diff ctest gate).
+//
+// Exit code: 1 when this host has >= 4 hardware threads and the measured
+// 4-worker end-to-end speedup is below 2x (the acceptance floor); 0
+// otherwise — a single-core CI box cannot measure parallel speedup, so the
+// gate only arms where the hardware can express it.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scanner.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  const auto dataset = omega::bench::figure_dataset(4'000, 50);
+  omega::core::OmegaConfig config;
+  config.grid_size = 200;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 3'000;
+  config.min_window = 500;
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("Work-stealing scan scaling (4,000 SNPs x 50 sequences, "
+              "grid 200)\n");
+  std::printf("host: %u hardware threads\n\n", hw_threads);
+
+  omega::bench::BenchJson json("MT");
+  omega::util::Table table({"Workers", "wall s", "speedup", "spans", "steals",
+                            "busy imbalance"});
+  double base_seconds = 0.0;
+  double speedup_at_4 = 0.0;
+  for (const std::size_t threads : {1, 2, 4}) {
+    omega::core::ScannerOptions options;
+    options.config = config;
+    options.threads = threads;
+    const omega::util::Timer timer;
+    const auto result = omega::core::scan(dataset, options);
+    const double seconds = timer.seconds();
+    if (threads == 1) base_seconds = seconds;
+    const double speedup = base_seconds / seconds;
+    if (threads == 4) speedup_at_4 = speedup;
+
+    // Busy-time imbalance: max worker busy over mean busy (1.0 = perfectly
+    // level). Serial runs have no scheduler and report 1.0.
+    const auto& sched = result.profile.sched;
+    double busy_max = 0.0, busy_sum = 0.0;
+    for (const auto& worker : sched.workers_detail) {
+      busy_max = std::max(busy_max, worker.busy_seconds);
+      busy_sum += worker.busy_seconds;
+    }
+    const double imbalance =
+        sched.workers_detail.empty() || busy_sum <= 0.0
+            ? 1.0
+            : busy_max * static_cast<double>(sched.workers_detail.size()) /
+                  busy_sum;
+
+    table.add_row({std::to_string(threads),
+                   omega::util::Table::num(seconds, 3),
+                   omega::util::Table::num(speedup, 2) + "x",
+                   std::to_string(sched.spans),
+                   std::to_string(sched.steals),
+                   omega::util::Table::num(imbalance, 2)});
+    const std::string key = "workers_" + std::to_string(threads);
+    json.add_scan_profile(key, result.profile);
+    json.results().at(key).set("wall_seconds", seconds)
+        .set("speedup_ratio", speedup)
+        .set("busy_imbalance", imbalance);
+  }
+  json.results().set("speedup_at_4_ratio", speedup_at_4);
+  json.results().set("hardware_threads",
+                     static_cast<std::int64_t>(hw_threads));
+  table.print();
+  json.write();
+
+  if (hw_threads >= 4 && speedup_at_4 < 2.0) {
+    std::printf("\nFAIL: 4-worker speedup %.2fx below the 2x floor on a "
+                "%u-thread host\n", speedup_at_4, hw_threads);
+    return 1;
+  }
+  std::printf("\n4-worker speedup: %.2fx%s\n", speedup_at_4,
+              hw_threads < 4 ? " (gate disarmed: < 4 hardware threads)" : "");
+  return 0;
+}

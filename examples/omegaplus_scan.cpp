@@ -189,7 +189,10 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
   }
   options.config.max_snps_per_side =
       static_cast<std::size_t>(cli.get_int("side-cap", 0));
-  options.threads = static_cast<std::size_t>(cli.get_int("threads", 1));
+  // 0 = auto-detect; resolve once here (the ScannerOptions::threads
+  // convention) so the reported backend name carries the actual count.
+  options.threads = omega::core::resolve_scan_threads(
+      static_cast<std::size_t>(cli.get_int("threads", 1)));
   if (cli.get("mt-strategy", "grid") == "inner") {
     options.mt_strategy =
         omega::core::ScannerOptions::MtStrategy::InnerPosition;
@@ -228,10 +231,6 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
   omega::core::StreamScanOptions stream_options;
   stream_options.chunk_sites =
       static_cast<std::size_t>(cli.get_int("chunk-sites", 100'000));
-  if (stream_mode && options.threads > 1) {
-    std::printf("stream: compute is single-threaded; ignoring --threads\n");
-    options.threads = 1;
-  }
 
   const std::string backend = cli.get("backend", "cpu");
   omega::core::ScanResult result;
@@ -369,7 +368,8 @@ int main(int argc, char** argv) {
       .describe("maxwin", "maximum window in bp (default 200000)")
       .describe("snp-windows", "interpret minwin/maxwin as SNP counts")
       .describe("side-cap", "max SNPs per sub-region, 0 = unlimited")
-      .describe("threads", "worker threads for the CPU scan (default 1)")
+      .describe("threads",
+                "worker threads for the CPU scan (default 1; 0 = all cores)")
       .describe("stream",
                 "memory-bounded streaming scan: read the input in overlapping "
                 "chunks instead of loading it whole (ms/vcf stream from the "

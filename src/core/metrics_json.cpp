@@ -533,6 +533,26 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   stream.set("io_overlap_ratio", profile.stream.io_overlap_ratio());
   doc.set("stream", std::move(stream));
 
+  // v7: work-stealing scheduler accounting (docs/PERF.md "Parallel scan");
+  // workers == 1 and spans == 0 for serial scans.
+  JsonValue sched = JsonValue::object();
+  sched.set("requested_threads", profile.sched.requested_threads);
+  sched.set("workers", profile.sched.workers);
+  sched.set("spans", profile.sched.spans);
+  sched.set("steals", profile.sched.steals);
+  sched.set("active_workers", profile.sched.active_workers());
+  JsonValue workers_detail = JsonValue::array();
+  for (const SchedWorkerStats& worker : profile.sched.workers_detail) {
+    JsonValue entry = JsonValue::object();
+    entry.set("spans", worker.spans);
+    entry.set("steals", worker.steals);
+    entry.set("positions", worker.positions);
+    entry.set("busy_seconds", worker.busy_seconds);
+    workers_detail.push_back(std::move(entry));
+  }
+  sched.set("workers_detail", std::move(workers_detail));
+  doc.set("sched", std::move(sched));
+
   // v6: distributional telemetry (docs/OBSERVABILITY.md) — the registry
   // delta attributed to this scan.
   doc.set("telemetry", telemetry_json(profile.telemetry));

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "core/resilience.h"
 #include "core/scan_driver.h"
+#include "core/span_engine.h"
 #include "par/thread_pool.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
@@ -12,6 +14,11 @@
 #include "util/trace.h"
 
 namespace omega::core {
+
+std::size_t resolve_scan_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
 
 std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
                                              const io::Dataset& dataset,
@@ -295,6 +302,10 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   // Resolve the CPU kernel once, up front: a forced-but-unavailable Avx2
   // request fails here (std::runtime_error) before any work starts.
   const CpuKernelKind kernel = resolve_cpu_kernel(options.cpu_kernel);
+  // Resolve the thread-count convention (0 = hardware concurrency) exactly
+  // once; everything downstream — branch selection, pool size, profile —
+  // sees the resolved count.
+  const std::size_t threads = resolve_scan_threads(options.threads);
   const util::trace::Span scan_span("scan");
   util::Timer total;
   // Registry state at scan start: the end-of-scan delta attributes the
@@ -314,6 +325,8 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   result.profile.kernel.requested = cpu_kernel_name(options.cpu_kernel);
   result.profile.kernel.selected = cpu_kernel_name(kernel);
   result.profile.kernel.avx2_supported = cpu_kernel_avx2_available();
+  result.profile.sched.requested_threads = options.threads;
+  result.profile.sched.workers = threads;
 
   if (options.progress != nullptr) {
     std::uint64_t valid_positions = 0;
@@ -334,7 +347,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     return backend;
   };
 
-  if (options.threads <= 1) {
+  if (threads <= 1) {
     auto backend = make_backend();
     scan_chunk(grid, 0, grid.size(), *engine, options.reuse, options.recovery,
                *backend, result.scores, result.profile, options.progress);
@@ -347,7 +360,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     // One shared DP matrix; the per-position omega loop fans out instead.
     // The pool-backed search is routed through the same recovery engine as
     // the chunked drivers so NaN validation and quarantine behave uniformly.
-    par::ThreadPool pool(options.threads - 1);
+    par::ThreadPool pool(threads - 1);
     InnerPositionBackend backend(pool, kernel);
     DpMatrix m;
     bool m_live = false;
@@ -370,29 +383,32 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     backend.contribute(profile);
     profile.omega_backend = backend.name();
   } else {
-    // Contiguous chunks preserve intra-chunk relocation reuse; each worker
-    // owns a DP matrix and a backend instance.
-    const std::size_t workers = options.threads;
+    // Work-stealing span engine (core/span_engine.h): the grid is split into
+    // relocation-coherent spans budgeted by valid-position cost; each worker
+    // owns a DP matrix and a backend instance and claims spans dynamically.
+    const std::size_t workers = threads;
     par::ThreadPool pool(workers - 1);
     std::vector<ScanProfile> profiles(workers);
-    const std::size_t chunk = (grid.size() + workers - 1) / workers;
-    std::vector<std::function<void()>> tasks;
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t begin = w * chunk;
-      if (begin >= grid.size()) break;
-      const std::size_t end = std::min(grid.size(), begin + chunk);
-      tasks.emplace_back([&, w, begin, end] {
-        auto backend = make_backend();
-        scan_chunk(grid, begin, end, *engine, options.reuse, options.recovery,
-                   *backend, result.scores, profiles[w], options.progress);
-      });
+    std::vector<std::unique_ptr<OmegaBackend>> backends;
+    backends.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) backends.push_back(make_backend());
+    std::vector<detail::SpanWorkerState> states(workers);
+    // Spans only tile ranges holding valid positions; stamp every score's
+    // coordinate up front so all-invalid grids still report positions.
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      result.scores[g].position_bp = grid[g].position_bp;
     }
-    pool.run_blocking(std::move(tasks));
-    for (const auto& profile : profiles) {
+    const auto spans = detail::build_scan_spans(grid, 0, grid.size(), workers);
+    detail::scan_spans_parallel(grid, spans, pool, *engine, options.reuse,
+                                options.recovery, backends, states,
+                                result.scores, profiles, result.profile.sched,
+                                options.progress);
+    for (std::size_t w = 0; w < workers; ++w) {
+      detail::finalize_span_worker(profiles[w], states[w], *backends[w]);
       // Per-bucket times are summed across workers (CPU-seconds); use
       // total_seconds (wall clock) with the bucket shares for elapsed-time
       // throughput, as ScanProfile documents.
-      merge_worker_profile(result.profile, profile);
+      merge_worker_profile(result.profile, profiles[w]);
     }
   }
   result.profile.total_seconds = total.seconds();

@@ -136,9 +136,15 @@ struct ScannerOptions {
   /// engine for the complete GPU-accelerated OmegaPlus configuration. The
   /// factory receives the scan's bit-packed matrix (alive for the scan).
   std::function<std::unique_ptr<ld::LdEngine>(const ld::SnpMatrix&)> ld_factory;
-  /// > 1 enables the chunked multithreaded scan (grid split into contiguous
-  /// chunks, one DP matrix per worker) — the generic parallelization scheme
-  /// of the multithreaded OmegaPlus evaluated in Table IV.
+  /// Worker-thread count. THE thread-count convention (CLI, scan(), and
+  /// stream_scan() all defer here): 1 = serial, > 1 = the work-stealing
+  /// multithreaded scan (grid partitioned into relocation-coherent spans,
+  /// one DP matrix + backend instance per worker) — the generic
+  /// parallelization scheme of the multithreaded OmegaPlus evaluated in
+  /// Table IV — and 0 = auto-detect: resolved to
+  /// std::thread::hardware_concurrency() once, up front, by
+  /// resolve_scan_threads(); the *resolved* count is what the profile and
+  /// backend name report.
   std::size_t threads = 1;
   /// Multithreading strategy (Alachiotis & Pavlidis 2016 performance guide):
   /// GridChunks scales with many grid positions; InnerPosition parallelizes
@@ -273,6 +279,8 @@ struct StreamStats {
   /// under double buffering. The memory bound the subsystem exists for.
   std::uint64_t peak_resident_sites = 0;
   /// Chunk seams crossed with the DP matrix relocated rather than rebuilt.
+  /// Serial streams only: with per-worker matrices (threads > 1) the seam is
+  /// not a single observable, so multithreaded streams report 0.
   std::uint64_t seam_carryovers = 0;
   /// Chunks whose scan failed even after the chunk-level retry; their grid
   /// positions are quarantined and the stream continues.
@@ -287,6 +295,39 @@ struct StreamStats {
     if (io_seconds <= 0.0) return 0.0;
     const double hidden = io_seconds - io_stall_seconds;
     return hidden > 0.0 ? hidden / io_seconds : 0.0;
+  }
+};
+
+/// Per-worker accounting of the work-stealing scan engine (schema v7).
+struct SchedWorkerStats {
+  std::uint64_t spans = 0;      // spans this worker claimed (own + stolen)
+  std::uint64_t steals = 0;     // claims served from another worker's queue
+  std::uint64_t positions = 0;  // valid positions this worker scored
+  double busy_seconds = 0.0;    // wall time inside claimed spans
+};
+
+/// Work-stealing scheduler accounting (profile/metrics schema v7): how the
+/// grid was partitioned into relocation-coherent spans and how evenly the
+/// workers shared them. Serial scans report workers == 1 and spans == 0 (no
+/// scheduler ran); streaming scans accumulate across chunks.
+struct SchedStats {
+  /// ScannerOptions::threads as the caller set it (0 = auto requested).
+  std::uint64_t requested_threads = 0;
+  /// Resolved worker count the scan actually ran with.
+  std::uint64_t workers = 0;
+  std::uint64_t spans = 0;   // spans built across the scan
+  std::uint64_t steals = 0;  // cross-queue claims
+  /// Per-worker detail, indexed by worker id; empty for serial scans.
+  std::vector<SchedWorkerStats> workers_detail;
+
+  /// Workers that claimed at least one span. Under stealing a worker can be
+  /// fully robbed before its first claim, so this may be < workers.
+  [[nodiscard]] std::uint64_t active_workers() const noexcept {
+    std::uint64_t active = 0;
+    for (const SchedWorkerStats& w : workers_detail) {
+      if (w.spans > 0) ++active;
+    }
+    return active;
   }
 };
 
@@ -324,6 +365,9 @@ struct ScanProfile {
   CpuKernelStats kernel;
   /// Streaming chunk pipeline accounting (v5); all-zero for in-memory scans.
   StreamStats stream;
+  /// Work-stealing scheduler accounting (v7); workers == 1, spans == 0 for
+  /// serial scans.
+  SchedStats sched;
   /// Distributional telemetry attributed to this scan (v6): the delta of the
   /// process-wide util/telemetry registry between scan start and end —
   /// queue-depth, task/chunk/retry-latency histograms, overlap-ratio gauges
@@ -377,6 +421,12 @@ struct ScanResult {
 ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
                 const std::function<std::unique_ptr<OmegaBackend>()>&
                     backend_factory = {});
+
+/// Resolves the ScannerOptions::threads convention (documented there):
+/// 0 -> std::thread::hardware_concurrency() (minimum 1), anything else
+/// passes through. scan(), stream_scan(), and the CLI all call this exactly
+/// once so profiles and backend names always carry the resolved count.
+[[nodiscard]] std::size_t resolve_scan_threads(std::size_t requested) noexcept;
 
 /// Resolves ScannerOptions::ld to a concrete engine over `snps` (or the
 /// Dataset for the naive oracle). Shared with the streaming driver, which

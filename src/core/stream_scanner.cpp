@@ -8,6 +8,7 @@
 
 #include "core/resilience.h"
 #include "core/scan_driver.h"
+#include "core/span_engine.h"
 #include "par/thread_pool.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
@@ -83,12 +84,10 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   options.config.validate();
   options.recovery.validate();
   stream_options.validate();
-  if (options.threads > 1) {
-    throw std::invalid_argument(
-        "stream_scan: compute is single-threaded (options.threads must be 1); "
-        "per-worker chunks would defeat the memory bound");
-  }
   const CpuKernelKind kernel = resolve_cpu_kernel(options.cpu_kernel);
+  // Same resolved-once thread convention as scan(); > 1 runs the span engine
+  // within each resident chunk, so the memory bound is unaffected.
+  const std::size_t threads = resolve_scan_threads(options.threads);
   const util::trace::Span scan_span("stream.scan");
   const util::Timer total;
   const util::telemetry::RegistrySnapshot telemetry_begin =
@@ -113,6 +112,8 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   profile.kernel.requested = cpu_kernel_name(options.cpu_kernel);
   profile.kernel.selected = cpu_kernel_name(kernel);
   profile.kernel.avx2_supported = cpu_kernel_avx2_available();
+  profile.sched.requested_threads = options.threads;
+  profile.sched.workers = threads;
 
   StreamStats& stream = profile.stream;
   stream.chunks = plan.chunks.size();
@@ -145,17 +146,31 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     return result;  // no valid position anywhere — nothing to read
   }
 
-  // One backend for the entire stream: degradation state (FallbackBackend)
-  // and fault-injection PRNG sequence must match the in-memory scan's single
-  // instance.
-  std::unique_ptr<OmegaBackend> backend;
-  if (!backend_factory) {
-    backend = std::make_unique<CpuOmegaBackend>(kernel);
-  } else {
-    backend = backend_factory();
+  // One backend per compute worker for the entire stream: degradation state
+  // (FallbackBackend) and fault-injection PRNG sequences must match the
+  // in-memory scan's per-worker instances, persisting across chunks.
+  auto make_backend = [&]() -> std::unique_ptr<OmegaBackend> {
+    if (!backend_factory) return std::make_unique<CpuOmegaBackend>(kernel);
+    auto backend = backend_factory();
     if (options.recovery.fallback_to_cpu) {
       backend = std::make_unique<FallbackBackend>(std::move(backend), kernel);
     }
+    return backend;
+  };
+  std::vector<std::unique_ptr<OmegaBackend>> backends;
+  backends.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) backends.push_back(make_backend());
+
+  // Multithreaded compute state: per-worker DP matrices persist across
+  // chunks (each worker carries its own seam), per-worker profiles are
+  // finalized once at stream end, and the compute pool lives for the whole
+  // stream. Unused (empty / nullopt) for serial streams.
+  std::optional<par::ThreadPool> compute_pool;
+  std::vector<detail::SpanWorkerState> states;
+  std::vector<ScanProfile> worker_profiles(threads);
+  if (threads > 1) {
+    compute_pool.emplace(threads - 1);
+    states.resize(threads);
   }
 
   reader.plan(plan.site_ranges());
@@ -227,32 +242,49 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
                                : make_ld_engine(options.ld, chunk->dataset, snps);
         const ld::OffsetLd engine(*inner, chunk->first_site);
         if (profile.ld_backend.empty()) profile.ld_backend = inner->name();
-        bool first_in_chunk = true;
-        for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
-          const GridPosition& position = plan.grid[g];
-          PositionScore& score = result.scores[g];
-          if (!position.valid || score.valid || score.quarantined) continue;
-          const bool carried =
-              m_live && options.reuse && position.lo >= m.base();
-          detail::advance_matrix(m, m_live, options.reuse, position, engine,
-                                 profile.stages);
-          if (first_in_chunk && k > 0 && carried) ++stream.seam_carryovers;
-          first_in_chunk = false;
-          detail::score_position(*backend, m, position, options.recovery,
-                                 profile, score, options.progress);
+        if (threads > 1) {
+          // Span engine over the resident chunk's grid range. Already-scored
+          // positions are skipped inside the worker loop, so the chunk-retry
+          // path below re-runs only what is still unscored.
+          const auto spans = detail::build_scan_spans(
+              plan.grid, step.grid_begin, step.grid_end, threads);
+          detail::scan_spans_parallel(
+              plan.grid, spans, *compute_pool, engine, options.reuse,
+              options.recovery, backends, states, result.scores,
+              worker_profiles, profile.sched, options.progress);
+        } else {
+          bool first_in_chunk = true;
+          for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
+            const GridPosition& position = plan.grid[g];
+            PositionScore& score = result.scores[g];
+            if (!position.valid || score.valid || score.quarantined) continue;
+            const bool carried =
+                m_live && options.reuse && position.lo >= m.base();
+            detail::advance_matrix(m, m_live, options.reuse, position, engine,
+                                   profile.stages);
+            // Seam carryovers are a serial-stream observable: with one
+            // matrix, "did relocation survive the chunk seam" is well
+            // defined. MT streams keep one matrix per worker and report 0.
+            if (first_in_chunk && k > 0 && carried) ++stream.seam_carryovers;
+            first_in_chunk = false;
+            detail::score_position(*backends[0], m, position, options.recovery,
+                                   profile, score, options.progress);
+          }
         }
         const double chunk_seconds = compute.seconds();
         stream.compute_seconds += chunk_seconds;
         chunk_scan_hist.record(chunk_seconds);
         scanned = true;
       } catch (const std::exception&) {
-        // The matrix may hold a half-extended state; force a rebuild.
+        // The matrices may hold a half-extended state; force rebuilds.
         m_live = false;
+        for (detail::SpanWorkerState& state : states) state.live = false;
       }
     }
     if (!scanned) {
       ++stream.failed_chunks;
       m_live = false;
+      for (detail::SpanWorkerState& state : states) state.live = false;
       std::uint64_t chunk_quarantined = 0;
       for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
         if (!plan.grid[g].valid || result.scores[g].valid) continue;
@@ -274,11 +306,19 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     }
   }
 
-  profile.ld_seconds = profile.stages.ld_total();
-  profile.omega_seconds = profile.stages.omega_search_seconds;
-  detail::merge_matrix_stats(profile, m);
-  backend->contribute(profile);
-  profile.omega_backend = backend->name();
+  if (threads <= 1) {
+    profile.ld_seconds = profile.stages.ld_total();
+    profile.omega_seconds = profile.stages.omega_search_seconds;
+    detail::merge_matrix_stats(profile, m);
+    backends[0]->contribute(profile);
+    profile.omega_backend = backends[0]->name();
+  } else {
+    for (std::size_t w = 0; w < threads; ++w) {
+      detail::finalize_span_worker(worker_profiles[w], states[w],
+                                   *backends[w]);
+      detail::merge_worker_profile(profile, worker_profiles[w]);
+    }
+  }
   profile.total_seconds = total.seconds();
   util::telemetry::gauge("stream.io_overlap_ratio")
       .set(stream.io_overlap_ratio());

@@ -17,8 +17,11 @@
 //   * the matrix itself persists across chunk seams: the usual relocation
 //     carries the overlapping sub-triangle into the next chunk.
 //
-// Pipeline: a 1-thread IO pool materializes chunk k+1 while the caller's
-// thread scans chunk k (double buffering). A chunk whose scan throws a
+// Pipeline: a 1-thread IO pool materializes chunk k+1 while compute scans
+// chunk k (double buffering). With options.threads > 1 the compute side runs
+// the work-stealing span engine (core/span_engine.h) *within* the resident
+// chunk — workers share the one materialized chunk, so the memory bound
+// holds, and prefetch still overlaps. A chunk whose scan throws a
 // non-BackendError exception is retried, then its unscored positions are
 // quarantined and the stream continues — same never-abort contract as the
 // per-position recovery engine.
@@ -83,14 +86,18 @@ StreamPlan plan_stream_chunks(const std::vector<std::int64_t>& positions_bp,
                               const OmegaConfig& config,
                               std::size_t chunk_sites);
 
-/// Runs the streaming scan. Single-threaded compute only (options.threads
-/// must be 1; the IO thread is extra) — the grid-chunk MT strategy would
-/// need one resident chunk per worker, defeating the memory bound.
+/// Runs the streaming scan. options.threads follows the ScannerOptions
+/// convention (0 = auto via resolve_scan_threads, 1 = serial, > 1 = the
+/// work-stealing span engine over the resident chunk's grid positions; the
+/// IO thread is always extra).
 ///
 /// `backend_factory` matches scan()'s: nullptr means the CPU nested loop.
-/// Exactly one backend instance is created for the whole stream, so
-/// accelerator degradation (FallbackBackend) persists across chunks just as
-/// it persists across positions in-memory.
+/// One backend instance per compute worker is created for the whole stream,
+/// so accelerator degradation (FallbackBackend) persists across chunks just
+/// as it persists across positions in-memory. Serial streams are bitwise
+/// identical to serial scan(); multithreaded streams are bitwise identical
+/// to the multithreaded scan (same per-position guarantee, per-worker fault
+/// PRNG sequences depend on the schedule).
 ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
                        const StreamScanOptions& stream_options = {},
                        const std::function<std::unique_ptr<OmegaBackend>()>&

@@ -66,4 +66,10 @@ ScanWorkload analyze_workload(const io::Dataset& dataset,
   return workload;
 }
 
+std::uint64_t estimate_position_cost(const GridPosition& position) noexcept {
+  if (!position.valid) return 0;
+  const auto width = static_cast<std::uint64_t>(position.hi - position.lo + 1);
+  return position.combinations() + width;
+}
+
 }  // namespace omega::core

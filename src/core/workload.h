@@ -40,4 +40,13 @@ struct ScanWorkload {
 ScanWorkload analyze_workload(const io::Dataset& dataset,
                               const OmegaConfig& config);
 
+/// Standalone per-position cost estimate for scheduling (span budgeting in
+/// the work-stealing scan engine): the exact ω evaluation count plus a width
+/// term approximating the per-position share of DP-matrix extension, so
+/// LD-heavy positions (wide windows, few admissible borders) don't round to
+/// "free". Zero for invalid positions — schedulers must budget by *valid*
+/// work only, never by raw grid-index counts.
+[[nodiscard]] std::uint64_t estimate_position_cost(
+    const GridPosition& position) noexcept;
+
 }  // namespace omega::core

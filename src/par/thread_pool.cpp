@@ -138,6 +138,40 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+StealScheduler::StealScheduler(std::size_t workers) {
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+}
+
+void StealScheduler::assign(std::size_t worker, std::vector<std::size_t> items) {
+  Queue& queue = *queues_.at(worker);
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  queue.items.insert(queue.items.end(), items.begin(), items.end());
+}
+
+std::optional<StealScheduler::Claim> StealScheduler::claim(std::size_t worker) {
+  {
+    Queue& own = *queues_.at(worker);
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.items.empty()) {
+      const std::size_t item = own.items.front();
+      own.items.pop_front();
+      return Claim{item, false};
+    }
+  }
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(worker + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.items.empty()) continue;
+    const std::size_t item = victim.items.back();
+    victim.items.pop_back();
+    return Claim{item, true};
+  }
+  return std::nullopt;
+}
+
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t grain,
                   const std::function<void(std::size_t)>& body) {

@@ -14,7 +14,9 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -71,6 +73,43 @@ class ThreadPool {
   util::telemetry::Histogram* queue_depth_hist_ = nullptr;
   util::telemetry::Histogram* task_seconds_hist_ = nullptr;
   util::telemetry::Counter* tasks_total_ = nullptr;
+};
+
+/// Work-stealing claim scheduler for coarse, ordered work items (the scan
+/// engine's grid spans). Each worker owns a deque seeded with a contiguous
+/// run of item indices; claim() pops the owner's queue from the FRONT (so a
+/// worker walks its run in order, keeping DP-matrix relocation chains
+/// intact), and when the owner's queue is dry it steals from the BACK of the
+/// first non-empty victim in cyclic order — the item farthest from the
+/// victim's current locality, so the victim's own relocation chain is hurt
+/// least. Queues are mutex-guarded: items are coarse (milliseconds of work),
+/// so claim cost is irrelevant and the simple locking is trivially correct.
+class StealScheduler {
+ public:
+  explicit StealScheduler(std::size_t workers);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return queues_.size(); }
+
+  /// Seeds worker `worker`'s queue with an ordered run of item indices.
+  /// Setup-phase only: must complete (on one thread) before any claim().
+  void assign(std::size_t worker, std::vector<std::size_t> items);
+
+  struct Claim {
+    std::size_t item = 0;
+    bool stolen = false;  // came from another worker's queue
+  };
+
+  /// Claims the next item for `worker`; nullopt when every queue is empty.
+  /// Thread-safe; each item is handed out exactly once.
+  [[nodiscard]] std::optional<Claim> claim(std::size_t worker);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::size_t> items;
+  };
+  // unique_ptr keeps Queue addresses stable (mutexes are immovable).
+  std::vector<std::unique_ptr<Queue>> queues_;
 };
 
 /// Parallel loop over [begin, end) with dynamic chunking.

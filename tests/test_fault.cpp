@@ -426,8 +426,11 @@ TEST(FaultScan, DeviceLostAtFirstCallDegradesToBitIdenticalCpu) {
 }
 
 TEST(FaultScan, DeviceLostDegradationMatchesCpuUnderThreads) {
-  // Same equivalence under the chunked multithreaded driver: every worker's
-  // backend loses its device on its first call, so all chunks degrade.
+  // Same equivalence under the work-stealing multithreaded driver: every
+  // worker's backend loses its device on its first call, so every worker
+  // that claimed any span degrades. Under stealing a worker can be fully
+  // robbed before its first claim, so the count is active_workers (<= 4),
+  // not a fixed 4.
   const auto dataset = fault_dataset();
   auto options = fault_options();
   options.threads = 4;
@@ -437,7 +440,9 @@ TEST(FaultScan, DeviceLostDegradationMatchesCpuUnderThreads) {
   plan.device_lost_after = 1;
   const auto degraded = gpu_scan(dataset, options, plan);
 
-  EXPECT_EQ(degraded.profile.faults.degradations, 4u);
+  EXPECT_EQ(degraded.profile.faults.degradations,
+            degraded.profile.sched.active_workers());
+  EXPECT_GE(degraded.profile.faults.degradations, 1u);
   expect_scores_identical(degraded.scores, cpu.scores);
 }
 

@@ -186,10 +186,42 @@ TEST(ScanMetrics, SchemaDocumentRoundTrips) {
   EXPECT_EQ(faults.at("degradations").as_uint(), 0u);
   EXPECT_EQ(faults.at("backoff_virtual_seconds").as_double(), 0.0);
 
+  // Schema v7: a serial scan reports the work-stealing block with one
+  // worker, no spans, and an empty per-worker detail array.
+  const auto& sched = doc.at("sched");
+  EXPECT_EQ(sched.at("requested_threads").as_uint(), 1u);
+  EXPECT_EQ(sched.at("workers").as_uint(), 1u);
+  EXPECT_EQ(sched.at("spans").as_uint(), 0u);
+  EXPECT_EQ(sched.at("steals").as_uint(), 0u);
+  EXPECT_EQ(sched.at("active_workers").as_uint(), 0u);
+  EXPECT_TRUE(sched.at("workers_detail").items().empty());
+
   const auto reparsed = JsonValue::parse(doc.dump());
   EXPECT_EQ(reparsed, doc);
   EXPECT_EQ(reparsed.at("counters").at("omega_evaluations").as_uint(),
             result.profile.omega_evaluations);
+}
+
+TEST(ScanMetrics, SchedBlockSerializesPerWorkerDetail) {
+  omega::core::ScannerOptions options;
+  options.config = metrics_config();
+  options.threads = 3;
+  const auto result = omega::core::scan(metrics_dataset(), options);
+
+  const auto doc = omega::core::metrics::scan_metrics("unit", result.profile);
+  const auto& sched = doc.at("sched");
+  EXPECT_EQ(sched.at("requested_threads").as_uint(), 3u);
+  EXPECT_EQ(sched.at("workers").as_uint(), 3u);
+  EXPECT_EQ(sched.at("spans").as_uint(), result.profile.sched.spans);
+  const auto& detail = sched.at("workers_detail").items();
+  ASSERT_EQ(detail.size(), 3u);
+  std::uint64_t spans = 0;
+  for (const auto& worker : detail) {
+    spans += worker.at("spans").as_uint();
+    EXPECT_GE(worker.at("busy_seconds").as_double(), 0.0);
+  }
+  EXPECT_EQ(spans, result.profile.sched.spans);
+  EXPECT_EQ(JsonValue::parse(doc.dump()), doc);
 }
 
 struct BackendCase {

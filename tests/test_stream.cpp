@@ -252,13 +252,22 @@ TEST(StreamOptionsTest, Validation) {
   bad.chunk_sites = 0;
   EXPECT_THROW(bad.validate(), std::invalid_argument);
 
+  // threads > 1 used to be rejected; the span engine now runs it. Scores
+  // must match the serial stream bitwise.
   const auto d = stream_dataset(23, 40);
-  DatasetChunkReader reader(d);
   ScannerOptions options;
   options.config = stream_config();
+  DatasetChunkReader serial_reader(d);
+  const auto serial = omega::core::stream_scan(serial_reader, options);
   options.threads = 4;
-  EXPECT_THROW(omega::core::stream_scan(reader, options),
-               std::invalid_argument);
+  DatasetChunkReader mt_reader(d);
+  const auto threaded = omega::core::stream_scan(mt_reader, options);
+  ASSERT_EQ(threaded.scores.size(), serial.scores.size());
+  for (std::size_t i = 0; i < serial.scores.size(); ++i) {
+    EXPECT_EQ(threaded.scores[i].valid, serial.scores[i].valid);
+    EXPECT_EQ(threaded.scores[i].max_omega, serial.scores[i].max_omega);
+  }
+  EXPECT_EQ(threaded.profile.sched.workers, 4u);
 }
 
 // ------------------------------------------------- bitwise scan equivalence --
