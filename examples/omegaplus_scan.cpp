@@ -23,6 +23,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "core/metrics_json.h"
 #include "core/report.h"
 #include "core/scanner.h"
@@ -38,6 +39,7 @@
 #include "sim/dataset_factory.h"
 #include "sim/sweep_coalescent.h"
 #include "sim/sweep_overlay.h"
+#include "util/cancel.h"
 #include "util/cli.h"
 #include "util/fault.h"
 #include "util/progress.h"
@@ -212,6 +214,13 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
     return 2;
   }
 
+  // Cooperative cancellation: SIGINT/SIGTERM flip the process token, and a
+  // --deadline-seconds budget converts expiry into the same drain path. The
+  // scan stops at the next position boundary, commits what it has, and the
+  // report/metrics/checkpoint paths below still run.
+  options.cancel = &omega::util::process_cancel_token();
+  options.deadline_seconds = cli.get_double("deadline-seconds", 0.0);
+
   // Fault injection (simulated accelerators only) + recovery policy.
   omega::util::fault::FaultPlan fault_plan;
   fault_plan.mode =
@@ -228,9 +237,22 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
       static_cast<std::size_t>(cli.get_int("max-retries", 3));
   options.recovery.fallback_to_cpu = cli.get_bool("cpu-fallback", true);
 
+  const std::string directory = cli.get("reports-dir", ".");
+  std::filesystem::create_directories(directory);
+
   omega::core::StreamScanOptions stream_options;
   stream_options.chunk_sites =
       static_cast<std::size_t>(cli.get_int("chunk-sites", 100'000));
+  const bool resume = cli.get_bool("resume", false);
+  if (cli.has("checkpoint") || resume) {
+    // `--checkpoint` alone uses the default path next to the reports;
+    // `--checkpoint=path` overrides it. `--resume` implies checkpointing.
+    const std::string raw = cli.get("checkpoint", "true");
+    stream_options.checkpoint_path =
+        raw == "true" ? directory + "/" + name + ".ckpt" : raw;
+    stream_options.resume = resume;
+    stream_options.source_path = cli.get("input", "");
+  }
 
   const std::string backend = cli.get("backend", "cpu");
   omega::core::ScanResult result;
@@ -286,8 +308,6 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
                  "warning: --fault-mode only affects the gpu/fpga backends\n");
   }
 
-  const std::string directory = cli.get("reports-dir", ".");
-  std::filesystem::create_directories(directory);
   std::string report_path;
   if (stream_mode) {
     const auto& index = reader->index();
@@ -351,6 +371,26 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
   }
   write_trace_file();
   write_metrics_text();
+
+  const auto& runtime = result.profile.runtime;
+  if (runtime.checkpoints_written > 0) {
+    std::printf("checkpoint: %llu writes (%llu bytes) to %s%s\n",
+                static_cast<unsigned long long>(runtime.checkpoints_written),
+                static_cast<unsigned long long>(runtime.checkpoint_bytes),
+                stream_options.checkpoint_path.c_str(),
+                runtime.chunks_resumed > 0 ? " (resumed)" : "");
+  }
+  if (runtime.cancelled) {
+    std::printf(
+        "runtime: cancelled (%s) — partial results, %llu positions "
+        "unscanned, drain latency %.3f s\n",
+        runtime.cancel_reason.c_str(),
+        static_cast<unsigned long long>(runtime.positions_skipped),
+        runtime.cancel_latency_seconds);
+    // Distinct exit codes so automation can tell a drained interruption
+    // (resumable) from a hard failure: 10 = signal, 11 = deadline expiry.
+    return runtime.cancel_reason == "deadline" ? 11 : 10;
+  }
   return 0;
 }
 
@@ -377,6 +417,17 @@ int main(int argc, char** argv) {
       .describe("chunk-sites",
                 "streaming: target segregating sites per chunk "
                 "(default 100000)")
+      .describe("checkpoint",
+                "streaming: write a crash-safe checkpoint after every "
+                "committed chunk; optional value sets the path (default "
+                "<reports-dir>/<name>.ckpt)")
+      .describe("resume",
+                "streaming: resume from the checkpoint instead of starting "
+                "over; the dataset and scan config must match the run that "
+                "wrote it")
+      .describe("deadline-seconds",
+                "wall-clock budget for the scan; expiry drains cleanly and "
+                "exits 11 with a partial report (0 = no deadline)")
       .describe("ld", "popcount | gemm (default popcount)")
       .describe("backend", "cpu | gpu | fpga (default cpu)")
       .describe("cpu-kernel",
@@ -443,6 +494,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Crash-safe runtime flags are validated up front so a bad combination
+  // fails before any parsing or scanning starts.
+  const bool stream_flag = cli.get_bool("stream", false);
+  if (cli.get_bool("resume", false) && !stream_flag) {
+    std::fprintf(stderr, "error: --resume requires --stream\n");
+    return 2;
+  }
+  if (cli.has("checkpoint") && !stream_flag) {
+    std::fprintf(stderr, "error: --checkpoint requires --stream\n");
+    return 2;
+  }
+  if (cli.has("deadline-seconds") &&
+      cli.get_double("deadline-seconds", 0.0) <= 0.0) {
+    std::fprintf(stderr, "error: --deadline-seconds must be > 0\n");
+    return 2;
+  }
+  omega::util::install_cancel_signal_handlers();
+
   // Observability outputs are resolved before any heavy work so the abort
   // path below can still emit them when loading or scanning fails.
   const std::string metrics_path = cli.get("metrics-json", "");
@@ -484,6 +553,11 @@ int main(int argc, char** argv) {
   try {
     return run_scan(cli, name, metrics_path, trace_enabled, progress.get(),
                     write_trace_file, write_metrics_text);
+  } catch (const omega::core::ResumeMismatchError& error) {
+    // A checkpoint that does not match the current dataset/config is a usage
+    // error (same class as a bad flag), not a scan failure.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     if (!metrics_path.empty()) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "util/trace.h"
@@ -553,6 +555,24 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   sched.set("workers_detail", std::move(workers_detail));
   doc.set("sched", std::move(sched));
 
+  // v8: crash-safe runtime accounting (docs/ROBUSTNESS.md "Checkpoint,
+  // cancellation, and deadlines"); defaults describe an uninterrupted,
+  // checkpoint-free run.
+  JsonValue runtime = JsonValue::object();
+  runtime.set("partial", profile.runtime.partial);
+  runtime.set("cancelled", profile.runtime.cancelled);
+  runtime.set("cancel_reason", profile.runtime.cancel_reason);
+  runtime.set("deadline_seconds", profile.runtime.deadline_seconds);
+  runtime.set("deadline_outcome", profile.runtime.deadline_outcome);
+  runtime.set("cancel_latency_seconds",
+              profile.runtime.cancel_latency_seconds);
+  runtime.set("positions_skipped", profile.runtime.positions_skipped);
+  runtime.set("checkpoints_written", profile.runtime.checkpoints_written);
+  runtime.set("checkpoint_bytes", profile.runtime.checkpoint_bytes);
+  runtime.set("resume_validations", profile.runtime.resume_validations);
+  runtime.set("chunks_resumed", profile.runtime.chunks_resumed);
+  doc.set("runtime", std::move(runtime));
+
   // v6: distributional telemetry (docs/OBSERVABILITY.md) — the registry
   // delta attributed to this scan.
   doc.set("telemetry", telemetry_json(profile.telemetry));
@@ -609,6 +629,47 @@ JsonValue telemetry_json(const util::telemetry::RegistrySnapshot& snapshot) {
   }
   block.set("histograms", std::move(histograms));
   return block;
+}
+
+util::telemetry::RegistrySnapshot telemetry_from_json(const JsonValue& block) {
+  util::telemetry::RegistrySnapshot snapshot;
+  for (const auto& [name, value] : block.at("counters").members()) {
+    snapshot.counters.emplace_back(name, value.as_uint());
+  }
+  for (const auto& [name, value] : block.at("gauges").members()) {
+    snapshot.gauges.emplace_back(name, value.as_double());
+  }
+  for (const auto& [name, entry] : block.at("histograms").members()) {
+    util::telemetry::HistogramSnapshot hist;
+    hist.base = entry.at("base").as_double();
+    hist.count = entry.at("count").as_uint();
+    hist.sum = entry.at("sum").as_double();
+    hist.min = entry.at("min").as_double();
+    hist.max = entry.at("max").as_double();
+    for (const auto& bucket : entry.at("buckets").items()) {
+      const double le = bucket.at("le").as_double();
+      // %.17g round-trips bucket bounds exactly, so the equality probe
+      // normally hits; the nearest-bound fallback guards against a document
+      // produced by a different printf implementation.
+      std::size_t index = util::telemetry::kHistogramBuckets;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < util::telemetry::kHistogramBuckets; ++i) {
+        const double bound = hist.bucket_upper_bound(i);
+        if (bound == le) {
+          index = i;
+          break;
+        }
+        const double distance = std::abs(bound - le);
+        if (distance < best_distance) {
+          best_distance = distance;
+          index = i;
+        }
+      }
+      hist.buckets[index] += bucket.at("count").as_uint();
+    }
+    snapshot.histograms.emplace_back(name, hist);
+  }
+  return snapshot;
 }
 
 JsonValue chrome_trace(const util::trace::TraceSnapshot& snapshot) {

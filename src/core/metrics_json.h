@@ -24,7 +24,7 @@
 
 namespace omega::core::metrics {
 
-inline constexpr int kSchemaVersion = 7;
+inline constexpr int kSchemaVersion = 8;
 inline constexpr const char* kScanSchema = "omega.scan.metrics";
 inline constexpr const char* kBenchSchema = "omega.bench";
 
@@ -127,6 +127,14 @@ JsonValue trace_to_json();
 /// sum, min, max, mean, p50, p90, p99, buckets:[{le, count}...]}}}. Only
 /// occupied buckets are materialized.
 JsonValue telemetry_json(const util::telemetry::RegistrySnapshot& snapshot);
+
+/// Inverse of telemetry_json, used by checkpoint resume to reload the prior
+/// run's telemetry snapshot. Bucket indices are reconstructed by matching
+/// each serialized `le` against HistogramSnapshot::bucket_upper_bound — exact
+/// given the %.17g serializer (nearest-bound fallback otherwise). Derived
+/// fields (mean, quantiles) are recomputed, not read back. Throws
+/// std::runtime_error / std::logic_error on malformed documents.
+util::telemetry::RegistrySnapshot telemetry_from_json(const JsonValue& block);
 
 /// The current util/trace.h session as a Chrome trace-event document
 /// (loadable in Perfetto / chrome://tracing): {"traceEvents": [...],

@@ -8,13 +8,73 @@
 //
 // Not installed API; include only from src/core/*.cpp.
 
+#include <atomic>
+
 #include "core/dp_matrix.h"
 #include "core/grid.h"
 #include "core/scanner.h"
 #include "ld/ld_engine.h"
 #include "par/thread_pool.h"
+#include "util/cancel.h"
+#include "util/timer.h"
 
 namespace omega::core::detail {
+
+/// Shared cancellation view of one scan: the caller's token (or the driver's
+/// internal one when only a deadline was set) plus the scan deadline. The
+/// drivers and span workers poll should_stop() between positions; deadline
+/// expiry is converted into a token request so every layer — including the
+/// simulator backends holding only the token — observes a single flag, and
+/// signals and deadlines share the drain path. The first poll that observes
+/// the request stamps `observed_seconds` (against `since_start`), which the
+/// runtime finalizer turns into the drain latency.
+struct CancelState {
+  util::CancelToken* token = nullptr;
+  util::Deadline deadline;
+  /// Started at driver entry; the latency reference.
+  util::Timer since_start;
+  mutable std::atomic<bool> observed{false};
+  mutable std::atomic<double> observed_seconds{0.0};
+
+  [[nodiscard]] bool enabled() const noexcept { return token != nullptr; }
+
+  /// True once the scan should stop. Thread-safe: token access is atomic and
+  /// the deadline clock must tolerate concurrent calls (the steady clock and
+  /// the tests' virtual clocks do).
+  [[nodiscard]] bool should_stop() const {
+    if (token == nullptr) return false;
+    bool stop = token->cancelled();
+    if (!stop && deadline.enabled() && deadline.expired()) {
+      token->request(util::CancelReason::Deadline);
+      stop = true;
+    }
+    if (stop) {
+      bool expected = false;
+      if (observed.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+        observed_seconds.store(since_start.seconds(),
+                               std::memory_order_release);
+      }
+    }
+    return stop;
+  }
+};
+
+/// Populates the scan's CancelState from the options: the caller's token, or
+/// an internal one when only a deadline was set (so expiry still has a flag
+/// to raise), or disabled entirely. In-place because CancelState holds
+/// atomics and cannot be returned by value. `internal` must outlive the scan.
+void init_cancel_state(CancelState& cancel, const ScannerOptions& options,
+                       util::CancelToken& internal);
+
+/// End-of-scan runtime accounting shared by scan() and stream_scan():
+/// cancellation flags/reason/latency, deadline outcome, and the
+/// skipped-position census that defines `partial`. Records the drain latency
+/// into the "runtime.cancel_latency_seconds" telemetry histogram.
+void finalize_runtime(ScanProfile& profile, const CancelState& cancel,
+                      double deadline_seconds,
+                      const std::vector<GridPosition>& grid,
+                      const std::vector<PositionScore>& scores);
 
 /// Advances the DP matrix to `position`: the single home of the
 /// reset-vs-relocate policy, shared by every MT strategy and by the stream

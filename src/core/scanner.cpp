@@ -133,6 +133,60 @@ void merge_worker_profile(ScanProfile& into, const ScanProfile& from) {
   if (into.omega_backend.empty()) into.omega_backend = from.omega_backend;
 }
 
+void init_cancel_state(CancelState& cancel, const ScannerOptions& options,
+                       util::CancelToken& internal) {
+  if (options.cancel != nullptr) {
+    cancel.token = options.cancel;
+  } else if (options.deadline_seconds > 0.0) {
+    cancel.token = &internal;
+  }
+  if (cancel.token != nullptr && options.deadline_seconds > 0.0) {
+    cancel.deadline =
+        util::Deadline(options.deadline_seconds, options.deadline_clock);
+  }
+}
+
+void finalize_runtime(ScanProfile& profile, const CancelState& cancel,
+                      double deadline_seconds,
+                      const std::vector<GridPosition>& grid,
+                      const std::vector<PositionScore>& scores) {
+  RuntimeStats& runtime = profile.runtime;
+  runtime.deadline_seconds = deadline_seconds > 0.0 ? deadline_seconds : 0.0;
+  for (std::size_t g = 0; g < grid.size() && g < scores.size(); ++g) {
+    if (grid[g].valid && !scores[g].valid && !scores[g].quarantined) {
+      ++runtime.positions_skipped;
+    }
+  }
+  runtime.partial = runtime.positions_skipped > 0;
+  const bool cancelled =
+      cancel.token != nullptr && cancel.token->cancelled();
+  if (cancelled) {
+    runtime.cancelled = true;
+    runtime.cancel_reason = util::cancel_reason_name(cancel.token->reason());
+    if (cancel.observed.load(std::memory_order_acquire)) {
+      runtime.cancel_latency_seconds =
+          cancel.since_start.seconds() -
+          cancel.observed_seconds.load(std::memory_order_acquire);
+      static util::telemetry::Histogram& latency_hist =
+          util::telemetry::histogram("runtime.cancel_latency_seconds");
+      latency_hist.record(runtime.cancel_latency_seconds);
+    }
+  }
+  if (deadline_seconds > 0.0) {
+    if (cancelled &&
+        cancel.token->reason() == util::CancelReason::Deadline) {
+      runtime.deadline_outcome = "expired";
+    } else if (cancelled) {
+      // Cancelled for another reason before the deadline resolved.
+      runtime.deadline_outcome = "preempted";
+    } else {
+      runtime.deadline_outcome = "met";
+    }
+  } else {
+    runtime.deadline_outcome = "none";
+  }
+}
+
 bool score_position(OmegaBackend& backend, const DpMatrix& m,
                     const GridPosition& position,
                     const RecoveryPolicy& recovery, ScanProfile& profile,
@@ -185,18 +239,26 @@ void scan_chunk(const std::vector<GridPosition>& grid, std::size_t begin,
                 std::size_t end, const ld::LdEngine& engine, bool reuse,
                 const RecoveryPolicy& recovery, OmegaBackend& backend,
                 std::vector<PositionScore>& scores, ScanProfile& profile,
-                util::ProgressReporter* progress) {
+                util::ProgressReporter* progress,
+                const detail::CancelState* cancel = nullptr) {
   DpMatrix m;
   bool m_live = false;
 
-  for (std::size_t g = begin; g < end; ++g) {
-    const GridPosition& position = grid[g];
-    PositionScore& score = scores[g];
-    score.position_bp = position.position_bp;
-    if (!position.valid) continue;
+  try {
+    for (std::size_t g = begin; g < end; ++g) {
+      if (cancel != nullptr && cancel->should_stop()) break;
+      const GridPosition& position = grid[g];
+      PositionScore& score = scores[g];
+      score.position_bp = position.position_bp;
+      if (!position.valid) continue;
 
-    advance_matrix(m, m_live, reuse, position, engine, profile.stages);
-    score_position(backend, m, position, recovery, profile, score, progress);
+      advance_matrix(m, m_live, reuse, position, engine, profile.stages);
+      score_position(backend, m, position, recovery, profile, score, progress);
+    }
+  } catch (const util::CancelledError&) {
+    // A simulator backend observed the cancel mid-launch; the position in
+    // flight stays unscored (neither valid nor quarantined) and the drain
+    // proceeds with whatever is settled so far.
   }
   profile.ld_seconds += profile.stages.ld_total();
   profile.omega_seconds += profile.stages.omega_search_seconds;
@@ -312,6 +374,13 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   // process-wide telemetry to this scan (ScanProfile::telemetry docs).
   const util::telemetry::RegistrySnapshot telemetry_begin =
       util::telemetry::snapshot();
+  // Cooperative cancellation: the caller's token, or an internal one when
+  // only a deadline was set. Null `cancel` means no polling overhead at all.
+  util::CancelToken internal_token;
+  detail::CancelState cancel_state;
+  detail::init_cancel_state(cancel_state, options, internal_token);
+  const detail::CancelState* cancel =
+      cancel_state.enabled() ? &cancel_state : nullptr;
 
   const ld::SnpMatrix snps(dataset);
   const auto engine = options.ld_factory
@@ -350,7 +419,8 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   if (threads <= 1) {
     auto backend = make_backend();
     scan_chunk(grid, 0, grid.size(), *engine, options.reuse, options.recovery,
-               *backend, result.scores, result.profile, options.progress);
+               *backend, result.scores, result.profile, options.progress,
+               cancel);
   } else if (options.mt_strategy ==
              ScannerOptions::MtStrategy::InnerPosition) {
     if (backend_factory) {
@@ -366,6 +436,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     bool m_live = false;
     ScanProfile& profile = result.profile;
     for (std::size_t g = 0; g < grid.size(); ++g) {
+      if (cancel != nullptr && cancel->should_stop()) break;
       const GridPosition& position = grid[g];
       PositionScore& score = result.scores[g];
       score.position_bp = position.position_bp;
@@ -402,7 +473,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     detail::scan_spans_parallel(grid, spans, pool, *engine, options.reuse,
                                 options.recovery, backends, states,
                                 result.scores, profiles, result.profile.sched,
-                                options.progress);
+                                options.progress, cancel);
     for (std::size_t w = 0; w < workers; ++w) {
       detail::finalize_span_worker(profiles[w], states[w], *backends[w]);
       // Per-bucket times are summed across workers (CPU-seconds); use
@@ -411,6 +482,8 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
       merge_worker_profile(result.profile, profiles[w]);
     }
   }
+  detail::finalize_runtime(result.profile, cancel_state,
+                           options.deadline_seconds, grid, result.scores);
   result.profile.total_seconds = total.seconds();
   result.profile.telemetry =
       util::telemetry::snapshot().delta_since(telemetry_begin);

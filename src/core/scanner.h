@@ -23,6 +23,7 @@
 #include "io/dataset.h"
 #include "ld/ld_engine.h"
 #include "ld/snp_matrix.h"
+#include "util/cancel.h"
 #include "util/telemetry.h"
 
 namespace omega::util {
@@ -171,6 +172,21 @@ struct ScannerOptions {
   /// outlive the scan. The reporter rate-limits internally, so the per-
   /// position overhead is a mutex-guarded accumulate.
   util::ProgressReporter* progress = nullptr;
+  /// Optional cooperative-cancellation token (util/cancel.h). Not owned; must
+  /// outlive the scan. The drivers poll it between positions (and the
+  /// simulator backends poll it around kernel launches), so a request drains
+  /// cleanly: workers finish their current position, the partial result is
+  /// returned with profile.runtime describing what was skipped, and nothing
+  /// throws out of scan()/stream_scan().
+  util::CancelToken* cancel = nullptr;
+  /// Wall-clock budget for the scan; <= 0 disables. Expiry is converted into
+  /// a cancellation (reason Deadline) on `cancel` — or on an internal token
+  /// when none was supplied — so deadlines and signals share one drain path.
+  double deadline_seconds = 0.0;
+  /// Clock the deadline measures against (seconds, monotonic). Defaults to
+  /// the steady clock; injectable so deadline expiry is testable without
+  /// sleeping, mirroring the retry engine's virtual clock.
+  util::Deadline::Clock deadline_clock;
 };
 
 struct PositionScore {
@@ -331,6 +347,36 @@ struct SchedStats {
   }
 };
 
+/// Crash-safe runtime accounting (profile/metrics schema v8): cancellation,
+/// deadline, and checkpoint/resume activity of one run. Deliberately NOT
+/// accumulated across a resume (unlike every other profile block): each run
+/// reports its own runtime behaviour, with resume_validations/chunks_resumed
+/// describing how the run started.
+struct RuntimeStats {
+  /// The scan stopped before scoring every valid grid position (cancellation
+  /// or deadline); skipped positions are neither valid nor quarantined.
+  bool partial = false;
+  bool cancelled = false;
+  /// util::cancel_reason_name of the observed request; "" when !cancelled.
+  std::string cancel_reason;
+  /// "none" (no deadline set), "met", "expired", or "preempted" (a deadline
+  /// was set but a different cancel reason fired first).
+  std::string deadline_outcome = "none";
+  double deadline_seconds = 0.0;
+  /// Drain latency: first observation of the cancel request inside the scan
+  /// driver until the partial result was assembled. 0 when !cancelled.
+  double cancel_latency_seconds = 0.0;
+  /// Valid grid positions left unscored by an early stop.
+  std::uint64_t positions_skipped = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_bytes = 0;  // summed over all writes this run
+  /// Fingerprint + config-hash validations passed while loading a checkpoint
+  /// (1 for a resumed run, 0 otherwise).
+  std::uint64_t resume_validations = 0;
+  /// Committed chunks preloaded from the checkpoint instead of rescanned.
+  std::uint64_t chunks_resumed = 0;
+};
+
 /// Simulated-FPGA counters: pipeline occupancy of the §V design.
 struct FpgaProfile {
   std::uint64_t pipeline_cycles = 0;  // total accelerator cycles
@@ -368,6 +414,9 @@ struct ScanProfile {
   /// Work-stealing scheduler accounting (v7); workers == 1, spans == 0 for
   /// serial scans.
   SchedStats sched;
+  /// Cancellation/deadline/checkpoint accounting (v8); defaults describe an
+  /// uninterrupted, checkpoint-free run.
+  RuntimeStats runtime;
   /// Distributional telemetry attributed to this scan (v6): the delta of the
   /// process-wide util/telemetry registry between scan start and end —
   /// queue-depth, task/chunk/retry-latency histograms, overlap-ratio gauges

@@ -81,7 +81,8 @@ void scan_spans_parallel(const std::vector<GridPosition>& grid,
                          std::vector<PositionScore>& scores,
                          std::vector<ScanProfile>& worker_profiles,
                          SchedStats& sched,
-                         util::ProgressReporter* progress) {
+                         util::ProgressReporter* progress,
+                         const CancelState* cancel) {
   const std::size_t workers = backends.size();
   if (sched.workers_detail.size() < workers) {
     sched.workers_detail.resize(workers);
@@ -128,30 +129,40 @@ void scan_spans_parallel(const std::vector<GridPosition>& grid,
       SpanWorkerState& state = states[w];
       ScanProfile& profile = worker_profiles[w];
       SchedWorkerStats& wstats = sched.workers_detail[w];
-      while (const auto claim = scheduler.claim(w)) {
-        const ScanSpan& span = spans[claim->item];
-        const util::Timer busy;
-        ++wstats.spans;
-        if (claim->stolen) {
-          ++wstats.steals;
-          steals_total.add(1);
+      try {
+        while (const auto claim = scheduler.claim(w)) {
+          if (cancel != nullptr && cancel->should_stop()) break;
+          const ScanSpan& span = spans[claim->item];
+          const util::Timer busy;
+          ++wstats.spans;
+          if (claim->stolen) {
+            ++wstats.steals;
+            steals_total.add(1);
+          }
+          for (std::size_t g = span.begin; g < span.end; ++g) {
+            // Cooperative drain: the position in flight always completes, so
+            // a cancelled scan never leaves a half-scored position behind.
+            if (cancel != nullptr && cancel->should_stop()) break;
+            const GridPosition& position = grid[g];
+            PositionScore& score = scores[g];
+            score.position_bp = position.position_bp;
+            // Skip already-settled positions: the streaming chunk retry
+            // re-runs a chunk's spans and must not rescore what succeeded.
+            if (!position.valid || score.valid || score.quarantined) continue;
+            advance_matrix(state.matrix, state.live, reuse, position, engine,
+                           profile.stages);
+            score_position(backend, state.matrix, position, recovery, profile,
+                           score, progress);
+            ++wstats.positions;
+          }
+          const double elapsed = busy.seconds();
+          wstats.busy_seconds += elapsed;
+          busy_hist.record(elapsed);
         }
-        for (std::size_t g = span.begin; g < span.end; ++g) {
-          const GridPosition& position = grid[g];
-          PositionScore& score = scores[g];
-          score.position_bp = position.position_bp;
-          // Skip already-settled positions: the streaming chunk retry
-          // re-runs a chunk's spans and must not rescore what succeeded.
-          if (!position.valid || score.valid || score.quarantined) continue;
-          advance_matrix(state.matrix, state.live, reuse, position, engine,
-                         profile.stages);
-          score_position(backend, state.matrix, position, recovery, profile,
-                         score, progress);
-          ++wstats.positions;
-        }
-        const double elapsed = busy.seconds();
-        wstats.busy_seconds += elapsed;
-        busy_hist.record(elapsed);
+      } catch (const util::CancelledError&) {
+        // A simulator backend observed the cancel mid-launch: this worker's
+        // position in flight stays unscored (neither valid nor quarantined)
+        // and it stops claiming; the others drain through their own polls.
       }
     });
   }

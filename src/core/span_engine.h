@@ -22,6 +22,7 @@
 
 #include "core/dp_matrix.h"
 #include "core/grid.h"
+#include "core/scan_driver.h"
 #include "core/scanner.h"
 #include "ld/ld_engine.h"
 #include "par/thread_pool.h"
@@ -74,6 +75,12 @@ struct SpanWorkerState {
 /// Exceptions escaping a worker rethrow out of here (earliest-submitted
 /// first, par::ThreadPool::run_blocking semantics) after the batch drains;
 /// the caller must then treat every worker matrix as dead (live = false).
+///
+/// `cancel` (optional) is polled before every span claim and every position:
+/// once it fires, workers finish the position in flight, stop claiming, and
+/// return — leaving unvisited positions untouched (neither valid nor
+/// quarantined), which is exactly the "skip settled, rescore the rest" state
+/// a later resume or chunk retry expects.
 void scan_spans_parallel(const std::vector<GridPosition>& grid,
                          const std::vector<ScanSpan>& spans,
                          par::ThreadPool& pool, const ld::LdEngine& engine,
@@ -82,7 +89,8 @@ void scan_spans_parallel(const std::vector<GridPosition>& grid,
                          std::vector<SpanWorkerState>& states,
                          std::vector<PositionScore>& scores,
                          std::vector<ScanProfile>& worker_profiles,
-                         SchedStats& sched, util::ProgressReporter* progress);
+                         SchedStats& sched, util::ProgressReporter* progress,
+                         const CancelState* cancel = nullptr);
 
 /// One-time end-of-scan bookkeeping for a span worker: derives the ld/omega
 /// second buckets from the accumulated stage times, folds the matrix's

@@ -6,9 +6,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/resilience.h"
 #include "core/scan_driver.h"
 #include "core/span_engine.h"
+#include "io/fingerprint.h"
 #include "par/thread_pool.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
@@ -20,6 +22,9 @@ namespace omega::core {
 void StreamScanOptions::validate() const {
   if (chunk_sites == 0) {
     throw std::invalid_argument("stream: chunk_sites must be >= 1");
+  }
+  if (resume && checkpoint_path.empty()) {
+    throw std::invalid_argument("stream: resume requires a checkpoint path");
   }
 }
 
@@ -99,6 +104,14 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   util::telemetry::Histogram& stall_hist =
       util::telemetry::histogram("stream.io_stall_seconds");
 
+  // Cooperative cancellation: the caller's token, or an internal one when
+  // only a deadline was set. Null `cancel` means no polling overhead at all.
+  util::CancelToken internal_token;
+  detail::CancelState cancel_state;
+  detail::init_cancel_state(cancel_state, options, internal_token);
+  const detail::CancelState* cancel =
+      cancel_state.enabled() ? &cancel_state : nullptr;
+
   const io::StreamIndex& index = reader.index();
   StreamPlan plan = plan_stream_chunks(index.positions_bp, options.config,
                                        stream_options.chunk_sites);
@@ -130,19 +143,21 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     stream.peak_resident_sites = std::max(stream.peak_resident_sites, resident);
   }
 
-  if (options.progress != nullptr) {
-    std::uint64_t valid_positions = 0;
-    for (const GridPosition& position : plan.grid) {
-      if (position.valid) ++valid_positions;
-    }
-    options.progress->begin(valid_positions, plan.chunks.size());
+  std::uint64_t valid_positions = 0;
+  for (const GridPosition& position : plan.grid) {
+    if (position.valid) ++valid_positions;
   }
 
   if (plan.chunks.empty()) {
+    detail::finalize_runtime(profile, cancel_state, options.deadline_seconds,
+                             plan.grid, result.scores);
     profile.total_seconds = total.seconds();
     profile.telemetry =
         util::telemetry::snapshot().delta_since(telemetry_begin);
-    if (options.progress != nullptr) options.progress->finish();
+    if (options.progress != nullptr) {
+      options.progress->begin(valid_positions, plan.chunks.size());
+      options.progress->finish();
+    }
     return result;  // no valid position anywhere — nothing to read
   }
 
@@ -173,7 +188,78 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     states.resize(threads);
   }
 
-  reader.plan(plan.site_ranges());
+  // Crash-safe runtime (core/checkpoint.h): the identity of this scan is the
+  // dataset fingerprint plus the hash of every score-relevant setting.
+  const bool checkpointing = !stream_options.checkpoint_path.empty();
+  const io::StreamFingerprint fingerprint =
+      io::fingerprint_stream(index, stream_options.source_path);
+  const std::string config_summary = scan_config_summary(
+      options, stream_options.chunk_sites, backends[0]->name());
+  const std::uint64_t config_hash = scan_config_hash(
+      options, stream_options.chunk_sites, backends[0]->name());
+
+  std::size_t k0 = 0;  // first chunk this run scans
+  util::telemetry::RegistrySnapshot resumed_telemetry;
+  if (stream_options.resume) {
+    ScanCheckpoint ckpt = load_checkpoint(stream_options.checkpoint_path);
+    if (!(ckpt.fingerprint == fingerprint)) {
+      throw ResumeMismatchError(
+          "stream_scan: checkpoint belongs to a different dataset: "
+          "checkpoint " +
+          ckpt.fingerprint.describe() + " vs current " +
+          fingerprint.describe());
+    }
+    if (ckpt.config_hash != config_hash) {
+      throw ResumeMismatchError(
+          "stream_scan: checkpoint was written with a different scan "
+          "config: checkpoint {" +
+          ckpt.config_summary + "} vs current {" + config_summary + "}");
+    }
+    if (ckpt.chunks_total != plan.chunks.size() ||
+        ckpt.grid_size != plan.grid.size()) {
+      throw ResumeMismatchError(
+          "stream_scan: checkpoint chunk/grid geometry does not match the "
+          "current plan");
+    }
+    k0 = static_cast<std::size_t>(ckpt.chunks_completed);
+    const std::size_t expected_committed =
+        k0 == 0 ? 0 : plan.chunks[k0 - 1].grid_end;
+    if (ckpt.grid_committed != expected_committed) {
+      throw ResumeMismatchError(
+          "stream_scan: checkpoint grid cursor does not match the chunk "
+          "cursor");
+    }
+    for (std::size_t g = 0; g < ckpt.scores.size(); ++g) {
+      result.scores[g] = ckpt.scores[g];
+    }
+    restore_profile_totals(profile, ckpt.totals);
+    resumed_telemetry = ckpt.totals.telemetry;
+    profile.runtime.resume_validations = 1;
+    profile.runtime.chunks_resumed = k0;
+  }
+  // Resumed wall clock; the end-of-scan assignment adds this run's elapsed.
+  const double resumed_seconds = profile.total_seconds;
+
+  if (options.progress != nullptr) {
+    std::uint64_t positions_resumed = 0;
+    const std::size_t committed0 = k0 == 0 ? 0 : plan.chunks[k0 - 1].grid_end;
+    for (std::size_t g = 0; g < committed0; ++g) {
+      if (plan.grid[g].valid &&
+          (result.scores[g].valid || result.scores[g].quarantined)) {
+        ++positions_resumed;
+      }
+    }
+    options.progress->begin(valid_positions, plan.chunks.size(),
+                            positions_resumed, k0);
+  }
+
+  // A resumed reader only plans (and re-parses) the uncommitted suffix.
+  {
+    std::vector<io::SiteRange> ranges = plan.site_ranges();
+    ranges.erase(ranges.begin(),
+                 ranges.begin() + static_cast<std::ptrdiff_t>(k0));
+    reader.plan(std::move(ranges));
+  }
 
   // Double-buffered fetch: one slot computes while the other fills on the IO
   // pool. Fetches are strictly serialized (submit only after the previous
@@ -194,9 +280,60 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   DpMatrix m;
   bool m_live = false;
   std::size_t cursor = 0;
-  submit_fetch(cursor);
+  if (k0 < plan.chunks.size()) submit_fetch(cursor);
 
-  for (std::size_t k = 0; k < plan.chunks.size(); ++k) {
+  // Cumulative profile snapshot for a checkpoint: the running accumulators
+  // (which already include any resumed totals) plus the finalization the
+  // stream normally performs only once at the end, applied to copies — the
+  // matrices are read-only here and OmegaBackend::contribute is const, so
+  // repeating this per chunk is safe.
+  auto snapshot_totals = [&]() -> ScanProfile {
+    ScanProfile totals = profile;
+    if (threads <= 1) {
+      totals.ld_seconds = totals.stages.ld_total();
+      totals.omega_seconds = totals.stages.omega_search_seconds;
+      detail::merge_matrix_stats(totals, m);
+      backends[0]->contribute(totals);
+    } else {
+      for (std::size_t w = 0; w < threads; ++w) {
+        ScanProfile wp = worker_profiles[w];
+        detail::finalize_span_worker(wp, states[w], *backends[w]);
+        detail::merge_worker_profile(totals, wp);
+      }
+    }
+    totals.total_seconds = resumed_seconds + total.seconds();
+    totals.telemetry = util::telemetry::snapshot()
+                           .delta_since(telemetry_begin)
+                           .merged_with(resumed_telemetry);
+    return totals;
+  };
+  std::size_t committed = k0;
+  auto write_ckpt = [&]() {
+    if (!checkpointing) return;
+    ScanCheckpoint ckpt;
+    ckpt.fingerprint = fingerprint;
+    ckpt.config_hash = config_hash;
+    ckpt.config_summary = config_summary;
+    ckpt.chunks_total = plan.chunks.size();
+    ckpt.chunks_completed = committed;
+    ckpt.grid_size = plan.grid.size();
+    ckpt.grid_committed =
+        committed == 0 ? 0 : plan.chunks[committed - 1].grid_end;
+    ckpt.scores.assign(
+        result.scores.begin(),
+        result.scores.begin() + static_cast<std::ptrdiff_t>(ckpt.grid_committed));
+    ckpt.totals = snapshot_totals();
+    const std::uint64_t bytes =
+        write_checkpoint(stream_options.checkpoint_path, ckpt);
+    ++profile.runtime.checkpoints_written;
+    profile.runtime.checkpoint_bytes += bytes;
+  };
+  // Initial checkpoint at the resume cursor, so a kill during the very first
+  // chunk still leaves a resumable file behind.
+  write_ckpt();
+
+  for (std::size_t k = k0; k < plan.chunks.size(); ++k) {
+    if (cancel != nullptr && cancel->should_stop()) break;
     const StreamChunkPlan& step = plan.chunks[k];
     {
       // Without double buffering only chunk 0 was prefetched; later chunks
@@ -251,10 +388,11 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
           detail::scan_spans_parallel(
               plan.grid, spans, *compute_pool, engine, options.reuse,
               options.recovery, backends, states, result.scores,
-              worker_profiles, profile.sched, options.progress);
+              worker_profiles, profile.sched, options.progress, cancel);
         } else {
           bool first_in_chunk = true;
           for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
+            if (cancel != nullptr && cancel->should_stop()) break;
             const GridPosition& position = plan.grid[g];
             PositionScore& score = result.scores[g];
             if (!position.valid || score.valid || score.quarantined) continue;
@@ -275,13 +413,37 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
         stream.compute_seconds += chunk_seconds;
         chunk_scan_hist.record(chunk_seconds);
         scanned = true;
+      } catch (const util::CancelledError&) {
+        // A simulator backend observed the cancel mid-launch. NOT a chunk
+        // failure (and deliberately caught before the generic handler): the
+        // drain below leaves the chunk uncommitted for resume to recompute.
+        m_live = false;
+        for (detail::SpanWorkerState& state : states) state.live = false;
+        break;
       } catch (const std::exception&) {
         // The matrices may hold a half-extended state; force rebuilds.
         m_live = false;
         for (detail::SpanWorkerState& state : states) state.live = false;
       }
     }
+    // A chunk commits when every one of its positions settled (valid or
+    // quarantined). A cancelled drain can leave the chunk partially scored —
+    // it stays uncommitted, the checkpoint cursor stays put, and resume
+    // recomputes it from scratch (the settled-skip rule makes the re-scan
+    // idempotent for anything that did settle).
+    bool commit = scanned;
+    if (scanned && cancel != nullptr && cancel->token->cancelled()) {
+      for (std::size_t g = step.grid_begin; g < step.grid_end && commit; ++g) {
+        if (plan.grid[g].valid && !result.scores[g].valid &&
+            !result.scores[g].quarantined) {
+          commit = false;
+        }
+      }
+    }
     if (!scanned) {
+      if (cancel != nullptr && cancel->token->cancelled()) {
+        break;  // drained mid-chunk
+      }
       ++stream.failed_chunks;
       m_live = false;
       for (detail::SpanWorkerState& state : states) state.live = false;
@@ -298,11 +460,25 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
         delta.quarantined = chunk_quarantined;
         options.progress->advance(delta);
       }
+      commit = true;  // quarantine settles the chunk; the stream continues
     }
+    if (!commit) break;
+    committed = k + 1;
     if (options.progress != nullptr) {
       util::ProgressReporter::Delta delta;
       delta.chunks = 1;
       options.progress->advance(delta);
+    }
+    write_ckpt();
+  }
+
+  if (inflight.valid()) {
+    // A cancelled drain can leave the next chunk's prefetch in flight; wait
+    // it out so the IO task never outlives the slots it writes into. Fetch
+    // errors are irrelevant once the stream has stopped consuming.
+    try {
+      inflight.get();
+    } catch (const std::exception&) {
     }
   }
 
@@ -319,10 +495,14 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
       detail::merge_worker_profile(profile, worker_profiles[w]);
     }
   }
-  profile.total_seconds = total.seconds();
+  detail::finalize_runtime(profile, cancel_state, options.deadline_seconds,
+                           plan.grid, result.scores);
+  profile.total_seconds = resumed_seconds + total.seconds();
   util::telemetry::gauge("stream.io_overlap_ratio")
       .set(stream.io_overlap_ratio());
-  profile.telemetry = util::telemetry::snapshot().delta_since(telemetry_begin);
+  profile.telemetry = util::telemetry::snapshot()
+                          .delta_since(telemetry_begin)
+                          .merged_with(resumed_telemetry);
   if (options.progress != nullptr) options.progress->finish();
   return result;
 }

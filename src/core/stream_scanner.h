@@ -50,6 +50,20 @@ struct StreamScanOptions {
   /// Whole-chunk re-scan attempts after a non-BackendError failure before
   /// the chunk's unscored positions are quarantined.
   std::size_t chunk_retries = 1;
+  /// Checkpoint file for the crash-safe runtime (core/checkpoint.h); empty
+  /// disables checkpointing. Written atomically (temp + rename) once at
+  /// stream start and again after every committed chunk, flushed on a
+  /// cancelled drain, and left in place on completion.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path`: validate the dataset fingerprint and
+  /// config hash, preload every committed score, and continue at the first
+  /// uncommitted chunk. Throws std::runtime_error when the checkpoint is
+  /// missing, malformed, or belongs to a different dataset/config. Requires
+  /// checkpoint_path.
+  bool resume = false;
+  /// Source file recorded in the checkpoint fingerprint (path + size);
+  /// empty for in-memory readers.
+  std::string source_path;
 
   /// Throws std::invalid_argument on nonsensical settings.
   void validate() const;

@@ -22,6 +22,12 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
   core::OmegaResult result;
   if (!position.valid) return result;
 
+  // Cancel poll before committing any host work; CancelledError bypasses the
+  // recovery engine (not a BackendError) and propagates to the drain path.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    throw util::CancelledError(options_.cancel->reason());
+  }
+
   // Fault hook: failures fire before any pipeline work or accounting, the
   // way a failed XRT enqueue / DMA transfer would.
   bool poison_result = false;
@@ -45,6 +51,12 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
   const core::PositionBuffers buffers = core::pack_position(m, position);
   const std::uint64_t combos = buffers.combinations();
   if (combos == 0) return result;
+
+  // Second poll before the pipeline run — the last abandon point before the
+  // accelerator would start consuming the streamed buffers.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    throw util::CancelledError(options_.cancel->reason());
+  }
 
   const auto unroll = static_cast<std::size_t>(spec_.unroll_factor);
   float best = 0.0f;

@@ -12,6 +12,7 @@
 #include "hw/device_specs.h"
 #include "hw/fpga/cycle_model.h"
 #include "hw/fpga/pipeline.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 
 namespace omega::hw::fpga {
@@ -32,6 +33,11 @@ struct FpgaBackendOptions {
   /// When > 0: a position whose modeled accelerator time exceeds this budget
   /// raises a Timeout BackendError. 0 disables the watchdog.
   double modeled_timeout_seconds = 0.0;
+  /// Optional cooperative-cancellation token (util/cancel.h), polled at
+  /// launch entry and again before the pipeline run. A cancelled poll throws
+  /// util::CancelledError, which the recovery engine deliberately does NOT
+  /// retry (it is not a BackendError). Not owned; must outlive the scan.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct FpgaAccounting {

@@ -52,6 +52,13 @@ core::OmegaResult GpuOmegaBackend::max_omega(
   core::OmegaResult result;
   if (!position.valid) return result;
 
+  // Cancel poll before committing any host work: the analogue of a host
+  // checking its abort flag before enqueueing. CancelledError is not a
+  // BackendError, so the recovery engine lets it propagate to the drain.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    throw util::CancelledError(options_.cancel->reason());
+  }
+
   // Fault hook: injected failures fire before any work or accounting, the
   // way a failed clEnqueueNDRangeKernel would. TransientNan instead lets the
   // position run and poisons the returned score.
@@ -101,6 +108,12 @@ core::OmegaResult GpuOmegaBackend::max_omega(
         break;
     }
     accounting_.dispatch_seconds += dispatch_timer.seconds();
+  }
+
+  // Second poll between dispatch and the kernel run: the last moment a real
+  // host could abandon the position before paying for the launch.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    throw util::CancelledError(options_.cancel->reason());
   }
 
   // Functional execution (exact float arithmetic); guarded by the cap so a

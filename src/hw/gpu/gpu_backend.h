@@ -20,6 +20,7 @@
 #include "hw/gpu/omega_kernels.h"
 #include "hw/gpu/timing_model.h"
 #include "par/thread_pool.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 
 namespace omega::hw::gpu {
@@ -41,6 +42,12 @@ struct GpuBackendOptions {
   /// raises a Timeout BackendError (the watchdog a real OpenCL runtime would
   /// apply to a runaway kernel). 0 disables the check.
   double modeled_timeout_seconds = 0.0;
+  /// Optional cooperative-cancellation token (util/cancel.h), polled at
+  /// launch entry and again between dispatch and the kernel run — the points
+  /// a real host would check before committing device work. A cancelled poll
+  /// throws util::CancelledError, which the recovery engine deliberately does
+  /// NOT retry (it is not a BackendError). Not owned; must outlive the scan.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Accumulated device-model accounting for a scan.

@@ -1,0 +1,54 @@
+#include "io/fingerprint.h"
+
+#include <filesystem>
+#include <sstream>
+
+namespace omega::io {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv1a_append(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::string StreamFingerprint::describe() const {
+  std::ostringstream out;
+  out << (source.empty() ? std::string("<in-memory>") : source) << " ("
+      << num_sites << " sites, " << num_samples << " samples, "
+      << locus_length_bp << " bp";
+  if (source_bytes > 0) out << ", " << source_bytes << " bytes";
+  out << ", positions_hash=0x" << std::hex << positions_hash << std::dec
+      << ")";
+  return out.str();
+}
+
+StreamFingerprint fingerprint_stream(const StreamIndex& index,
+                                     const std::string& source_path) {
+  StreamFingerprint fp;
+  fp.source = source_path;
+  if (!source_path.empty()) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(source_path, ec);
+    if (!ec) fp.source_bytes = static_cast<std::uint64_t>(size);
+  }
+  fp.num_sites = index.num_sites();
+  fp.num_samples = index.num_samples;
+  fp.locus_length_bp = index.locus_length_bp;
+  fp.has_missing = index.has_missing;
+  std::uint64_t hash = kFnvOffset;
+  for (const std::int64_t bp : index.positions_bp) {
+    fnv1a_append(hash, static_cast<std::uint64_t>(bp));
+  }
+  fp.positions_hash = hash;
+  return fp;
+}
+
+}  // namespace omega::io

@@ -1,0 +1,45 @@
+#pragma once
+// Dataset fingerprinting for checkpoint/resume. A StreamFingerprint captures
+// enough of a streamed alignment's identity — source path, on-disk size,
+// site/sample counts, and a hash over every kept site's bp coordinate — that
+// resuming against a different (or modified) input is detected up front
+// instead of silently producing scores for the wrong genome.
+//
+// The positions hash covers exactly the post-filter coordinate space the
+// grid is built from, so any edit that survives the monomorphic filter
+// changes the fingerprint even when the file size happens to match.
+
+#include <cstdint>
+#include <string>
+
+#include "io/chunk_reader.h"
+
+namespace omega::io {
+
+struct StreamFingerprint {
+  /// CLI-supplied source path ("" for in-memory datasets, e.g. simulations).
+  std::string source;
+  /// Size of the source file in bytes; 0 when `source` is empty or the file
+  /// is not stat-able (the remaining fields still guard identity).
+  std::uint64_t source_bytes = 0;
+  std::uint64_t num_sites = 0;
+  std::uint64_t num_samples = 0;
+  std::int64_t locus_length_bp = 0;
+  /// FNV-1a over the little-endian bytes of every kept site's bp position.
+  std::uint64_t positions_hash = 0;
+  bool has_missing = false;
+
+  friend bool operator==(const StreamFingerprint&,
+                         const StreamFingerprint&) = default;
+
+  /// One-line human-readable rendering for mismatch diagnostics.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Fingerprints the alignment a ChunkReader will yield. `source_path` is
+/// recorded verbatim and stat-ed for the byte size; pass "" when the data
+/// did not come from a file.
+[[nodiscard]] StreamFingerprint fingerprint_stream(
+    const StreamIndex& index, const std::string& source_path = "");
+
+}  // namespace omega::io

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/parse_error.h"
+
 namespace omega::io {
 namespace {
 
@@ -20,14 +22,33 @@ struct MapEntry {
 std::vector<MapEntry> parse_map(std::istream& in) {
   std::vector<MapEntry> entries;
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
-    std::string chrom, snp_id;
-    double genetic_distance = 0.0;
-    std::int64_t position = 0;
-    if (!(fields >> chrom >> snp_id >> genetic_distance >> position)) {
-      throw std::runtime_error("plink: malformed .map line: " + line);
+    std::string chrom, snp_id, genetic_distance, position_text;
+    if (!(fields >> chrom >> snp_id >> genetic_distance >> position_text)) {
+      throw ParseError("plink", line_number,
+                       ".map: expected 4 fields "
+                       "(chrom, id, genetic distance, position), got '" +
+                           line + "'");
+    }
+    // The genetic-distance column is unused but must still look numeric —
+    // a shifted/garbled line should fail here, not smuggle its id into the
+    // position column.
+    std::istringstream distance_check(genetic_distance);
+    double distance = 0.0;
+    if (!(distance_check >> distance) || !distance_check.eof()) {
+      throw ParseError("plink", line_number,
+                       ".map: invalid genetic distance '" + genetic_distance +
+                           "'");
+    }
+    const std::int64_t position =
+        parse_int64(position_text, "plink", line_number, ".map position");
+    if (position < 0) {
+      throw ParseError("plink", line_number,
+                       ".map: negative position " + position_text);
     }
     entries.push_back({snp_id, position});
   }
@@ -47,26 +68,34 @@ Dataset read_plink(std::istream& ped_in, std::istream& map_in,
   // alleles[s] holds one char per haplotype.
   std::vector<std::string> alleles(sites);
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(ped_in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     std::string fid, iid, pat, mat, sex, phenotype;
     if (!(fields >> fid >> iid >> pat >> mat >> sex >> phenotype)) {
-      throw std::runtime_error("plink: malformed .ped prologue: " + line);
+      throw ParseError("plink", line_number,
+                       ".ped: malformed prologue (expected 6 fields): '" +
+                           line + "'");
     }
     ++local.individuals;
     for (std::size_t s = 0; s < sites; ++s) {
       std::string a1, a2;
       if (!(fields >> a1 >> a2) || a1.size() != 1 || a2.size() != 1) {
-        throw std::runtime_error("plink: .ped genotype count mismatch for " +
-                                 iid);
+        throw ParseError("plink", line_number,
+                         ".ped: genotype count mismatch for individual '" +
+                             iid + "' (expected " + std::to_string(sites) +
+                             " single-character allele pairs)");
       }
       alleles[s].push_back(a1[0]);
       alleles[s].push_back(a2[0]);
     }
     std::string extra;
     if (fields >> extra) {
-      throw std::runtime_error("plink: trailing genotype fields for " + iid);
+      throw ParseError("plink", line_number,
+                       ".ped: trailing genotype fields for individual '" +
+                           iid + "'");
     }
   }
 

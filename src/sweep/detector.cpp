@@ -30,13 +30,25 @@ std::vector<Candidate> DetectionReport::above(double threshold) const {
   return out;
 }
 
-DetectionReport detect_sweeps(const io::Dataset& dataset,
-                              const DetectorOptions& options,
-                              std::size_t max_candidates) {
+namespace {
+
+core::ScannerOptions base_scanner_options(const DetectorOptions& options) {
   core::ScannerOptions scanner_options;
   scanner_options.config = options.config;
   scanner_options.ld = options.ld;
   scanner_options.recovery = options.recovery;
+  scanner_options.cancel = options.cancel;
+  scanner_options.deadline_seconds = options.deadline_seconds;
+  scanner_options.deadline_clock = options.deadline_clock;
+  return scanner_options;
+}
+
+}  // namespace
+
+DetectionReport detect_sweeps(const io::Dataset& dataset,
+                              const DetectorOptions& options,
+                              std::size_t max_candidates) {
+  core::ScannerOptions scanner_options = base_scanner_options(options);
 
   DetectionReport report;
   core::ScanResult scan_result;
@@ -65,6 +77,7 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
       scan_result = core::scan(dataset, scanner_options, [&] {
         hw::gpu::GpuBackendOptions backend_options;
         backend_options.fault_plan = options.fault_plan;
+        backend_options.cancel = options.cancel;
         return std::make_unique<hw::gpu::GpuOmegaBackend>(spec, pool,
                                                           backend_options);
       });
@@ -76,6 +89,7 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
       scan_result = core::scan(dataset, scanner_options, [&] {
         hw::fpga::FpgaBackendOptions backend_options;
         backend_options.fault_plan = options.fault_plan;
+        backend_options.cancel = options.cancel;
         return std::make_unique<hw::fpga::FpgaOmegaBackend>(spec,
                                                             backend_options);
       });
@@ -84,6 +98,7 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
   }
 
   report.profile = scan_result.profile;
+  report.partial = scan_result.profile.runtime.partial;
   for (const auto& score : scan_result.top(max_candidates)) {
     if (!score.valid) continue;
     Candidate candidate;
@@ -100,10 +115,7 @@ DetectionReport detect_sweeps_stream(io::ChunkReader& reader,
                                      const DetectorOptions& options,
                                      const core::StreamScanOptions& stream_options,
                                      std::size_t max_candidates) {
-  core::ScannerOptions scanner_options;
-  scanner_options.config = options.config;
-  scanner_options.ld = options.ld;
-  scanner_options.recovery = options.recovery;
+  core::ScannerOptions scanner_options = base_scanner_options(options);
 
   DetectionReport report;
   core::ScanResult scan_result;
@@ -115,9 +127,10 @@ DetectionReport detect_sweeps_stream(io::ChunkReader& reader,
       break;
     }
     case Backend::CpuThreaded: {
-      throw std::invalid_argument(
-          "detect_sweeps_stream: streamed compute is single-threaded; use "
-          "Backend::Cpu");
+      report.backend_name = "cpu-mt";
+      scanner_options.threads = options.threads;
+      scan_result = core::stream_scan(reader, scanner_options, stream_options);
+      break;
     }
     case Backend::GpuSim: {
       static par::ThreadPool pool;  // sized to hardware concurrency
@@ -130,6 +143,7 @@ DetectionReport detect_sweeps_stream(io::ChunkReader& reader,
           core::stream_scan(reader, scanner_options, stream_options, [&] {
             hw::gpu::GpuBackendOptions backend_options;
             backend_options.fault_plan = options.fault_plan;
+            backend_options.cancel = options.cancel;
             return std::make_unique<hw::gpu::GpuOmegaBackend>(spec, pool,
                                                               backend_options);
           });
@@ -142,6 +156,7 @@ DetectionReport detect_sweeps_stream(io::ChunkReader& reader,
           core::stream_scan(reader, scanner_options, stream_options, [&] {
             hw::fpga::FpgaBackendOptions backend_options;
             backend_options.fault_plan = options.fault_plan;
+            backend_options.cancel = options.cancel;
             return std::make_unique<hw::fpga::FpgaOmegaBackend>(
                 spec, backend_options);
           });
@@ -151,6 +166,7 @@ DetectionReport detect_sweeps_stream(io::ChunkReader& reader,
 
   const auto& positions = reader.index().positions_bp;
   report.profile = scan_result.profile;
+  report.partial = scan_result.profile.runtime.partial;
   for (const auto& score : scan_result.top(max_candidates)) {
     if (!score.valid) continue;
     Candidate candidate;

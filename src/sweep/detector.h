@@ -12,6 +12,7 @@
 #include "core/stream_scanner.h"
 #include "io/chunk_reader.h"
 #include "io/dataset.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 
 namespace omega::sweep {
@@ -33,6 +34,16 @@ struct DetectorOptions {
   /// Deterministic fault injection applied to the simulated accelerator
   /// backends (GpuSim / FpgaSim); ignored by the CPU backends.
   util::fault::FaultPlan fault_plan;
+  /// Optional cooperative-cancellation token. Polled between positions (and
+  /// inside the simulated accelerators) — a request drains the scan cleanly
+  /// and the report comes back with partial = true. Not owned; must outlive
+  /// the call.
+  util::CancelToken* cancel = nullptr;
+  /// When > 0: the scan's wall-clock budget in seconds. Expiry converts to a
+  /// cancellation (reason Deadline) and a partial report.
+  double deadline_seconds = 0.0;
+  /// Injectable clock for the deadline (tests); defaults to steady_clock.
+  util::Deadline::Clock deadline_clock;
 };
 
 struct Candidate {
@@ -47,6 +58,9 @@ struct DetectionReport {
   std::vector<Candidate> candidates;  // descending omega
   core::ScanProfile profile;
   std::string backend_name;
+  /// True when the scan was cancelled (signal, API, or deadline) before every
+  /// grid position settled; mirrors profile.runtime.partial.
+  bool partial = false;
 
   /// Candidates with omega at least `threshold`.
   [[nodiscard]] std::vector<Candidate> above(double threshold) const;
@@ -68,8 +82,9 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
 /// Streaming counterpart: scans through a ChunkReader under the bounded-
 /// memory pipeline (core::stream_scan) and produces a report identical to
 /// detect_sweeps on the same data. Candidate window coordinates come from
-/// the reader's position index. Backend::CpuThreaded is rejected
-/// (std::invalid_argument) — streamed compute is single-threaded.
+/// the reader's position index. Backend::CpuThreaded runs the work-stealing
+/// span engine per chunk (options.threads workers). Checkpoint/resume is
+/// controlled through stream_options (checkpoint_path / resume).
 DetectionReport detect_sweeps_stream(
     io::ChunkReader& reader, const DetectorOptions& options = {},
     const core::StreamScanOptions& stream_options = {},

@@ -62,7 +62,9 @@ ProgressReporter::ProgressReporter(Sink sink, double interval_seconds,
       interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 0.0) {}
 
 void ProgressReporter::begin(std::uint64_t positions_total,
-                             std::uint64_t chunks_total) {
+                             std::uint64_t chunks_total,
+                             std::uint64_t positions_resumed,
+                             std::uint64_t chunks_resumed) {
   const std::lock_guard<std::mutex> lock(mutex_);
   start_time_ = clock_();
   last_emit_time_ = start_time_;
@@ -71,6 +73,9 @@ void ProgressReporter::begin(std::uint64_t positions_total,
   state_ = ProgressUpdate{};
   state_.positions_total = positions_total;
   state_.chunks_total = chunks_total;
+  state_.positions_done = positions_resumed;
+  state_.chunks_done = chunks_resumed;
+  baseline_positions_ = positions_resumed;
   emit_locked(/*final=*/false);
 }
 
@@ -113,9 +118,13 @@ void ProgressReporter::emit_locked(bool final) {
   const double now = clock_();
   state_.elapsed_seconds = now - start_time_;
   state_.final = final;
+  const std::uint64_t done_this_run =
+      state_.positions_done > baseline_positions_
+          ? state_.positions_done - baseline_positions_
+          : 0;
   state_.positions_per_second =
       state_.elapsed_seconds > 0.0
-          ? static_cast<double>(state_.positions_done) / state_.elapsed_seconds
+          ? static_cast<double>(done_this_run) / state_.elapsed_seconds
           : 0.0;
   if (!final && state_.positions_total > 0 &&
       state_.positions_per_second > 0.0 &&

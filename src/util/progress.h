@@ -48,8 +48,14 @@ class ProgressReporter {
                             Clock clock = {});
 
   /// Declares the workload and emits the initial (0-progress) update so the
-  /// sink shows life before the first slow chunk completes.
-  void begin(std::uint64_t positions_total, std::uint64_t chunks_total = 0);
+  /// sink shows life before the first slow chunk completes. A resumed scan
+  /// passes the already-committed counts as `positions_resumed` /
+  /// `chunks_resumed`: they show up in positions_done immediately, but the
+  /// throughput and ETA are derived only from positions scored *this* run,
+  /// so a resume does not inherit a stale rate from the interrupted run.
+  void begin(std::uint64_t positions_total, std::uint64_t chunks_total = 0,
+             std::uint64_t positions_resumed = 0,
+             std::uint64_t chunks_resumed = 0);
 
   /// Accumulates progress; emits an update only if at least the configured
   /// interval elapsed since the last emission. Thread-safe.
@@ -80,6 +86,7 @@ class ProgressReporter {
   bool started_ = false;
   bool active_ = false;  // true between begin()/first advance and finish()
   std::uint64_t emitted_ = 0;
+  std::uint64_t baseline_positions_ = 0;  // preloaded by a resume
   ProgressUpdate state_;
 };
 

@@ -72,6 +72,24 @@ HistogramSnapshot HistogramSnapshot::delta_since(
   return delta;
 }
 
+HistogramSnapshot HistogramSnapshot::merged_with(
+    const HistogramSnapshot& other) const noexcept {
+  HistogramSnapshot merged = *this;
+  merged.count = count + other.count;
+  merged.sum = sum + other.sum;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    merged.buckets[i] = buckets[i] + other.buckets[i];
+  }
+  if (count == 0) {
+    merged.min = other.min;
+    merged.max = other.max;
+  } else if (other.count > 0) {
+    merged.min = std::min(min, other.min);
+    merged.max = std::max(max, other.max);
+  }
+  return merged;
+}
+
 std::size_t Histogram::bucket_index(double value) const noexcept {
   return index_for(base_, value);
 }
@@ -144,6 +162,39 @@ RegistrySnapshot RegistrySnapshot::delta_since(
         name, before != nullptr ? snap.delta_since(*before) : snap);
   }
   return delta;
+}
+
+RegistrySnapshot RegistrySnapshot::merged_with(
+    const RegistrySnapshot& other) const {
+  RegistrySnapshot merged;
+  // All three metric families use the same name-sorted two-pointer union;
+  // duplicates within one snapshot cannot occur (map-backed registry).
+  auto union_names = [](auto& out, const auto& a, const auto& b,
+                        auto combine) {
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j >= b.size() || (i < a.size() && a[i].first < b[j].first)) {
+        out.emplace_back(a[i].first, a[i].second);
+        ++i;
+      } else if (i >= a.size() || b[j].first < a[i].first) {
+        out.emplace_back(b[j].first, b[j].second);
+        ++j;
+      } else {
+        out.emplace_back(a[i].first, combine(a[i].second, b[j].second));
+        ++i;
+        ++j;
+      }
+    }
+  };
+  union_names(merged.counters, counters, other.counters,
+              [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  union_names(merged.gauges, gauges, other.gauges,
+              [](double current, double) { return current; });
+  union_names(merged.histograms, histograms, other.histograms,
+              [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+                return a.merged_with(b);
+              });
+  return merged;
 }
 
 namespace {

@@ -115,6 +115,12 @@ struct HistogramSnapshot {
   /// later snapshot's values (extremes are not invertible).
   [[nodiscard]] HistogramSnapshot delta_since(
       const HistogramSnapshot& begin) const noexcept;
+
+  /// Per-sample union with another snapshot of the same histogram:
+  /// count/sum/buckets add, min/max widen, base keeps this snapshot's value.
+  /// Used to fold a checkpointed prior run's telemetry into the current one.
+  [[nodiscard]] HistogramSnapshot merged_with(
+      const HistogramSnapshot& other) const noexcept;
 };
 
 /// Log2-bucketed distribution with an exact count/sum/min/max sidecar.
@@ -182,6 +188,13 @@ struct RegistrySnapshot {
   /// attributes process-wide metrics to one scan without resetting the
   /// registry under concurrent users.
   [[nodiscard]] RegistrySnapshot delta_since(const RegistrySnapshot& begin)
+      const;
+
+  /// Union with a prior run's snapshot (checkpoint resume): counters and
+  /// histogram contents add, gauges keep this snapshot's (current) value when
+  /// present on both sides, and metrics present on only one side are taken
+  /// whole. Output stays name-sorted so documents remain stable.
+  [[nodiscard]] RegistrySnapshot merged_with(const RegistrySnapshot& other)
       const;
 };
 

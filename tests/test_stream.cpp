@@ -422,14 +422,31 @@ TEST(StreamScanEquivalence, FpgaSimBackendBitwise) {
             streamed.profile.omega_evaluations);
 }
 
-TEST(StreamScanEquivalence, CpuThreadedStreamIsRejected) {
-  const auto d = stream_dataset(38, 60);
-  DatasetChunkReader reader(d);
+TEST(StreamScanEquivalence, CpuThreadedStreamBitwise) {
+  // Streamed multithreaded compute (span engine per chunk) must match the
+  // in-memory threaded scan bitwise, same as the single-threaded backends.
+  const auto d = stream_dataset(38, 120);
   omega::sweep::DetectorOptions options;
   options.config = stream_config();
   options.backend = omega::sweep::Backend::CpuThreaded;
-  EXPECT_THROW(omega::sweep::detect_sweeps_stream(reader, options),
-               std::invalid_argument);
+  options.threads = 3;
+  const auto reference = omega::sweep::detect_sweeps(d, options);
+
+  DatasetChunkReader reader(d);
+  omega::core::StreamScanOptions stream_options;
+  stream_options.chunk_sites = 40;
+  const auto streamed =
+      omega::sweep::detect_sweeps_stream(reader, options, stream_options);
+
+  EXPECT_EQ(streamed.backend_name, "cpu-mt");
+  ASSERT_EQ(reference.candidates.size(), streamed.candidates.size());
+  for (std::size_t i = 0; i < reference.candidates.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&reference.candidates[i].omega,
+                          &streamed.candidates[i].omega, sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(reference.profile.omega_evaluations,
+            streamed.profile.omega_evaluations);
 }
 
 TEST(StreamScanEquivalence, FaultInjectionSequencesMatch) {
