@@ -199,9 +199,17 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
     options.mt_strategy =
         omega::core::ScannerOptions::MtStrategy::InnerPosition;
   }
-  options.ld = cli.get("ld", "popcount") == "gemm"
-                   ? omega::core::LdBackendKind::Gemm
-                   : omega::core::LdBackendKind::Popcount;
+  // --ld-engine supersedes the legacy --ld flag (which keeps working when it
+  // alone is given). Default auto: the packed engine with runtime
+  // AVX2/scalar microkernel dispatch — every engine produces bitwise-
+  // identical r2, so this only changes throughput.
+  try {
+    options.ld = omega::core::ld_backend_from_name(
+        cli.get("ld-engine", cli.get("ld", "auto")));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
   options.progress = progress;
   try {
     options.cpu_kernel =
@@ -428,7 +436,10 @@ int main(int argc, char** argv) {
       .describe("deadline-seconds",
                 "wall-clock budget for the scan; expiry drains cleanly and "
                 "exits 11 with a partial report (0 = no deadline)")
-      .describe("ld", "popcount | gemm (default popcount)")
+      .describe("ld-engine",
+                "LD engine: auto | naive | popcount | gemm | packed "
+                "(default auto = packed with runtime AVX2/scalar dispatch)")
+      .describe("ld", "legacy alias of --ld-engine (popcount | gemm)")
       .describe("backend", "cpu | gpu | fpga (default cpu)")
       .describe("cpu-kernel",
                 "cpu omega kernel: auto | scalar | portable | avx2 "

@@ -28,16 +28,12 @@ std::uint64_t fnv1a(const std::string& text) noexcept {
   return hash;
 }
 
+/// The LD name hashed into the config summary. Auto is resolved first: a
+/// checkpoint written with --ld-engine=auto must resume under an explicit
+/// --ld-engine=packed (and vice versa) because they run the same engine and
+/// the scores are bitwise identical either way.
 const char* ld_kind_name(LdBackendKind kind) noexcept {
-  switch (kind) {
-    case LdBackendKind::Naive:
-      return "naive";
-    case LdBackendKind::Popcount:
-      return "popcount";
-    case LdBackendKind::Gemm:
-      return "gemm";
-  }
-  return "unknown";
+  return ld_backend_name(resolve_ld_backend(kind));
 }
 
 /// Doubles round-trip through the checkpoint as bit patterns (JSON doubles

@@ -573,6 +573,19 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   runtime.set("chunks_resumed", profile.runtime.chunks_resumed);
   doc.set("runtime", std::move(runtime));
 
+  // v9: LD-engine accounting (docs/PERF.md "LD engines"): the resolved
+  // engine + microkernel ISA, the packed engine's panel-cache hit/miss
+  // counters, and the pack/kernel time split.
+  JsonValue ld = JsonValue::object();
+  ld.set("requested", profile.ld.requested);
+  ld.set("engine", profile.ld.engine);
+  ld.set("isa", profile.ld.isa);
+  ld.set("panel_packs", profile.ld.panel_packs);
+  ld.set("panel_hits", profile.ld.panel_hits);
+  ld.set("pack_seconds", profile.ld.pack_seconds);
+  ld.set("kernel_seconds", profile.ld.kernel_seconds);
+  doc.set("ld", std::move(ld));
+
   // v6: distributional telemetry (docs/OBSERVABILITY.md) — the registry
   // delta attributed to this scan.
   doc.set("telemetry", telemetry_json(profile.telemetry));

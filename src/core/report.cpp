@@ -39,10 +39,13 @@ void write_info(std::ostream& out, const std::string& run_name,
     out << "Side cap:     " << config.max_snps_per_side << " SNPs\n";
   }
   out << "Threads:      " << options.threads << "\n";
+  // Prefer the name of the engine that actually served the scan (resolves
+  // Auto and custom factories); fall back to the requested kind for results
+  // assembled without a profile.
   out << "LD engine:    "
-      << (options.ld == LdBackendKind::Gemm
-              ? "gemm"
-              : options.ld == LdBackendKind::Naive ? "naive" : "popcount")
+      << (!result.profile.ld_backend.empty()
+              ? result.profile.ld_backend
+              : ld_backend_name(resolve_ld_backend(options.ld)))
       << "\n";
   out << "Backend:      " << backend_name << "\n\n";
 

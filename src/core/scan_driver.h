@@ -76,6 +76,11 @@ void finalize_runtime(ScanProfile& profile, const CancelState& cancel,
                       const std::vector<GridPosition>& grid,
                       const std::vector<PositionScore>& scores);
 
+/// End-of-scan LD accounting shared by scan() and stream_scan(): fills
+/// ScanProfile::ld (schema v9) from the options and the scan-attributed
+/// telemetry delta. Call after profile.telemetry has been assigned.
+void finalize_ld_stats(ScanProfile& profile, const ScannerOptions& options);
+
 /// Advances the DP matrix to `position`: the single home of the
 /// reset-vs-relocate policy, shared by every MT strategy and by the stream
 /// driver so the relocation behaviour cannot silently diverge between them.

@@ -7,6 +7,7 @@
 #include "core/resilience.h"
 #include "core/scan_driver.h"
 #include "core/span_engine.h"
+#include "ld/packed.h"
 #include "par/thread_pool.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
@@ -20,16 +21,54 @@ std::size_t resolve_scan_threads(std::size_t requested) noexcept {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+LdBackendKind resolve_ld_backend(LdBackendKind kind) noexcept {
+  // Auto always resolves to the packed engine: it carries its own AVX2 vs
+  // scalar microkernel dispatch, so it is the best available choice on every
+  // host, and all engines produce bitwise-identical r2 anyway.
+  return kind == LdBackendKind::Auto ? LdBackendKind::Packed : kind;
+}
+
+const char* ld_backend_name(LdBackendKind kind) noexcept {
+  switch (kind) {
+    case LdBackendKind::Naive:
+      return "naive";
+    case LdBackendKind::Popcount:
+      return "popcount";
+    case LdBackendKind::Gemm:
+      return "gemm";
+    case LdBackendKind::Packed:
+      return "packed";
+    case LdBackendKind::Auto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+LdBackendKind ld_backend_from_name(std::string_view name) {
+  if (name == "naive") return LdBackendKind::Naive;
+  if (name == "popcount") return LdBackendKind::Popcount;
+  if (name == "gemm") return LdBackendKind::Gemm;
+  if (name == "packed") return LdBackendKind::Packed;
+  if (name == "auto") return LdBackendKind::Auto;
+  throw std::invalid_argument("unknown LD engine: " + std::string(name) +
+                              " (expected auto | naive | popcount | gemm | "
+                              "packed)");
+}
+
 std::unique_ptr<ld::LdEngine> make_ld_engine(LdBackendKind kind,
                                              const io::Dataset& dataset,
                                              const ld::SnpMatrix& snps) {
-  switch (kind) {
+  switch (resolve_ld_backend(kind)) {
     case LdBackendKind::Naive:
       return std::make_unique<ld::NaiveLd>(dataset);
     case LdBackendKind::Popcount:
       return std::make_unique<ld::PopcountLd>(snps);
     case LdBackendKind::Gemm:
       return std::make_unique<ld::GemmLd>(snps);
+    case LdBackendKind::Packed:
+      return std::make_unique<ld::PackedLd>(snps);
+    case LdBackendKind::Auto:
+      break;  // resolved above; unreachable
   }
   throw std::logic_error("unknown LD backend");
 }
@@ -185,6 +224,29 @@ void finalize_runtime(ScanProfile& profile, const CancelState& cancel,
   } else {
     runtime.deadline_outcome = "none";
   }
+}
+
+void finalize_ld_stats(ScanProfile& profile, const ScannerOptions& options) {
+  LdStats& ld = profile.ld;
+  ld.requested =
+      options.ld_factory ? "custom" : ld_backend_name(options.ld);
+  ld.engine = profile.ld_backend;
+  // make_ld_engine builds PackedLd with PackedIsa::Auto, so the resolved
+  // microkernel body is reproducible from the build/host alone.
+  ld.isa = profile.ld_backend == "packed"
+               ? ld::packed_isa_name(ld::PackedIsa::Auto)
+               : "";
+  // Derived from the scan-attributed telemetry delta (must already be set):
+  // this accumulates correctly across per-chunk engines in streamed scans
+  // and across runs on checkpoint resume, with no extra plumbing.
+  ld.panel_packs = profile.telemetry.counter_value("ld.panel_cache.misses");
+  ld.panel_hits = profile.telemetry.counter_value("ld.panel_cache.hits");
+  const util::telemetry::HistogramSnapshot* pack =
+      profile.telemetry.find_histogram("ld.pack_seconds");
+  ld.pack_seconds = pack != nullptr ? pack->sum : 0.0;
+  const util::telemetry::HistogramSnapshot* kernel =
+      profile.telemetry.find_histogram("ld.kernel_seconds");
+  ld.kernel_seconds = kernel != nullptr ? kernel->sum : 0.0;
 }
 
 bool score_position(OmegaBackend& backend, const DpMatrix& m,
@@ -487,6 +549,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   result.profile.total_seconds = total.seconds();
   result.profile.telemetry =
       util::telemetry::snapshot().delta_since(telemetry_begin);
+  detail::finalize_ld_stats(result.profile, options);
   if (options.progress != nullptr) options.progress->finish();
   return result;
 }

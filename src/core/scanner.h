@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dp_matrix.h"
@@ -107,7 +108,24 @@ inline std::unique_ptr<OmegaBackend> borrow_backend(OmegaBackend& backend) {
   return std::make_unique<BorrowedBackend>(backend);
 }
 
-enum class LdBackendKind { Naive, Popcount, Gemm };
+/// LD engine selector. Auto resolves (via resolve_ld_backend) to Packed —
+/// the bit-packed blocked engine with runtime AVX2/scalar microkernel
+/// dispatch (ld/packed.h). Every kind produces bitwise-identical r2, so the
+/// choice affects throughput only; Naive is the unpacked test oracle.
+enum class LdBackendKind { Naive, Popcount, Gemm, Packed, Auto };
+
+/// Resolves Auto to the concrete engine kind this build prefers (Packed; the
+/// engine itself dispatches AVX2 vs scalar per host). Concrete kinds pass
+/// through.
+[[nodiscard]] LdBackendKind resolve_ld_backend(LdBackendKind kind) noexcept;
+
+/// Stable engine-kind names ("naive" | "popcount" | "gemm" | "packed" |
+/// "auto") — used by the CLI, the checkpoint config hash, and the report.
+[[nodiscard]] const char* ld_backend_name(LdBackendKind kind) noexcept;
+
+/// Inverse of ld_backend_name; throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] LdBackendKind ld_backend_from_name(std::string_view name);
 
 /// Recovery policy for backend failures (core/resilience.h has the engine).
 /// Backoff is accounted against a virtual clock — the scan never wall-sleeps,
@@ -377,6 +395,24 @@ struct RuntimeStats {
   std::uint64_t chunks_resumed = 0;
 };
 
+/// LD-engine accounting (profile/metrics schema v9): which engine (and which
+/// requested kind) served the scan's r2 fetches, the packed engine's
+/// microkernel ISA and panel-cache effectiveness, and how the LD time splits
+/// between packing panels and running the count kernels. Derived from the
+/// scan's telemetry delta (ld.panel_cache.* counters, ld.pack_seconds /
+/// ld.kernel_seconds histograms), so streamed scans accumulate across
+/// per-chunk engines and resumes accumulate across runs. pack/kernel seconds
+/// stay zero for engines without a pack phase (popcount/naive/gemm).
+struct LdStats {
+  std::string requested;  // options.ld as asked ("auto", ...; "custom")
+  std::string engine;     // resolved engine name (== ld_backend)
+  std::string isa;        // packed microkernel body: "avx2" | "scalar" | ""
+  std::uint64_t panel_packs = 0;  // panel-cache misses (blocks packed)
+  std::uint64_t panel_hits = 0;   // panel-cache hits (blocks reused)
+  double pack_seconds = 0.0;      // time packing bit panels
+  double kernel_seconds = 0.0;    // time in the count microkernels
+};
+
 /// Simulated-FPGA counters: pipeline occupancy of the §V design.
 struct FpgaProfile {
   std::uint64_t pipeline_cycles = 0;  // total accelerator cycles
@@ -417,6 +453,9 @@ struct ScanProfile {
   /// Cancellation/deadline/checkpoint accounting (v8); defaults describe an
   /// uninterrupted, checkpoint-free run.
   RuntimeStats runtime;
+  /// LD engine + packed-panel-cache accounting (v9), filled by the drivers
+  /// from the scan's telemetry delta at finalize.
+  LdStats ld;
   /// Distributional telemetry attributed to this scan (v6): the delta of the
   /// process-wide util/telemetry registry between scan start and end —
   /// queue-depth, task/chunk/retry-latency histograms, overlap-ratio gauges

@@ -154,6 +154,7 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     profile.total_seconds = total.seconds();
     profile.telemetry =
         util::telemetry::snapshot().delta_since(telemetry_begin);
+    detail::finalize_ld_stats(profile, options);
     if (options.progress != nullptr) {
       options.progress->begin(valid_positions, plan.chunks.size());
       options.progress->finish();
@@ -305,6 +306,7 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     totals.telemetry = util::telemetry::snapshot()
                            .delta_since(telemetry_begin)
                            .merged_with(resumed_telemetry);
+    detail::finalize_ld_stats(totals, options);
     return totals;
   };
   std::size_t committed = k0;
@@ -503,6 +505,7 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   profile.telemetry = util::telemetry::snapshot()
                           .delta_since(telemetry_begin)
                           .merged_with(resumed_telemetry);
+  detail::finalize_ld_stats(profile, options);
   if (options.progress != nullptr) options.progress->finish();
   return result;
 }

@@ -3,8 +3,25 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/bits.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
+
 namespace omega::ld {
 namespace {
+
+/// Pair counts the auxiliary block functions have produced, process-wide —
+/// the note_served analogue for count paths that run outside an engine
+/// instance (cross-validation, benches), so served-pair accounting stays
+/// consistent across every LD code path.
+util::telemetry::Counter& pair_counts_counter() {
+  static util::telemetry::Counter& counter =
+      util::telemetry::counter("ld.pair_counts_served");
+  return counter;
+}
+
+/// Prefetch lead of the popcount block loop, matching the engines'.
+constexpr std::size_t kBlockPrefetchRows = 4;
 
 constexpr std::size_t MR = GemmBlocking::mr;
 constexpr std::size_t NR = GemmBlocking::nr;
@@ -91,17 +108,24 @@ void pair_count_block_gemm(const SnpMatrix& snps, std::size_t i_begin,
                            std::size_t j_end, std::int32_t* out,
                            std::size_t ld_out, const GemmBlocking& blocking,
                            PackSource a_source, PackSource b_source) {
+  const util::trace::Span span("ld.gemm.pair_count_block");
   const std::size_t m_total = i_end - i_begin;
   const std::size_t n_total = j_end - j_begin;
   const std::size_t k_total = snps.num_samples();
   if (m_total == 0 || n_total == 0) return;
+  pair_counts_counter().add(static_cast<std::uint64_t>(m_total) * n_total);
 
   for (std::size_t r = 0; r < m_total; ++r) {
     std::memset(out + r * ld_out, 0, n_total * sizeof(std::int32_t));
   }
 
-  std::vector<std::uint8_t> a_panel(((blocking.mc + MR - 1) / MR) * MR * blocking.kc);
-  std::vector<std::uint8_t> b_panel(((blocking.nc + NR - 1) / NR) * NR * blocking.kc);
+  // Per-thread packing scratch (engines calling in here are shared across
+  // scan workers); assign() preserves capacity, so panel buffers stop being
+  // a per-call heap allocation.
+  static thread_local std::vector<std::uint8_t> a_panel;
+  static thread_local std::vector<std::uint8_t> b_panel;
+  a_panel.resize(((blocking.mc + MR - 1) / MR) * MR * blocking.kc);
+  b_panel.resize(((blocking.nc + NR - 1) / NR) * NR * blocking.kc);
 
   // Loop 5 (NC columns) -> loop 4 (KC depth) -> loop 3 (MC rows)
   //   -> loop 2 (NR slivers) -> loop 1 (MR slivers) -> microkernel.
@@ -140,9 +164,17 @@ void pair_count_block_popcount(const SnpMatrix& snps, std::size_t i_begin,
                                std::size_t i_end, std::size_t j_begin,
                                std::size_t j_end, std::int32_t* out,
                                std::size_t ld_out) {
+  const util::trace::Span span("ld.popcount.pair_count_block");
+  if (i_end > i_begin && j_end > j_begin) {
+    pair_counts_counter().add(static_cast<std::uint64_t>(i_end - i_begin) *
+                              (j_end - j_begin));
+  }
   for (std::size_t i = i_begin; i < i_end; ++i) {
     std::int32_t* row = out + (i - i_begin) * ld_out;
     for (std::size_t j = j_begin; j < j_end; ++j) {
+      if (j + kBlockPrefetchRows < j_end) {
+        util::prefetch_read(snps.row(j + kBlockPrefetchRows));
+      }
       row[j - j_begin] = snps.pair_count(i, j);
     }
   }

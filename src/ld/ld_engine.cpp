@@ -52,15 +52,28 @@ void GemmLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
   const std::size_t m = i1 - i0;
   const std::size_t n_cols = j1 - j0;
   if (m == 0 || n_cols == 0) return;
-  std::vector<std::int32_t> counts(m * n_cols);
+  // Reusable count scratch, mirroring DpMatrix::r2_scratch_ — but per thread
+  // rather than per engine, because multithreaded scans share one engine
+  // across workers (member scratch would be a data race). assign() keeps the
+  // capacity across calls, so the four m x n buffers the missing-data path
+  // needs are heap-allocated once per thread instead of once per call.
+  struct Scratch {
+    std::vector<std::int32_t> counts, ni, nj, n;
+  };
+  static thread_local Scratch scratch;
+  std::vector<std::int32_t>& counts = scratch.counts;
+  counts.assign(m * n_cols, 0);
   pair_count_block_gemm(snps_, i0, i1, j0, j1, counts.data(), n_cols, blocking_);
 
   if (snps_.has_missing()) {
     // Pairwise-complete counting as three further GEMMs over the Data/Mask
     // operand combinations (the DLA cast extends directly to missing data).
-    std::vector<std::int32_t> ni_pair(m * n_cols);
-    std::vector<std::int32_t> nj_pair(m * n_cols);
-    std::vector<std::int32_t> n_pair(m * n_cols);
+    std::vector<std::int32_t>& ni_pair = scratch.ni;
+    std::vector<std::int32_t>& nj_pair = scratch.nj;
+    std::vector<std::int32_t>& n_pair = scratch.n;
+    ni_pair.assign(m * n_cols, 0);
+    nj_pair.assign(m * n_cols, 0);
+    n_pair.assign(m * n_cols, 0);
     pair_count_block_gemm(snps_, i0, i1, j0, j1, ni_pair.data(), n_cols,
                           blocking_, PackSource::Data, PackSource::Mask);
     pair_count_block_gemm(snps_, i0, i1, j0, j1, nj_pair.data(), n_cols,
@@ -95,6 +108,9 @@ void NaiveLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
   note_served(static_cast<std::uint64_t>(i1 - i0) * (j1 - j0));
   for (std::size_t i = i0; i < i1; ++i) {
     for (std::size_t j = j0; j < j1; ++j) {
+      if (j + kPrefetchRows < j1) {
+        util::prefetch_read(dataset_.site(j + kPrefetchRows).data());
+      }
       out[(i - i0) * ld + (j - j0)] =
           static_cast<float>(r2_naive(dataset_, i, j));
     }

@@ -1,11 +1,15 @@
 #pragma once
 // LD engine interface: supplies r2 values for SNP pairs to the omega DP
-// layer. Two production engines mirror the two LD computation strategies in
+// layer. Three production engines mirror the LD computation strategies in
 // the paper's lineage:
 //   * PopcountLd  — bit-parallel AND+popcount per pair (OmegaPlus CPU path),
-//   * GemmLd      — BLIS-style blocked GEMM over 0/1 panels (the dense-
-//                   linear-algebra cast used by the GPU LD kernel).
-// Both produce identical counts; they differ only in throughput profile.
+//   * GemmLd      — BLIS-style blocked GEMM over 0/1 byte panels (the dense-
+//                   linear-algebra cast used by the GPU LD kernel),
+//   * PackedLd    — bit-packed blocked engine (ld/packed.h): GemmLd's loop
+//                   nest with panels kept at 1 bit/genotype, an AVX2 or
+//                   scalar popcount microkernel, and a cross-extend panel
+//                   cache. The production default (LdBackendKind::Auto).
+// All produce identical counts; they differ only in throughput profile.
 
 #include <atomic>
 #include <cstdint>

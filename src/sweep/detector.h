@@ -28,7 +28,11 @@ struct DetectorOptions {
   core::OmegaConfig config;
   Backend backend = Backend::Cpu;
   std::size_t threads = 4;  // CpuThreaded only
-  core::LdBackendKind ld = core::LdBackendKind::Popcount;
+  /// LD engine for the CPU backends (core::resolve_ld_backend semantics:
+  /// Auto runs the bit-packed engine with runtime AVX2/scalar dispatch).
+  /// Every kind produces bitwise-identical r2 and hence identical
+  /// candidates; the accelerator backends install their own ld_factory.
+  core::LdBackendKind ld = core::LdBackendKind::Auto;
   /// Fault-recovery policy forwarded to the scan driver.
   core::RecoveryPolicy recovery;
   /// Deterministic fault injection applied to the simulated accelerator

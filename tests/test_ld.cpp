@@ -1,6 +1,8 @@
 // Tests for the LD substrate: Eq. (1) arithmetic, bit-packing, and agreement
-// of all three engines (naive / popcount / BLIS-style GEMM) across shapes
-// that stress the blocking edges.
+// of all four engines (naive / popcount / BLIS-style GEMM / bit-packed)
+// across shapes that stress the blocking edges. PackedLd-specific behaviour
+// (panel cache, ISA dispatch, scan-level identity) lives in
+// test_ld_packed.cpp.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,7 @@
 #include "io/dataset.h"
 #include "ld/gemm.h"
 #include "ld/ld_engine.h"
+#include "ld/packed.h"
 #include "ld/r2.h"
 #include "ld/snp_matrix.h"
 #include "sim/dataset_factory.h"
@@ -37,6 +40,9 @@ Dataset random_dataset(std::size_t sites, std::size_t samples,
   return Dataset(std::move(positions), std::move(rows),
                  static_cast<std::int64_t>(sites + 1) * 10);
 }
+
+Dataset random_missing_dataset(std::size_t sites, std::size_t samples,
+                               double missing_rate, std::uint64_t seed);
 
 TEST(R2, HandComputedCase) {
   // 4 samples; SNP i = 1100, SNP j = 1010.
@@ -124,18 +130,21 @@ TEST_P(EngineAgreement, AllEnginesMatchNaive) {
   const omega::ld::NaiveLd naive(d);
   const omega::ld::PopcountLd popcount(snps);
   const omega::ld::GemmLd gemm(snps);
+  const omega::ld::PackedLd packed(snps);
 
   std::vector<float> expected(sites * sites), pop(sites * sites),
-      gem(sites * sites);
+      gem(sites * sites), pck(sites * sites);
   naive.r2_block(0, sites, 0, sites, expected.data(), sites);
   popcount.r2_block(0, sites, 0, sites, pop.data(), sites);
   gemm.r2_block(0, sites, 0, sites, gem.data(), sites);
+  packed.r2_block(0, sites, 0, sites, pck.data(), sites);
   for (std::size_t idx = 0; idx < expected.size(); ++idx) {
     // Naive computes in double then narrows; the engines compute in float —
-    // agreement to a couple of ulps. Popcount and GEMM share the exact same
-    // float path and must match bitwise.
+    // agreement to a couple of ulps. Popcount, GEMM, and the packed engine
+    // share the exact same float path and must match bitwise.
     ASSERT_NEAR(pop[idx], expected[idx], 2e-6f) << "popcount idx " << idx;
     ASSERT_EQ(gem[idx], pop[idx]) << "gemm idx " << idx;
+    ASSERT_EQ(pck[idx], pop[idx]) << "packed idx " << idx;
   }
 }
 
@@ -167,6 +176,77 @@ TEST(Gemm, SmallBlockingParametersStillCorrect) {
   omega::ld::pair_count_block_gemm(snps, 0, 40, 0, 40, actual.data(), 40,
                                    blocking);
   EXPECT_EQ(expected, actual);
+}
+
+TEST(Packed, SmallBlockingParametersStillCorrect) {
+  // 150 samples = 3 words per row; kc_words = 1 forces depth (pc) boundaries
+  // that straddle the sample word count, sites_per_panel = 3 forces many
+  // panel blocks, and mc/nc = 8/8 force edge tiles everywhere.
+  const Dataset d = random_dataset(41, 150, 53);
+  const omega::ld::SnpMatrix snps(d);
+  omega::ld::PackedBlocking blocking;
+  blocking.mc = 8;
+  blocking.nc = 8;
+  blocking.kc_words = 1;
+  blocking.sites_per_panel = 3;
+  const omega::ld::PopcountLd popcount(snps);
+  const omega::ld::PackedLd packed(snps, blocking);
+  std::vector<float> expected(41 * 41), actual(41 * 41);
+  popcount.r2_block(0, 41, 0, 41, expected.data(), 41);
+  packed.r2_block(0, 41, 0, 41, actual.data(), 41);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(Packed, SmallBlockingWithMissingData) {
+  const Dataset d = random_missing_dataset(37, 200, 0.2, 59);
+  const omega::ld::SnpMatrix snps(d);
+  omega::ld::PackedBlocking blocking;
+  blocking.mc = 8;
+  blocking.nc = 8;
+  blocking.kc_words = 2;
+  blocking.sites_per_panel = 5;
+  const omega::ld::PopcountLd popcount(snps);
+  const omega::ld::PackedLd packed(snps, blocking);
+  std::vector<float> expected(37 * 37), actual(37 * 37);
+  popcount.r2_block(0, 37, 0, 37, expected.data(), 37);
+  packed.r2_block(0, 37, 0, 37, actual.data(), 37);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(Packed, MonomorphicAndDegenerateSites) {
+  // All-ancestral, all-derived, singleton, and (n-1)-ton rows: r2 with a
+  // monomorphic site is defined as 0 and must not divide by zero anywhere.
+  const std::size_t samples = 70;
+  std::vector<std::vector<std::uint8_t>> rows;
+  rows.push_back(std::vector<std::uint8_t>(samples, 0));  // monomorphic 0
+  rows.push_back(std::vector<std::uint8_t>(samples, 1));  // monomorphic 1
+  std::vector<std::uint8_t> singleton(samples, 0);
+  singleton[3] = 1;
+  rows.push_back(singleton);
+  std::vector<std::uint8_t> near_fixed(samples, 1);
+  near_fixed[samples - 1] = 0;
+  rows.push_back(near_fixed);
+  Dataset mixed = random_dataset(4, samples, 61);
+  for (std::size_t s = 0; s < 4; ++s) rows.push_back(mixed.site(s));
+  const std::size_t sites = rows.size();
+  std::vector<std::int64_t> positions(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    positions[s] = static_cast<std::int64_t>(s + 1) * 10;
+  }
+  const Dataset d(std::move(positions), std::move(rows),
+                  static_cast<std::int64_t>(sites + 1) * 10);
+  const omega::ld::SnpMatrix snps(d);
+  const omega::ld::PopcountLd popcount(snps);
+  const omega::ld::PackedLd packed(snps);
+  std::vector<float> expected(sites * sites), actual(sites * sites);
+  popcount.r2_block(0, sites, 0, sites, expected.data(), sites);
+  packed.r2_block(0, sites, 0, sites, actual.data(), sites);
+  EXPECT_EQ(expected, actual);
+  // Monomorphic rows correlate with nothing, including themselves.
+  for (std::size_t j = 0; j < sites; ++j) {
+    EXPECT_EQ(actual[0 * sites + j], 0.0f) << j;
+    EXPECT_EQ(actual[1 * sites + j], 0.0f) << j;
+  }
 }
 
 TEST(Gemm, EmptyBlocksAreNoops) {
@@ -258,13 +338,17 @@ TEST_P(MissingEngineAgreement, AllEnginesAgree) {
   const omega::ld::NaiveLd naive(d);
   const omega::ld::PopcountLd popcount(snps);
   const omega::ld::GemmLd gemm(snps);
-  std::vector<float> expected(40 * 40), pop(40 * 40), gem(40 * 40);
+  const omega::ld::PackedLd packed(snps);
+  std::vector<float> expected(40 * 40), pop(40 * 40), gem(40 * 40),
+      pck(40 * 40);
   naive.r2_block(0, 40, 0, 40, expected.data(), 40);
   popcount.r2_block(0, 40, 0, 40, pop.data(), 40);
   gemm.r2_block(0, 40, 0, 40, gem.data(), 40);
+  packed.r2_block(0, 40, 0, 40, pck.data(), 40);
   for (std::size_t idx = 0; idx < expected.size(); ++idx) {
     ASSERT_NEAR(pop[idx], expected[idx], 2e-6f) << idx;
     ASSERT_EQ(gem[idx], pop[idx]) << idx;
+    ASSERT_EQ(pck[idx], pop[idx]) << idx;
   }
 }
 
@@ -279,10 +363,13 @@ TEST(LdEngine, CoalescentDataAgreement) {
   const omega::ld::SnpMatrix snps(d);
   const omega::ld::PopcountLd popcount(snps);
   const omega::ld::GemmLd gemm(snps);
-  std::vector<float> a(60 * 60), b(60 * 60);
+  const omega::ld::PackedLd packed(snps);
+  std::vector<float> a(60 * 60), b(60 * 60), c(60 * 60);
   popcount.r2_block(0, 60, 0, 60, a.data(), 60);
   gemm.r2_block(0, 60, 0, 60, b.data(), 60);
+  packed.r2_block(0, 60, 0, 60, c.data(), 60);
   EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
 }
 
 }  // namespace
