@@ -1,0 +1,120 @@
+// Heterogeneous co-scheduler end-to-end wall clock: one scan split across
+// the CPU span engine and both simulated accelerators (auto split and fixed
+// ratios) against each backend running the same workload alone on the same
+// thread budget. Writes BENCH_HETERO.json (consumed by the bench_hetero_diff
+// ctest gate) with the full schema v10 "hetero" block per run — planned vs
+// actual positions, span counts, modeled vs measured partition seconds.
+//
+// Exit code: 1 when this host has >= 4 hardware threads and the auto-split
+// hetero wall exceeds the best single-backend wall by more than 15% (the
+// co-scheduler must never lose to the best of its own parts); 0 otherwise —
+// on a small host the partitions serialize and the gate cannot arm.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/hetero_scheduler.h"
+#include "core/scanner.h"
+#include "hw/hetero_profile.h"
+#include "par/thread_pool.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  const auto dataset = omega::bench::figure_dataset(4'000, 50);
+  omega::core::OmegaConfig config;
+  config.grid_size = 200;
+  config.window_unit = omega::core::WindowUnit::Snps;
+  config.max_window = 3'000;
+  config.min_window = 500;
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const std::size_t threads =
+      std::max<std::size_t>(4, std::min<unsigned>(hw_threads, 8));
+  std::printf("Heterogeneous co-scheduler (4,000 SNPs x 50 sequences, "
+              "grid 200, %zu threads)\n", threads);
+  std::printf("host: %u hardware threads\n\n", hw_threads);
+
+  omega::par::ThreadPool gpu_pool(2);
+  omega::bench::BenchJson json("HETERO");
+  omega::util::Table table(
+      {"Run", "wall s", "vs best single", "re-dispatched", "partitions"});
+
+  struct Run {
+    std::string key;
+    std::string split;  // empty = plain CPU scan (no co-scheduler)
+  };
+  const std::vector<Run> runs = {
+      {"cpu_only", ""},        {"gpu_sim_only", "0:1:0"},
+      {"fpga_sim_only", "0:0:1"}, {"hetero_auto", "auto"},
+      {"hetero_1_1_1", "1:1:1"},
+  };
+
+  double best_single = 0.0;
+  double hetero_auto_wall = 0.0;
+  for (const Run& run : runs) {
+    omega::core::ScannerOptions options;
+    options.config = config;
+    options.threads = threads;
+    omega::hw::HeteroProfileOptions profile_options;
+    omega::core::HeteroConfig hetero_config;
+    if (!run.split.empty()) {
+      profile_options.split = omega::core::HeteroSplit::parse(run.split);
+      hetero_config = omega::hw::default_hetero_config(profile_options,
+                                                       gpu_pool);
+      options.hetero = &hetero_config;
+    }
+
+    const omega::util::Timer timer;
+    const auto result = omega::core::scan(dataset, options);
+    const double seconds = timer.seconds();
+    // Single-backend baselines: the plain MT CPU scan plus each accelerator
+    // carrying the whole grid alone (zero-weight CPU/peer partitions).
+    const bool single = run.key != "hetero_auto" && run.key != "hetero_1_1_1";
+    if (single) {
+      best_single = best_single == 0.0 ? seconds
+                                       : std::min(best_single, seconds);
+    }
+    if (run.key == "hetero_auto") hetero_auto_wall = seconds;
+
+    const auto& stats = result.profile.hetero;
+    std::string partitions;
+    for (const auto& partition : stats.partitions) {
+      if (!partitions.empty()) partitions += " ";
+      partitions += partition.backend.substr(0, partition.backend.find(':')) +
+                    "=" + std::to_string(partition.actual_positions);
+    }
+    table.add_row({run.key, omega::util::Table::num(seconds, 3),
+                   best_single > 0.0
+                       ? omega::util::Table::num(seconds / best_single, 2) + "x"
+                       : "-",
+                   std::to_string(stats.redispatched_positions),
+                   partitions.empty() ? "-" : partitions});
+
+    json.add_scan_profile(run.key, result.profile);
+    json.results().at(run.key).set("wall_seconds", seconds);
+  }
+  json.results().set("best_single_wall_seconds", best_single);
+  json.results().set("hetero_auto_wall_seconds", hetero_auto_wall);
+  json.results().set("hetero_vs_best_single_ratio",
+                     best_single > 0.0 ? hetero_auto_wall / best_single : 0.0);
+  json.results().set("hardware_threads",
+                     static_cast<std::int64_t>(hw_threads));
+  table.print();
+  json.write();
+
+  if (hw_threads >= 4 && hetero_auto_wall > best_single * 1.15) {
+    std::printf("\nFAIL: hetero auto wall %.3fs exceeds best single backend "
+                "%.3fs by more than 15%% on a %u-thread host\n",
+                hetero_auto_wall, best_single, hw_threads);
+    return 1;
+  }
+  std::printf("\nhetero auto vs best single: %.2fx%s\n",
+              best_single > 0.0 ? hetero_auto_wall / best_single : 0.0,
+              hw_threads < 4 ? " (gate disarmed: < 4 hardware threads)" : "");
+  return 0;
+}

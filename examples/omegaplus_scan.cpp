@@ -32,6 +32,7 @@
 #include "io/chunk_reader.h"
 #include "hw/fpga/fpga_backend.h"
 #include "hw/gpu/gpu_backend.h"
+#include "hw/hetero_profile.h"
 #include "io/fasta.h"
 #include "io/ms_format.h"
 #include "io/vcf_lite.h"
@@ -307,6 +308,47 @@ int run_scan(const omega::util::Cli& cli, const std::string& name,
                 fpga.accounting().modeled_total_seconds(),
                 static_cast<unsigned long long>(fpga.accounting().hw_omegas),
                 static_cast<unsigned long long>(fpga.accounting().sw_omegas));
+  } else if (backend == "hetero") {
+    // Heterogeneous co-scheduler: the grid splits across the CPU span engine
+    // and both simulated accelerators concurrently (core/hetero_scheduler.h);
+    // results are bitwise-identical to --backend=cpu for any split.
+    omega::hw::HeteroProfileOptions profile_options;
+    try {
+      profile_options.split =
+          omega::core::HeteroSplit::parse(cli.get("hetero-split", "auto"));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 2;
+    }
+    profile_options.fault_plan = fault_plan;
+    profile_options.cancel = options.cancel;
+    profile_options.cpu_kernel = options.cpu_kernel;
+    const omega::core::HeteroConfig hetero_config =
+        omega::hw::default_hetero_config(profile_options, pool);
+    options.hetero = &hetero_config;
+    result = run({});
+    options.hetero = nullptr;  // config goes out of scope with this branch
+    backend_name = "hetero[" + profile_options.split.name() + "]";
+    const auto& hetero_stats = result.profile.hetero;
+    for (const auto& part : hetero_stats.partitions) {
+      std::printf(
+          "hetero: %-28s weight %.2f planned %llu actual %llu "
+          "(modeled %.4f s, measured %.4f s)\n",
+          part.backend.c_str(), part.weight,
+          static_cast<unsigned long long>(part.planned_positions),
+          static_cast<unsigned long long>(part.actual_positions),
+          part.modeled_seconds, part.measured_seconds);
+    }
+    if (hetero_stats.redispatched_spans > 0) {
+      std::printf("hetero: re-dispatched %llu spans / %llu positions "
+                  "(%llu straggler, %llu faulted)\n",
+                  static_cast<unsigned long long>(
+                      hetero_stats.redispatched_spans),
+                  static_cast<unsigned long long>(
+                      hetero_stats.redispatched_positions),
+                  static_cast<unsigned long long>(hetero_stats.straggler_spans),
+                  static_cast<unsigned long long>(hetero_stats.faulted_spans));
+    }
   } else {
     std::fprintf(stderr, "error: unknown backend '%s'\n", backend.c_str());
     return 2;
@@ -440,7 +482,10 @@ int main(int argc, char** argv) {
                 "LD engine: auto | naive | popcount | gemm | packed "
                 "(default auto = packed with runtime AVX2/scalar dispatch)")
       .describe("ld", "legacy alias of --ld-engine (popcount | gemm)")
-      .describe("backend", "cpu | gpu | fpga (default cpu)")
+      .describe("backend", "cpu | gpu | fpga | hetero (default cpu)")
+      .describe("hetero-split",
+                "hetero backend grid split: auto (modeled throughput) or "
+                "cpu:gpu:fpga weights, e.g. 2:1:1 (default auto)")
       .describe("cpu-kernel",
                 "cpu omega kernel: auto | scalar | portable | avx2 "
                 "(default auto)")

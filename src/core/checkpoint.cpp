@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/hetero_scheduler.h"
 #include "core/scan_driver.h"
 #include "core/stream_scanner.h"
 
@@ -132,6 +133,33 @@ metrics::JsonValue profile_totals_json(const ScanProfile& p) {
   }
   totals.set("sched_workers", std::move(sched_detail));
 
+  // v10: heterogeneous co-scheduler accounting. Only written when the scan
+  // actually ran hetero, so cpu/mt checkpoints stay byte-compatible with the
+  // pre-v10 reader.
+  if (p.hetero.enabled) {
+    JsonValue hetero = JsonValue::object();
+    hetero.set("split", p.hetero.split);
+    hetero.set("plans", p.hetero.plans);
+    hetero.set("redispatched_spans", p.hetero.redispatched_spans);
+    hetero.set("redispatched_positions", p.hetero.redispatched_positions);
+    hetero.set("straggler_spans", p.hetero.straggler_spans);
+    hetero.set("faulted_spans", p.hetero.faulted_spans);
+    JsonValue partitions = JsonValue::array();
+    for (const HeteroPartitionStats& part : p.hetero.partitions) {
+      JsonValue entry = JsonValue::object();
+      entry.set("backend", part.backend);
+      entry.set("weight", part.weight);
+      entry.set("planned_positions", part.planned_positions);
+      entry.set("actual_positions", part.actual_positions);
+      entry.set("spans", part.spans);
+      entry.set("modeled_seconds", part.modeled_seconds);
+      entry.set("measured_seconds", part.measured_seconds);
+      partitions.push_back(std::move(entry));
+    }
+    hetero.set("partitions", std::move(partitions));
+    totals.set("hetero", std::move(hetero));
+  }
+
   totals.set("telemetry", metrics::telemetry_json(p.telemetry));
   return totals;
 }
@@ -220,6 +248,29 @@ ScanProfile profile_totals_from_json(const metrics::JsonValue& totals) {
     w.positions = fields[2].as_uint();
     w.busy_seconds = fields[3].as_double();
     p.sched.workers_detail.push_back(w);
+  }
+
+  // Optional (absent in pre-v10 checkpoints and in cpu/mt runs).
+  if (const auto* hetero = totals.find("hetero")) {
+    p.hetero.enabled = true;
+    p.hetero.split = hetero->at("split").as_string();
+    p.hetero.plans = hetero->at("plans").as_uint();
+    p.hetero.redispatched_spans = hetero->at("redispatched_spans").as_uint();
+    p.hetero.redispatched_positions =
+        hetero->at("redispatched_positions").as_uint();
+    p.hetero.straggler_spans = hetero->at("straggler_spans").as_uint();
+    p.hetero.faulted_spans = hetero->at("faulted_spans").as_uint();
+    for (const auto& entry : hetero->at("partitions").items()) {
+      HeteroPartitionStats part;
+      part.backend = entry.at("backend").as_string();
+      part.weight = entry.at("weight").as_double();
+      part.planned_positions = entry.at("planned_positions").as_uint();
+      part.actual_positions = entry.at("actual_positions").as_uint();
+      part.spans = entry.at("spans").as_uint();
+      part.modeled_seconds = entry.at("modeled_seconds").as_double();
+      part.measured_seconds = entry.at("measured_seconds").as_double();
+      p.hetero.partitions.push_back(std::move(part));
+    }
   }
 
   p.telemetry = metrics::telemetry_from_json(totals.at("telemetry"));
@@ -397,6 +448,7 @@ ScanCheckpoint load_checkpoint(const std::string& path) {
 
 void restore_profile_totals(ScanProfile& profile, const ScanProfile& totals) {
   detail::merge_worker_profile(profile, totals);
+  merge_hetero_stats(profile.hetero, totals.hetero);
   profile.total_seconds += totals.total_seconds;
   profile.stream.io_seconds += totals.stream.io_seconds;
   profile.stream.io_stall_seconds += totals.stream.io_stall_seconds;

@@ -108,11 +108,12 @@ DiffReport diff_metrics(const JsonValue& baseline, const JsonValue& candidate,
   }
   const JsonValue* base_version = baseline.find("schema_version");
   const JsonValue* cand_version = candidate.find("schema_version");
-  if (base_version != nullptr && cand_version != nullptr &&
-      *base_version != *cand_version) {
+  if (!options.allow_schema_drift && base_version != nullptr &&
+      cand_version != nullptr && *base_version != *cand_version) {
     report.error =
         "schema version mismatch: " + std::to_string(base_version->as_int()) +
-        " vs " + std::to_string(cand_version->as_int());
+        " vs " + std::to_string(cand_version->as_int()) +
+        " — pass --allow-schema-drift to diff the intersecting keys";
     return report;
   }
 

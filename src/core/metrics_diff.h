@@ -36,6 +36,11 @@ struct DiffOptions {
   std::vector<std::string> watch;
   /// Compare documents from different hosts instead of refusing.
   bool allow_cross_host = false;
+  /// Compare documents across schema versions instead of refusing: only the
+  /// intersecting metric paths are diffed (the flatten pass already skips
+  /// paths missing from either side), so a v9 baseline keeps gating a v10
+  /// run. Same-schema-name and same-host checks still apply.
+  bool allow_schema_drift = false;
 };
 
 struct MetricDelta {

@@ -586,6 +586,31 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
   ld.set("kernel_seconds", profile.ld.kernel_seconds);
   doc.set("ld", std::move(ld));
 
+  // v10: heterogeneous co-scheduler accounting (docs/PERF.md "Heterogeneous
+  // co-scheduling"); disabled/all-zero unless the scan ran --backend=hetero.
+  JsonValue hetero = JsonValue::object();
+  hetero.set("enabled", profile.hetero.enabled);
+  hetero.set("split", profile.hetero.split);
+  hetero.set("plans", profile.hetero.plans);
+  hetero.set("redispatched_spans", profile.hetero.redispatched_spans);
+  hetero.set("redispatched_positions", profile.hetero.redispatched_positions);
+  hetero.set("straggler_spans", profile.hetero.straggler_spans);
+  hetero.set("faulted_spans", profile.hetero.faulted_spans);
+  JsonValue partitions = JsonValue::array();
+  for (const HeteroPartitionStats& partition : profile.hetero.partitions) {
+    JsonValue entry = JsonValue::object();
+    entry.set("backend", partition.backend);
+    entry.set("weight", partition.weight);
+    entry.set("planned_positions", partition.planned_positions);
+    entry.set("actual_positions", partition.actual_positions);
+    entry.set("spans", partition.spans);
+    entry.set("modeled_seconds", partition.modeled_seconds);
+    entry.set("measured_seconds", partition.measured_seconds);
+    partitions.push_back(std::move(entry));
+  }
+  hetero.set("partitions", std::move(partitions));
+  doc.set("hetero", std::move(hetero));
+
   // v6: distributional telemetry (docs/OBSERVABILITY.md) — the registry
   // delta attributed to this scan.
   doc.set("telemetry", telemetry_json(profile.telemetry));

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/hetero_scheduler.h"
 #include "core/resilience.h"
 #include "core/scan_driver.h"
 #include "core/span_engine.h"
@@ -478,7 +479,27 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
     return backend;
   };
 
-  if (threads <= 1) {
+  if (options.hetero != nullptr) {
+    // Heterogeneous co-scheduler (core/hetero_scheduler.h): CPU span workers
+    // plus one worker per accelerator partition, all sharing one pool. The
+    // executor overrides mt_strategy and backend_factory; `threads` bounds
+    // the total worker count.
+    HeteroExecutor executor(*options.hetero, options.recovery, kernel,
+                            options.reuse, threads);
+    result.profile.sched.workers = executor.total_workers();
+    // total_workers() >= 2 whenever an accelerator is configured; the max
+    // guard keeps the degenerate no-accelerator config off ThreadPool's
+    // 0-means-auto convention.
+    par::ThreadPool pool(std::max<std::size_t>(1, executor.total_workers() - 1));
+    // Spans only tile ranges holding valid positions; stamp every score's
+    // coordinate up front so all-invalid grids still report positions.
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      result.scores[g].position_bp = grid[g].position_bp;
+    }
+    executor.run(grid, 0, grid.size(), pool, *engine, result.scores,
+                 result.profile.sched, options.progress, cancel);
+    executor.finalize(result.profile);
+  } else if (threads <= 1) {
     auto backend = make_backend();
     scan_chunk(grid, 0, grid.size(), *engine, options.reuse, options.recovery,
                *backend, result.scores, result.profile, options.progress,

@@ -34,6 +34,7 @@ class ProgressReporter;
 namespace omega::core {
 
 struct ScanProfile;
+struct HeteroConfig;
 
 /// omega-maximization backend for one grid position.
 class OmegaBackend {
@@ -205,6 +206,14 @@ struct ScannerOptions {
   /// the steady clock; injectable so deadline expiry is testable without
   /// sleeping, mirroring the retry engine's virtual clock.
   util::Deadline::Clock deadline_clock;
+  /// Heterogeneous co-scheduling (core/hetero_scheduler.h): when non-null,
+  /// the scan splits the grid across the CPU span engine and the configured
+  /// accelerator partitions concurrently, sized by modeled throughput, with
+  /// straggler/fault re-dispatch back to the CPU. Results stay bitwise-
+  /// identical to the plain CPU scan. Overrides mt_strategy and
+  /// backend_factory; `threads` still bounds the total worker count. Not
+  /// owned; must outlive the scan.
+  const HeteroConfig* hetero = nullptr;
 };
 
 struct PositionScore {
@@ -413,6 +422,41 @@ struct LdStats {
   double kernel_seconds = 0.0;    // time in the count microkernels
 };
 
+/// Per-partition accounting of the heterogeneous co-scheduler (schema v10):
+/// what the planner promised each backend and what it actually delivered.
+struct HeteroPartitionStats {
+  std::string backend;  // "cpu" or the accelerator partition name
+  /// Normalized planned share of the estimated grid cost.
+  double weight = 0.0;
+  /// Valid positions the plan assigned to this partition (accumulated over
+  /// planner invocations — one per stream chunk).
+  std::uint64_t planned_positions = 0;
+  /// Positions this partition actually settled (the CPU partition also
+  /// counts re-dispatched positions it absorbed).
+  std::uint64_t actual_positions = 0;
+  std::uint64_t spans = 0;  // spans built for this partition's segments
+  /// Cost model's prediction for the planned segments vs. the partition's
+  /// measured busy wall time (max over its workers, summed across runs).
+  double modeled_seconds = 0.0;
+  double measured_seconds = 0.0;
+};
+
+/// Heterogeneous co-scheduler accounting (profile/metrics schema v10):
+/// all-zero/disabled unless the scan ran with --backend=hetero.
+struct HeteroStats {
+  bool enabled = false;
+  std::string split;  // HeteroSplit::name(): "auto" or "c:g:f"
+  std::uint64_t plans = 0;  // planner invocations (per chunk when streaming)
+  /// Accelerator spans whose unsettled remainder went back to the CPU, and
+  /// the positions those remainders carried.
+  std::uint64_t redispatched_spans = 0;
+  std::uint64_t redispatched_positions = 0;
+  std::uint64_t straggler_spans = 0;  // re-dispatch cause: modeled deadline
+  std::uint64_t faulted_spans = 0;    // re-dispatch cause: recovery gave up
+  /// CPU partition first, then each accelerator in configuration order.
+  std::vector<HeteroPartitionStats> partitions;
+};
+
 /// Simulated-FPGA counters: pipeline occupancy of the §V design.
 struct FpgaProfile {
   std::uint64_t pipeline_cycles = 0;  // total accelerator cycles
@@ -456,6 +500,9 @@ struct ScanProfile {
   /// LD engine + packed-panel-cache accounting (v9), filled by the drivers
   /// from the scan's telemetry delta at finalize.
   LdStats ld;
+  /// Heterogeneous co-scheduler accounting (v10); disabled unless the scan
+  /// ran with a HeteroConfig.
+  HeteroStats hetero;
   /// Distributional telemetry attributed to this scan (v6): the delta of the
   /// process-wide util/telemetry registry between scan start and end —
   /// queue-depth, task/chunk/retry-latency histograms, overlap-ratio gauges

@@ -35,6 +35,14 @@ std::vector<ScanSpan> build_scan_spans(const std::vector<GridPosition>& grid,
   const std::uint64_t target_spans = static_cast<std::uint64_t>(
       std::min<std::size_t>(workers * spans_per_worker, total_valid));
 
+  // Degenerate grid: every valid position estimates to zero cost (e.g. all
+  // windows collapse to a single SNP). The proportional boundary below would
+  // divide work by total cost, so fall back to budgeting one unit per valid
+  // position — deterministic equal-count spans.
+  const bool equal_fallback = total_cost == 0;
+  const std::uint64_t budget_total =
+      equal_fallback ? static_cast<std::uint64_t>(total_valid) : total_cost;
+
   static util::telemetry::Histogram& span_positions_hist =
       util::telemetry::histogram("sched.span_positions", 1.0);
 
@@ -46,7 +54,8 @@ std::vector<ScanSpan> build_scan_spans(const std::vector<GridPosition>& grid,
   for (std::size_t g = begin; g < end; ++g) {
     const GridPosition& position = grid[g];
     if (!position.valid) continue;  // absorbed at zero cost
-    const std::uint64_t cost = estimate_position_cost(position);
+    const std::uint64_t cost =
+        equal_fallback ? 1 : estimate_position_cost(position);
     cum += cost;
     current.cost += cost;
     ++current.valid_positions;
@@ -56,7 +65,7 @@ std::vector<ScanSpan> build_scan_spans(const std::vector<GridPosition>& grid,
     // whatever span encloses them.
     const std::uint64_t closed = static_cast<std::uint64_t>(spans.size());
     if (closed + 1 < target_spans &&
-        cum * target_spans >= (closed + 1) * total_cost) {
+        cum * target_spans >= (closed + 1) * budget_total) {
       spans.push_back(current);
       span_positions_hist.record(
           static_cast<double>(current.valid_positions));
@@ -102,6 +111,12 @@ void scan_spans_parallel(const std::vector<GridPosition>& grid,
   // so a worker walks its run left to right — maximal relocation reuse).
   std::uint64_t total_cost = 0;
   for (const ScanSpan& span : spans) total_cost += span.cost;
+  // Zero-total-cost spans (degenerate grids): weigh each span equally so the
+  // seeding still spreads runs across workers instead of piling everything
+  // on worker 0.
+  const bool equal_fallback = total_cost == 0;
+  const std::uint64_t budget_total =
+      equal_fallback ? static_cast<std::uint64_t>(spans.size()) : total_cost;
   par::StealScheduler scheduler(workers);
   {
     std::vector<std::size_t> run;
@@ -109,9 +124,9 @@ void scan_spans_parallel(const std::vector<GridPosition>& grid,
     std::uint64_t cum = 0;
     for (std::size_t s = 0; s < spans.size(); ++s) {
       run.push_back(s);
-      cum += spans[s].cost;
+      cum += equal_fallback ? 1 : spans[s].cost;
       if (worker + 1 < workers &&
-          cum * workers >= (static_cast<std::uint64_t>(worker) + 1) * total_cost) {
+          cum * workers >= (static_cast<std::uint64_t>(worker) + 1) * budget_total) {
         scheduler.assign(worker, std::move(run));
         run = {};
         ++worker;

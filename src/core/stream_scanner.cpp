@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/checkpoint.h"
+#include "core/hetero_scheduler.h"
 #include "core/resilience.h"
 #include "core/scan_driver.h"
 #include "core/span_engine.h"
@@ -173,9 +174,25 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     }
     return backend;
   };
+  // Heterogeneous co-scheduler: the executor owns its per-worker backends,
+  // matrices, and profiles for the whole stream (seam carryover per worker,
+  // degradation state persisting across chunks), replacing the plain
+  // backends/states/worker_profiles machinery below.
+  const bool hetero = options.hetero != nullptr;
+  std::optional<HeteroExecutor> hetero_exec;
+  if (hetero) {
+    hetero_exec.emplace(*options.hetero, options.recovery, kernel,
+                        options.reuse, threads);
+    profile.sched.workers = hetero_exec->total_workers();
+  }
+
   std::vector<std::unique_ptr<OmegaBackend>> backends;
-  backends.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) backends.push_back(make_backend());
+  if (!hetero) {
+    backends.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      backends.push_back(make_backend());
+    }
+  }
 
   // Multithreaded compute state: per-worker DP matrices persist across
   // chunks (each worker carries its own seam), per-worker profiles are
@@ -184,7 +201,10 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   std::optional<par::ThreadPool> compute_pool;
   std::vector<detail::SpanWorkerState> states;
   std::vector<ScanProfile> worker_profiles(threads);
-  if (threads > 1) {
+  if (hetero) {
+    compute_pool.emplace(
+        std::max<std::size_t>(1, hetero_exec->total_workers() - 1));
+  } else if (threads > 1) {
     compute_pool.emplace(threads - 1);
     states.resize(threads);
   }
@@ -194,10 +214,15 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   const bool checkpointing = !stream_options.checkpoint_path.empty();
   const io::StreamFingerprint fingerprint =
       io::fingerprint_stream(index, stream_options.source_path);
+  // Hetero hashes as "cpu": results are bitwise-identical to the CPU scan by
+  // construction, so a checkpoint must resume across hetero <-> cpu runs both
+  // ways (the split, like the thread count, never changes scores).
+  const std::string config_backend_name =
+      hetero ? HeteroExecutor::canonical_backend_name() : backends[0]->name();
   const std::string config_summary = scan_config_summary(
-      options, stream_options.chunk_sites, backends[0]->name());
+      options, stream_options.chunk_sites, config_backend_name);
   const std::uint64_t config_hash = scan_config_hash(
-      options, stream_options.chunk_sites, backends[0]->name());
+      options, stream_options.chunk_sites, config_backend_name);
 
   std::size_t k0 = 0;  // first chunk this run scans
   util::telemetry::RegistrySnapshot resumed_telemetry;
@@ -290,7 +315,9 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   // repeating this per chunk is safe.
   auto snapshot_totals = [&]() -> ScanProfile {
     ScanProfile totals = profile;
-    if (threads <= 1) {
+    if (hetero) {
+      hetero_exec->finalize(totals);  // repeat-safe (copies worker profiles)
+    } else if (threads <= 1) {
       totals.ld_seconds = totals.stages.ld_total();
       totals.omega_seconds = totals.stages.omega_search_seconds;
       detail::merge_matrix_stats(totals, m);
@@ -381,7 +408,14 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
                                : make_ld_engine(options.ld, chunk->dataset, snps);
         const ld::OffsetLd engine(*inner, chunk->first_site);
         if (profile.ld_backend.empty()) profile.ld_backend = inner->name();
-        if (threads > 1) {
+        if (hetero) {
+          // Plan + execute this chunk's grid range across the partitions.
+          // Settled positions are skipped inside every partition loop, so the
+          // chunk-retry path below re-runs only what is still unscored.
+          hetero_exec->run(plan.grid, step.grid_begin, step.grid_end,
+                           *compute_pool, engine, result.scores, profile.sched,
+                           options.progress, cancel);
+        } else if (threads > 1) {
           // Span engine over the resident chunk's grid range. Already-scored
           // positions are skipped inside the worker loop, so the chunk-retry
           // path below re-runs only what is still unscored.
@@ -421,11 +455,13 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
         // drain below leaves the chunk uncommitted for resume to recompute.
         m_live = false;
         for (detail::SpanWorkerState& state : states) state.live = false;
+        if (hetero_exec.has_value()) hetero_exec->invalidate_matrices();
         break;
       } catch (const std::exception&) {
         // The matrices may hold a half-extended state; force rebuilds.
         m_live = false;
         for (detail::SpanWorkerState& state : states) state.live = false;
+        if (hetero_exec.has_value()) hetero_exec->invalidate_matrices();
       }
     }
     // A chunk commits when every one of its positions settled (valid or
@@ -449,6 +485,7 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
       ++stream.failed_chunks;
       m_live = false;
       for (detail::SpanWorkerState& state : states) state.live = false;
+      if (hetero_exec.has_value()) hetero_exec->invalidate_matrices();
       std::uint64_t chunk_quarantined = 0;
       for (std::size_t g = step.grid_begin; g < step.grid_end; ++g) {
         if (!plan.grid[g].valid || result.scores[g].valid) continue;
@@ -484,7 +521,9 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     }
   }
 
-  if (threads <= 1) {
+  if (hetero) {
+    hetero_exec->finalize(profile);
+  } else if (threads <= 1) {
     profile.ld_seconds = profile.stages.ld_total();
     profile.omega_seconds = profile.stages.omega_search_seconds;
     detail::merge_matrix_stats(profile, m);

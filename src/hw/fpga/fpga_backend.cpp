@@ -6,6 +6,7 @@
 #include "core/omega_search.h"
 #include "core/resilience.h"
 #include "util/telemetry.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace omega::hw::fpga {
@@ -48,7 +49,16 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
       break;
   }
 
-  const core::PositionBuffers buffers = core::pack_position(m, position);
+  // Host-side packing is the FPGA dispatch stage; time it on every path so
+  // zero-combination positions still charge their pack cost (the same leak
+  // the GPU backend had with its early return inside the timed block).
+  core::PositionBuffers buffers;
+  {
+    const util::trace::Span dispatch_span("fpga.dispatch");
+    const util::Timer dispatch_timer;
+    buffers = core::pack_position(m, position);
+    accounting_.dispatch_seconds += dispatch_timer.seconds();
+  }
   const std::uint64_t combos = buffers.combinations();
   if (combos == 0) return result;
 
@@ -119,7 +129,8 @@ core::OmegaResult FpgaOmegaBackend::max_omega(
     result.best_b = position.b_min + bi;
     result.evaluated = combos;
   } else {
-    result = core::max_omega_search(m, position);
+    result = options_.host_scorer ? options_.host_scorer(m, position)
+                                  : core::max_omega_search(m, position);
   }
 
   const PositionCycles cycles = position_cycles(
@@ -170,6 +181,7 @@ void FpgaOmegaBackend::contribute(core::ScanProfile& profile) const {
   profile.fpga.hw_omegas += accounting_.hw_omegas;
   profile.fpga.sw_omegas += accounting_.sw_omegas;
   profile.fpga.modeled_seconds += accounting_.modeled_total_seconds();
+  profile.stages.dispatch_seconds += accounting_.dispatch_seconds;
   const auto& faults = injector_.counters();
   profile.faults.faults_injected += faults.total_injected();
   profile.faults.injected_kernel_launch += faults.injected_kernel_launch;

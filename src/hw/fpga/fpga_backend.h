@@ -7,6 +7,7 @@
 // accumulates the cycle model alongside.
 
 #include <cstdint>
+#include <functional>
 
 #include "core/scanner.h"
 #include "hw/device_specs.h"
@@ -38,9 +39,22 @@ struct FpgaBackendOptions {
   /// util::CancelledError, which the recovery engine deliberately does NOT
   /// retry (it is not a BackendError). Not owned; must outlive the scan.
   const util::CancelToken* cancel = nullptr;
+  /// Scorer for positions above functional_cap (default: the scalar
+  /// core::max_omega_search reference). The heterogeneous co-scheduler sets
+  /// functional_cap = 0 and injects the scan's dispatched CPU kernel here so
+  /// accelerator partitions score bitwise-identically to the CPU partition
+  /// (the kernel bodies agree only up to summation-order ULPs).
+  std::function<core::OmegaResult(const core::DpMatrix&,
+                                  const core::GridPosition&)>
+      host_scorer;
 };
 
 struct FpgaAccounting {
+  /// Host wall time spent packing position buffers (the FPGA analogue of
+  /// the GPU dispatch stage). Charged for every position, including
+  /// zero-combination ones — the host pays for packing before it can know
+  /// the position is empty.
+  double dispatch_seconds = 0.0;
   std::uint64_t modeled_cycles = 0;
   /// Cycles the inner loop lost to DRAM throttling (the stall_factor share
   /// of modeled_cycles above the ideal one-group-per-clock rate).

@@ -86,29 +86,32 @@ core::OmegaResult GpuOmegaBackend::max_omega(
   KernelChoice choice = KernelChoice::Kernel1;
   {
     // Host-side packing + Eq. (4) kernel selection: the "dispatch" stage.
+    // Pack time is charged even for zero-combination positions — the host
+    // pays for packing before it can know the position is empty.
     const util::trace::Span dispatch_span("gpu.dispatch");
     const util::Timer dispatch_timer;
     buffers = core::pack_position(m, position);
     combos = buffers.combinations();
-    if (combos == 0) return result;
+    if (combos != 0) {
+      swapped = options_.order_switch && buffers.num_left > buffers.num_right;
+      if (swapped) buffers = swap_sides(buffers);
 
-    swapped = options_.order_switch && buffers.num_left > buffers.num_right;
-    if (swapped) buffers = swap_sides(buffers);
-
-    switch (options_.policy) {
-      case KernelPolicy::ForceKernel1:
-        choice = KernelChoice::Kernel1;
-        break;
-      case KernelPolicy::ForceKernel2:
-        choice = KernelChoice::Kernel2;
-        break;
-      case KernelPolicy::Dynamic:
-      default:
-        choice = dispatch(spec_, combos);
-        break;
+      switch (options_.policy) {
+        case KernelPolicy::ForceKernel1:
+          choice = KernelChoice::Kernel1;
+          break;
+        case KernelPolicy::ForceKernel2:
+          choice = KernelChoice::Kernel2;
+          break;
+        case KernelPolicy::Dynamic:
+        default:
+          choice = dispatch(spec_, combos);
+          break;
+      }
     }
     accounting_.dispatch_seconds += dispatch_timer.seconds();
   }
+  if (combos == 0) return result;
 
   // Second poll between dispatch and the kernel run: the last moment a real
   // host could abandon the position before paying for the launch.
@@ -140,8 +143,8 @@ core::OmegaResult GpuOmegaBackend::max_omega(
     result.best_a = position.lo + ai;
     result.best_b = position.b_min + bi;
   } else {
-    const core::OmegaResult cpu = core::max_omega_search(m, position);
-    result = cpu;
+    result = options_.host_scorer ? options_.host_scorer(m, position)
+                                  : core::max_omega_search(m, position);
   }
 
   const CompleteCost cost = complete_position_cost(

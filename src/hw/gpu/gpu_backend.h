@@ -13,6 +13,7 @@
 // memory pattern and is exposed as an ablation toggle.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "core/scanner.h"
@@ -48,6 +49,14 @@ struct GpuBackendOptions {
   /// throws util::CancelledError, which the recovery engine deliberately does
   /// NOT retry (it is not a BackendError). Not owned; must outlive the scan.
   const util::CancelToken* cancel = nullptr;
+  /// Scorer for positions above functional_cap (default: the scalar
+  /// core::max_omega_search reference). The heterogeneous co-scheduler sets
+  /// functional_cap = 0 and injects the scan's dispatched CPU kernel here so
+  /// accelerator partitions score bitwise-identically to the CPU partition
+  /// (the kernel bodies agree only up to summation-order ULPs).
+  std::function<core::OmegaResult(const core::DpMatrix&,
+                                  const core::GridPosition&)>
+      host_scorer;
 };
 
 /// Accumulated device-model accounting for a scan.

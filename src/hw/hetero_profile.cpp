@@ -1,0 +1,109 @@
+#include "hw/hetero_profile.h"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "hw/fpga/cycle_model.h"
+#include "hw/fpga/fpga_backend.h"
+#include "hw/gpu/gpu_backend.h"
+#include "hw/gpu/timing_model.h"
+
+namespace omega::hw {
+
+namespace {
+
+/// Device-payload bytes for one position's complete GPU cost: the LR/km
+/// side buffers (3 floats each) plus the omega output array — the same
+/// accounting core/workload.cpp uses for the transfer estimate.
+std::uint64_t gpu_payload_bytes(const core::GridPosition& position) {
+  const std::uint64_t combos = position.combinations();
+  return static_cast<std::uint64_t>(position.left_snps()) * 12 +
+         static_cast<std::uint64_t>(position.right_snps()) * 12 +
+         combos * sizeof(float);
+}
+
+/// Over-cap scorer running the scan's dispatched CPU kernel. One
+/// CpuOmegaBackend per accelerator backend instance (it owns mutable kernel
+/// scratch, and each partition worker owns its backend, so no sharing).
+std::function<core::OmegaResult(const core::DpMatrix&,
+                                const core::GridPosition&)>
+make_host_scorer(core::CpuKernelKind kernel) {
+  auto scorer = std::make_shared<core::CpuOmegaBackend>(kernel);
+  return [scorer = std::move(scorer)](const core::DpMatrix& m,
+                                      const core::GridPosition& position) {
+    return scorer->max_omega(m, position);
+  };
+}
+
+}  // namespace
+
+core::HeteroConfig default_hetero_config(const HeteroProfileOptions& options,
+                                         par::ThreadPool& gpu_pool) {
+  core::HeteroConfig config;
+  config.split = options.split;
+
+  const double cpu_rate = options.cpu_omega_rate;
+  config.cpu_modeled_seconds = [cpu_rate](const core::GridPosition& position) {
+    if (!position.valid) return 0.0;
+    return static_cast<double>(position.combinations()) / cpu_rate;
+  };
+
+  const GpuDeviceSpec gpu_spec = tesla_k80();
+  core::HeteroPartitionSpec gpu_part;
+  gpu_part.name = "gpu-sim:" + gpu_spec.name;
+  gpu_part.modeled_seconds = [gpu_spec](const core::GridPosition& position) {
+    if (!position.valid) return 0.0;
+    const std::uint64_t combos = position.combinations();
+    if (combos == 0) return 0.0;
+    const gpu::KernelChoice choice = gpu::dispatch(gpu_spec, combos);
+    return gpu::complete_position_cost(gpu_spec, choice, combos,
+                                       gpu_payload_bytes(position))
+        .total_s;
+  };
+  gpu_part.backend_factory = [gpu_spec, &gpu_pool,
+                              fault_plan = options.fault_plan,
+                              cancel = options.cancel,
+                              kernel = options.cpu_kernel] {
+    gpu::GpuBackendOptions backend_options;
+    backend_options.functional_cap = 0;  // exact scoring (bitwise guarantee)
+    backend_options.fault_plan = fault_plan;
+    backend_options.cancel = cancel;
+    backend_options.host_scorer = make_host_scorer(kernel);
+    return std::unique_ptr<core::OmegaBackend>(
+        std::make_unique<gpu::GpuOmegaBackend>(gpu_spec, gpu_pool,
+                                               backend_options));
+  };
+  config.accelerators.push_back(std::move(gpu_part));
+
+  const FpgaDeviceSpec fpga_spec = alveo_u200();
+  core::HeteroPartitionSpec fpga_part;
+  fpga_part.name = "fpga-sim:" + fpga_spec.name;
+  fpga_part.modeled_seconds = [fpga_spec,
+                               cpu_rate](const core::GridPosition& position) {
+    if (!position.valid || position.combinations() == 0) return 0.0;
+    const fpga::PositionCycles cycles = fpga::position_cycles(
+        fpga_spec, position.left_snps(), position.right_snps(),
+        /*ts_from_dram=*/true);
+    return static_cast<double>(cycles.hw_cycles) / fpga_spec.clock_hz +
+           static_cast<double>(cycles.sw_omegas) / cpu_rate;
+  };
+  fpga_part.backend_factory = [fpga_spec, cpu_rate,
+                               fault_plan = options.fault_plan,
+                               cancel = options.cancel,
+                               kernel = options.cpu_kernel] {
+    fpga::FpgaBackendOptions backend_options;
+    backend_options.functional_cap = 0;  // exact scoring (bitwise guarantee)
+    backend_options.software_omega_rate = cpu_rate;
+    backend_options.fault_plan = fault_plan;
+    backend_options.cancel = cancel;
+    backend_options.host_scorer = make_host_scorer(kernel);
+    return std::unique_ptr<core::OmegaBackend>(
+        std::make_unique<fpga::FpgaOmegaBackend>(fpga_spec, backend_options));
+  };
+  config.accelerators.push_back(std::move(fpga_part));
+
+  return config;
+}
+
+}  // namespace omega::hw

@@ -4,11 +4,13 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/hetero_scheduler.h"
 #include "core/metrics_json.h"
 #include "hw/device_specs.h"
 #include "hw/fpga/fpga_backend.h"
 #include "hw/gpu/gemm_ld_kernel.h"
 #include "hw/gpu/gpu_backend.h"
+#include "hw/hetero_profile.h"
 #include "par/thread_pool.h"
 
 namespace omega::sweep {
@@ -41,6 +43,15 @@ core::ScannerOptions base_scanner_options(const DetectorOptions& options) {
   scanner_options.deadline_seconds = options.deadline_seconds;
   scanner_options.deadline_clock = options.deadline_clock;
   return scanner_options;
+}
+
+core::HeteroConfig make_hetero_config(const DetectorOptions& options,
+                                      par::ThreadPool& gpu_pool) {
+  hw::HeteroProfileOptions profile_options;
+  profile_options.split = core::HeteroSplit::parse(options.hetero_split);
+  profile_options.fault_plan = options.fault_plan;
+  profile_options.cancel = options.cancel;
+  return hw::default_hetero_config(profile_options, gpu_pool);
 }
 
 }  // namespace
@@ -93,6 +104,18 @@ DetectionReport detect_sweeps(const io::Dataset& dataset,
         return std::make_unique<hw::fpga::FpgaOmegaBackend>(spec,
                                                             backend_options);
       });
+      break;
+    }
+    case Backend::Hetero: {
+      // Heterogeneous co-scheduler: CPU span workers + GPU-sim + FPGA-sim on
+      // one scan, split by modeled throughput (or the fixed hetero_split).
+      static par::ThreadPool pool;  // backs the GPU backend instances
+      report.backend_name = "hetero";
+      const core::HeteroConfig hetero_config =
+          make_hetero_config(options, pool);
+      scanner_options.hetero = &hetero_config;
+      scanner_options.threads = options.threads;
+      scan_result = core::scan(dataset, scanner_options);
       break;
     }
   }
@@ -160,6 +183,16 @@ DetectionReport detect_sweeps_stream(io::ChunkReader& reader,
             return std::make_unique<hw::fpga::FpgaOmegaBackend>(
                 spec, backend_options);
           });
+      break;
+    }
+    case Backend::Hetero: {
+      static par::ThreadPool pool;  // backs the GPU backend instances
+      report.backend_name = "hetero";
+      const core::HeteroConfig hetero_config =
+          make_hetero_config(options, pool);
+      scanner_options.hetero = &hetero_config;
+      scanner_options.threads = options.threads;
+      scan_result = core::stream_scan(reader, scanner_options, stream_options);
       break;
     }
   }

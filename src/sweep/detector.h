@@ -22,12 +22,17 @@ enum class Backend {
   CpuThreaded,  // chunked multithreaded scan (Table IV scheme)
   GpuSim,       // simulated GPU (Tesla K80 profile), dynamic two-kernel
   FpgaSim,      // simulated FPGA (Alveo U200 profile)
+  Hetero,       // CPU + GPU-sim + FPGA-sim co-scheduled on one scan
 };
 
 struct DetectorOptions {
   core::OmegaConfig config;
   Backend backend = Backend::Cpu;
-  std::size_t threads = 4;  // CpuThreaded only
+  std::size_t threads = 4;  // CpuThreaded and Hetero (total worker budget)
+  /// Backend::Hetero grid split: "auto" (modeled throughput) or a fixed
+  /// "cpu:gpu:fpga" weight triple (core::HeteroSplit::parse syntax). The
+  /// split never changes results — only which partition scores what.
+  std::string hetero_split = "auto";
   /// LD engine for the CPU backends (core::resolve_ld_backend semantics:
   /// Auto runs the bit-packed engine with runtime AVX2/scalar dispatch).
   /// Every kind produces bitwise-identical r2 and hence identical

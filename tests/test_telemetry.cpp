@@ -747,6 +747,50 @@ TEST(MetricsDiff, SchemaVersionMismatchRefused) {
   EXPECT_FALSE(report.error.empty());
 }
 
+TEST(MetricsDiff, AllowSchemaDriftComparesIntersectingKeys) {
+  // A v(N-1) baseline vs a vN candidate: with drift allowed the diff runs
+  // over the intersecting keys instead of refusing, so old baselines stay
+  // usable across a schema bump (e.g. v9 files against v10 "hetero" docs).
+  auto baseline = diff_fixture(1.0, 100.0);
+  baseline.set("schema_version", omega::core::metrics::kSchemaVersion - 1);
+  auto candidate = diff_fixture(1.0, 100.0);
+  auto hetero = JsonValue::object();
+  hetero.set("enabled", false);
+  candidate.set("hetero", std::move(hetero));
+
+  omega::core::metrics::DiffOptions options;
+  options.allow_schema_drift = true;
+  const auto report =
+      omega::core::metrics::diff_metrics(baseline, candidate, options);
+  EXPECT_TRUE(report.error.empty());
+  EXPECT_FALSE(report.deltas.empty());
+  EXPECT_FALSE(report.regressed);
+  // Candidate-only blocks never show up as deltas.
+  for (const auto& delta : report.deltas) {
+    EXPECT_EQ(delta.path.rfind("hetero", 0), std::string::npos) << delta.path;
+  }
+  // A genuine regression still gates across the drift.
+  auto slower = diff_fixture(1.5, 100.0);
+  EXPECT_TRUE(
+      omega::core::metrics::diff_metrics(baseline, slower, options).regressed);
+}
+
+TEST(MetricsDiff, SchemaDriftDoesNotWaiveSchemaNameOrHostChecks) {
+  omega::core::metrics::DiffOptions options;
+  options.allow_schema_drift = true;
+  // Different schema *name* is never comparable, drift or not.
+  auto wrong_schema = diff_fixture(1.0, 100.0);
+  wrong_schema.set("schema", "omega.bench");
+  const auto refused_schema = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0), wrong_schema, options);
+  EXPECT_FALSE(refused_schema.error.empty());
+  // Cross-host comparison stays refused unless allow_cross_host is set too.
+  const auto refused_host = omega::core::metrics::diff_metrics(
+      diff_fixture(1.0, 100.0, "host-a", "cpu-a"),
+      diff_fixture(1.0, 100.0, "host-b", "cpu-b"), options);
+  EXPECT_FALSE(refused_host.error.empty());
+}
+
 TEST(MetricsDiff, WatchFiltersGateAndPromote) {
   // Watching only "counters" promotes the informational counter to gating
   // and ignores the blatant stage regression.

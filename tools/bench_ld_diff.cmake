@@ -37,11 +37,12 @@ endforeach()
 
 # Generous threshold (120%) and a 50 ms floor: the two runs measure identical
 # code, so only a broken diff tool / unstable schema should trip this, not
-# measurement noise on short stages.
+# measurement noise on short stages. --allow-schema-drift keeps baselines
+# from a previous schema version usable (intersecting keys still gate).
 execute_process(
   COMMAND "${DIFF_BIN}"
     "${WORK_DIR}/a/BENCH_LD.json" "${WORK_DIR}/b/BENCH_LD.json"
-    --threshold 1.2 --min-seconds 0.05
+    --threshold 1.2 --min-seconds 0.05 --allow-schema-drift
   RESULT_VARIABLE diff_result
   OUTPUT_VARIABLE diff_output
   ERROR_VARIABLE diff_output)

@@ -30,11 +30,12 @@ endforeach()
 
 # Generous threshold (120%) and a 50 ms floor: the two runs measure identical
 # code, so only a broken diff tool / unstable schema should trip this, not
-# scheduler noise on small stages.
+# scheduler noise on small stages. --allow-schema-drift keeps baselines from
+# a previous schema version usable (intersecting keys still gate).
 execute_process(
   COMMAND "${DIFF_BIN}"
     "${WORK_DIR}/a/BENCH_SCAN.json" "${WORK_DIR}/b/BENCH_SCAN.json"
-    --threshold 1.2 --min-seconds 0.05
+    --threshold 1.2 --min-seconds 0.05 --allow-schema-drift
   RESULT_VARIABLE diff_result
   OUTPUT_VARIABLE diff_output
   ERROR_VARIABLE diff_output)

@@ -35,11 +35,13 @@ void print_usage() {
       "usage: omega_metrics_diff BASELINE.json CANDIDATE.json [MORE.json...]\n"
       "                          [--threshold FRACTION] [--min-seconds S]\n"
       "                          [--watch SUBSTRING]... [--allow-cross-host]\n"
-      "                          [--all]\n"
+      "                          [--allow-schema-drift] [--all]\n"
       "\n"
       "Compares metrics/BENCH JSON files against the first (the baseline)\n"
       "and exits non-zero when a watched metric regresses beyond the\n"
-      "threshold (default 0.20 = 20%%).\n");
+      "threshold (default 0.20 = 20%%). --allow-schema-drift diffs only\n"
+      "the intersecting metric keys when schema versions differ (host\n"
+      "blocks must still match unless --allow-cross-host).\n");
 }
 
 omega::core::metrics::JsonValue load(const std::string& path) {
@@ -77,6 +79,8 @@ int main(int argc, char** argv) {
       options.watch.push_back(value_of("--watch"));
     } else if (arg == "--allow-cross-host") {
       options.allow_cross_host = true;
+    } else if (arg == "--allow-schema-drift") {
+      options.allow_schema_drift = true;
     } else if (arg == "--all") {
       all = true;
     } else if (!arg.empty() && arg[0] == '-') {
