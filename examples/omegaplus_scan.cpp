@@ -43,6 +43,8 @@
 #include "util/cancel.h"
 #include "util/cli.h"
 #include "util/fault.h"
+#include "util/flight_recorder.h"
+#include "util/perf_counters.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
 #include "util/trace.h"
@@ -519,6 +521,17 @@ int main(int argc, char** argv) {
       .describe("progress",
                 "live progress on stderr; optional value sets the minimum "
                 "seconds between updates (default 1.0), e.g. --progress=5")
+      .describe("perf-counters",
+                "sample hardware counters (cycles, instructions, cache/branch "
+                "misses) per scan stage via perf_event_open; degrades to a "
+                "clock-only fallback where perf is unavailable and stamps the "
+                "metrics 'perf' block either way")
+      .describe("flight-recorder",
+                "arm the crash flight recorder: on a fatal signal, SIGTERM, "
+                "std::terminate, or exhausted fault recovery, dump the last "
+                "trace events + telemetry + perf block as JSON; optional "
+                "value sets the path (default <metrics-json>.flight.json, or "
+                "<reports-dir>/<name>.flight.json without --metrics-json)")
       .describe("fault-mode",
                 "inject accelerator faults: none | kernel-launch | timeout | "
                 "nan | device-lost | mixed (default none)")
@@ -571,6 +584,27 @@ int main(int argc, char** argv) {
   // Observability outputs are resolved before any heavy work so the abort
   // path below can still emit them when loading or scanning fails.
   const std::string metrics_path = cli.get("metrics-json", "");
+  if (cli.get_bool("perf-counters", false)) {
+    omega::util::perf::enable();
+    std::fprintf(stderr, "perf: counters enabled (source: %s)\n",
+                 omega::util::perf::source());
+  }
+  if (cli.has("flight-recorder")) {
+    // Armed AFTER install_cancel_signal_handlers() so a SIGTERM first dumps
+    // the flight record, then chains into the cancel token for a clean drain.
+    const std::string raw = cli.get("flight-recorder", "true");
+    omega::util::flight::FlightRecorderConfig flight;
+    if (raw != "true") {
+      flight.path = raw;
+    } else if (!metrics_path.empty()) {
+      flight.path = metrics_path + ".flight.json";
+    } else {
+      flight.path = cli.get("reports-dir", ".") + "/" + name + ".flight.json";
+    }
+    omega::util::flight::arm(flight);
+    std::fprintf(stderr, "flight-recorder: armed, dump path %s\n",
+                 flight.path.c_str());
+  }
   const std::string trace_path = cli.get("trace-out", "");
   const std::string metrics_text_path = cli.get("metrics-text", "");
   const bool trace_enabled =

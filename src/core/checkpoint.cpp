@@ -154,6 +154,9 @@ metrics::JsonValue profile_totals_json(const ScanProfile& p) {
       entry.set("spans", part.spans);
       entry.set("modeled_seconds", part.modeled_seconds);
       entry.set("measured_seconds", part.measured_seconds);
+      // v2: measured-rate EWMA carried across resumes (latest-wins merge).
+      entry.set("measured_rate_per_s", part.measured_rate_per_s);
+      entry.set("rate_observations", part.rate_observations);
       partitions.push_back(std::move(entry));
     }
     hetero.set("partitions", std::move(partitions));
@@ -269,6 +272,8 @@ ScanProfile profile_totals_from_json(const metrics::JsonValue& totals) {
       part.spans = entry.at("spans").as_uint();
       part.modeled_seconds = entry.at("modeled_seconds").as_double();
       part.measured_seconds = entry.at("measured_seconds").as_double();
+      part.measured_rate_per_s = entry.at("measured_rate_per_s").as_double();
+      part.rate_observations = entry.at("rate_observations").as_uint();
       p.hetero.partitions.push_back(std::move(part));
     }
   }

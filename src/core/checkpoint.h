@@ -40,7 +40,9 @@ class ResumeMismatchError : public std::runtime_error {
 
 struct ScanCheckpoint {
   /// Bump when the on-disk layout changes; load_checkpoint rejects others.
-  static constexpr int kVersion = 1;
+  /// v2: hetero partitions carry measured_rate_per_s / rate_observations
+  /// (schema v11 measured-rate estimation).
+  static constexpr int kVersion = 2;
 
   io::StreamFingerprint fingerprint;
   /// scan_config_hash of the producing run; resume refuses a mismatch.

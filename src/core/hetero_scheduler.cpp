@@ -7,6 +7,7 @@
 #include "core/resilience.h"
 #include "core/workload.h"
 #include "util/cancel.h"
+#include "util/perf_counters.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
@@ -244,6 +245,7 @@ HeteroExecutor::HeteroExecutor(const HeteroConfig& config,
   }
   states_.resize(total);
   profiles_.resize(total);
+  rates_.resize(1 + n_accel);
   stats_.enabled = true;
   stats_.split = config_.split.name();
   stats_.partitions.resize(1 + n_accel);
@@ -369,6 +371,9 @@ void HeteroExecutor::run_accelerator(
         RecoveryOutcome outcome;
         {
           const util::trace::Span trace_span("scan.omega.search");
+          static util::perf::StageCounters& search_perf =
+              util::perf::stage("scan.omega_search");
+          const util::perf::StageScope perf_scope(search_perf);
           const util::Timer timer;
           outcome = recover_max_omega(backend, state.matrix, position,
                                       recovery_, profile.faults);
@@ -569,6 +574,27 @@ void HeteroExecutor::run(const std::vector<GridPosition>& grid,
         sched.workers_detail[w].positions - settled_before[w];
   }
 
+  // Measured-rate EWMAs, one observation per partition per plan run: the
+  // positions this run settled over the partition's busy wall time. The
+  // estimators persist across stream chunks, so the stamped values are the
+  // whole-scan EWMAs; the gauges mirror them for live exposition (telemetry
+  // only — never a bench diff gate).
+  for (std::size_t p = 0; p < 1 + n_accel; ++p) {
+    const std::uint64_t settled =
+        p == 0 ? cpu_settled
+               : sched.workers_detail[cpu_workers_ + p - 1].positions -
+                     settled_before[cpu_workers_ + p - 1];
+    const double seconds = p == 0 ? cpu_busy : busy[cpu_workers_ + p - 1];
+    rates_[p].observe(settled, seconds);
+    HeteroPartitionStats& part = stats_.partitions[p];
+    part.measured_rate_per_s = rates_[p].rate_per_s();
+    part.rate_observations = rates_[p].observations();
+    if (rates_[p].observations() > 0) {
+      util::telemetry::gauge("hetero." + part.backend + ".rate_per_s")
+          .set(rates_[p].rate_per_s());
+    }
+  }
+
   // Totals recomputed from per-worker detail (scan_spans_parallel contract)
   // so repeated per-chunk calls stay consistent.
   sched.spans = 0;
@@ -622,6 +648,13 @@ void merge_hetero_stats(HeteroStats& into, const HeteroStats& from) {
     dst->spans += part.spans;
     dst->modeled_seconds += part.modeled_seconds;
     dst->measured_seconds += part.measured_seconds;
+    // Latest estimate wins (HeteroPartitionStats contract): a run that made
+    // observations supersedes whatever a resumed checkpoint carried, while a
+    // run that never settled anything keeps the resumed estimate.
+    if (part.rate_observations > 0) {
+      dst->measured_rate_per_s = part.measured_rate_per_s;
+    }
+    dst->rate_observations += part.rate_observations;
   }
 }
 

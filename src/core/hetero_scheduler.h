@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/grid.h"
+#include "core/rate_estimator.h"
 #include "core/scan_driver.h"
 #include "core/scanner.h"
 #include "core/span_engine.h"
@@ -213,6 +214,10 @@ class HeteroExecutor {
   std::vector<detail::SpanWorkerState> states_;
   std::vector<ScanProfile> profiles_;
   HeteroStats stats_;
+  /// One measured-throughput EWMA per partition (CPU first), observed once
+  /// per run() — the empirical counterpart of the planner's modeled rates,
+  /// stamped into HeteroPartitionStats::measured_rate_per_s (schema v11).
+  std::vector<RateEstimator> rates_;
 };
 
 /// Folds one HeteroStats accumulation into another: counters add, partitions

@@ -193,6 +193,45 @@ DiffReport diff_metrics(const JsonValue& baseline, const JsonValue& candidate,
   return report;
 }
 
+JsonValue render_diff_json(const DiffReport& report, bool all) {
+  const auto direction_name = [](Direction direction) -> const char* {
+    switch (direction) {
+      case Direction::LowerIsBetter:
+        return "lower_is_better";
+      case Direction::HigherIsBetter:
+        return "higher_is_better";
+      case Direction::Informational:
+        return "informational";
+    }
+    return "informational";
+  };
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "omega.metrics.diff");
+  doc.set("schema_version", 1);
+  doc.set("verdict", !report.error.empty() ? "refused"
+                     : report.regressed   ? "regressed"
+                                          : "ok");
+  if (!report.error.empty()) doc.set("error", report.error);
+  doc.set("regressions", static_cast<std::uint64_t>(report.regressions()));
+  JsonValue deltas = JsonValue::array();
+  for (const MetricDelta& delta : report.deltas) {
+    const bool interesting =
+        all || delta.regressed || (delta.watched && delta.change != 0.0);
+    if (!interesting) continue;
+    JsonValue entry = JsonValue::object();
+    entry.set("path", delta.path);
+    entry.set("baseline", delta.baseline);
+    entry.set("candidate", delta.candidate);
+    entry.set("change", delta.change);
+    entry.set("direction", direction_name(delta.direction));
+    entry.set("watched", delta.watched);
+    entry.set("regressed", delta.regressed);
+    deltas.push_back(std::move(entry));
+  }
+  doc.set("deltas", std::move(deltas));
+  return doc;
+}
+
 std::string render_diff_table(const DiffReport& report, bool all) {
   if (!report.error.empty()) return "error: " + report.error + "\n";
   util::Table table({"metric", "baseline", "candidate", "change", "flag"});

@@ -81,4 +81,13 @@ struct DiffReport {
 [[nodiscard]] std::string render_diff_table(const DiffReport& report,
                                             bool all = false);
 
+/// Machine-readable rendering of one comparison ("omega.metrics.diff"
+/// document): the verdict ("ok" | "regressed" | "refused"), the refusal
+/// error when present, the regression count, and the per-key deltas with
+/// direction/watched/regressed flags. Row selection matches
+/// render_diff_table (pass `all` to include every delta), so the JSON and
+/// table views of the same report always agree.
+[[nodiscard]] JsonValue render_diff_json(const DiffReport& report,
+                                         bool all = false);
+
 }  // namespace omega::core::metrics

@@ -606,10 +606,37 @@ JsonValue scan_metrics(const std::string& run_name, const ScanProfile& profile) 
     entry.set("spans", partition.spans);
     entry.set("modeled_seconds", partition.modeled_seconds);
     entry.set("measured_seconds", partition.measured_seconds);
+    // v11: measured-throughput EWMA next to the model's prediction.
+    entry.set("measured_rate_per_s", partition.measured_rate_per_s);
+    entry.set("rate_observations", partition.rate_observations);
     partitions.push_back(std::move(entry));
   }
   hetero.set("partitions", std::move(partitions));
   doc.set("hetero", std::move(hetero));
+
+  // v11: hardware-counter per-stage profile (docs/OBSERVABILITY.md
+  // "Hardware counters"); disabled with an empty stage list unless the scan
+  // ran with util::perf enabled (CLI --perf-counters).
+  JsonValue perf = JsonValue::object();
+  perf.set("enabled", profile.perf.enabled);
+  perf.set("source", profile.perf.source);
+  JsonValue perf_stages = JsonValue::array();
+  for (const PerfStageStats& stage : profile.perf.stages) {
+    JsonValue entry = JsonValue::object();
+    entry.set("stage", stage.stage);
+    entry.set("scopes", stage.scopes);
+    entry.set("cycles", stage.cycles);
+    entry.set("instructions", stage.instructions);
+    entry.set("cache_misses", stage.cache_misses);
+    entry.set("branch_misses", stage.branch_misses);
+    entry.set("task_clock_seconds", stage.task_clock_seconds);
+    entry.set("ipc", stage.ipc());
+    entry.set("cache_mpki", stage.cache_mpki());
+    entry.set("branch_mpki", stage.branch_mpki());
+    perf_stages.push_back(std::move(entry));
+  }
+  perf.set("stages", std::move(perf_stages));
+  doc.set("perf", std::move(perf));
 
   // v6: distributional telemetry (docs/OBSERVABILITY.md) — the registry
   // delta attributed to this scan.

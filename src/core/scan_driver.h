@@ -81,6 +81,13 @@ void finalize_runtime(ScanProfile& profile, const CancelState& cancel,
 /// telemetry delta. Call after profile.telemetry has been assigned.
 void finalize_ld_stats(ScanProfile& profile, const ScannerOptions& options);
 
+/// End-of-scan hardware-counter accounting shared by scan() and
+/// stream_scan(): fills ScanProfile::perf (schema v11) from the
+/// scan-attributed telemetry delta's perf.<stage>.* counters. Like
+/// finalize_ld_stats, call after profile.telemetry has been assigned; the
+/// block stays disabled when util::perf was never enabled.
+void finalize_perf_stats(ScanProfile& profile);
+
 /// Advances the DP matrix to `position`: the single home of the
 /// reset-vs-relocate policy, shared by every MT strategy and by the stream
 /// driver so the relocation behaviour cannot silently diverge between them.

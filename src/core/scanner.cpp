@@ -1,7 +1,9 @@
 #include "core/scanner.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 
 #include "core/hetero_scheduler.h"
@@ -10,6 +12,8 @@
 #include "core/span_engine.h"
 #include "ld/packed.h"
 #include "par/thread_pool.h"
+#include "util/flight_recorder.h"
+#include "util/perf_counters.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
@@ -88,8 +92,18 @@ void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
       util::telemetry::histogram("scan.relocate_seconds");
   static util::telemetry::Histogram& extend_hist =
       util::telemetry::histogram("scan.extend_seconds");
+  // Hardware-counter attribution mirrors the histogram stages one-to-one:
+  // each StageScope's `scopes` counter must equal the matching histogram's
+  // count (the schema v11 reconciliation invariant tests assert).
+  static util::perf::StageCounters& reset_perf =
+      util::perf::stage("scan.reset");
+  static util::perf::StageCounters& relocate_perf =
+      util::perf::stage("scan.relocate");
+  static util::perf::StageCounters& extend_perf =
+      util::perf::stage("scan.extend");
   if (!reuse || !m_live || position.lo < m.base()) {
     const util::trace::Span span("scan.ld.reset");
+    const util::perf::StageScope perf_scope(reset_perf);
     const util::Timer timer;
     m.reset(position.lo);
     const double elapsed = timer.seconds();
@@ -97,6 +111,7 @@ void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
     reset_hist.record(elapsed);
   } else {
     const util::trace::Span span("scan.ld.relocate");
+    const util::perf::StageScope perf_scope(relocate_perf);
     const util::Timer timer;
     m.relocate(position.lo);
     const double elapsed = timer.seconds();
@@ -105,6 +120,7 @@ void advance_matrix(DpMatrix& m, bool& m_live, bool reuse,
   }
   {
     const util::trace::Span span("scan.ld.extend");
+    const util::perf::StageScope perf_scope(extend_perf);
     const util::Timer timer;
     m.extend(position.hi + 1, engine, pool);
     const double elapsed = timer.seconds();
@@ -250,6 +266,45 @@ void finalize_ld_stats(ScanProfile& profile, const ScannerOptions& options) {
   ld.kernel_seconds = kernel != nullptr ? kernel->sum : 0.0;
 }
 
+void finalize_perf_stats(ScanProfile& profile) {
+  PerfStats& perf = profile.perf;
+  perf.enabled = util::perf::enabled();
+  perf.source = perf.enabled ? util::perf::source() : "";
+  perf.stages.clear();
+  if (!perf.enabled) return;
+  // Re-group the scan-attributed delta's flat perf.<stage>.<field> counters
+  // into per-stage entries. A std::map keys them stage-name-sorted, matching
+  // the documented PerfStats order without a second sort.
+  std::map<std::string, PerfStageStats> stages;
+  for (const auto& [name, value] : profile.telemetry.counters) {
+    const std::string_view view(name);
+    if (view.substr(0, 5) != "perf.") continue;
+    const std::size_t last_dot = view.rfind('.');
+    if (last_dot == std::string_view::npos || last_dot <= 5) continue;
+    const std::string stage_name(view.substr(5, last_dot - 5));
+    const std::string_view field = view.substr(last_dot + 1);
+    PerfStageStats& stats = stages[stage_name];
+    stats.stage = stage_name;
+    if (field == "scopes") {
+      stats.scopes = value;
+    } else if (field == "cycles") {
+      stats.cycles = value;
+    } else if (field == "instructions") {
+      stats.instructions = value;
+    } else if (field == "cache_misses") {
+      stats.cache_misses = value;
+    } else if (field == "branch_misses") {
+      stats.branch_misses = value;
+    } else if (field == "task_clock_ns") {
+      stats.task_clock_seconds = static_cast<double>(value) * 1e-9;
+    }
+  }
+  for (auto& [stage_name, stats] : stages) {
+    if (stats.scopes == 0) continue;  // stage never entered during this scan
+    perf.stages.push_back(std::move(stats));
+  }
+}
+
 bool score_position(OmegaBackend& backend, const DpMatrix& m,
                     const GridPosition& position,
                     const RecoveryPolicy& recovery, ScanProfile& profile,
@@ -259,6 +314,9 @@ bool score_position(OmegaBackend& backend, const DpMatrix& m,
   RecoveryOutcome outcome;
   {
     const util::trace::Span span("scan.omega.search");
+    static util::perf::StageCounters& search_perf =
+        util::perf::stage("scan.omega_search");
+    const util::perf::StageScope perf_scope(search_perf);
     const util::Timer timer;
     outcome = recover_max_omega(backend, m, position, recovery, profile.faults);
     profile.stages.omega_search_seconds += timer.seconds();
@@ -273,6 +331,9 @@ bool score_position(OmegaBackend& backend, const DpMatrix& m,
   }
   if (!outcome.ok) {
     score.quarantined = true;
+    // Exhausted recovery is a flight-recorder trigger: the first quarantine
+    // since arm() dumps the black box (later ones only bump the counter).
+    util::flight::note_fault_exhausted();
     return false;
   }
   score.max_omega = outcome.result.max_omega;
@@ -571,6 +632,7 @@ ScanResult scan(const io::Dataset& dataset, const ScannerOptions& options,
   result.profile.telemetry =
       util::telemetry::snapshot().delta_since(telemetry_begin);
   detail::finalize_ld_stats(result.profile, options);
+  detail::finalize_perf_stats(result.profile);
   if (options.progress != nullptr) options.progress->finish();
   return result;
 }

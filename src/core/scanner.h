@@ -422,6 +422,62 @@ struct LdStats {
   double kernel_seconds = 0.0;    // time in the count microkernels
 };
 
+/// Per-stage hardware-counter totals (profile/metrics schema v11). Filled by
+/// the drivers from the scan's telemetry delta over the
+/// perf.<stage>.{scopes,cycles,...} counters that util/perf_counters.h
+/// StageScopes record, so — exactly like the v9 "ld" block — streamed scans
+/// accumulate across chunks and resumes accumulate across runs. The stage
+/// set mirrors the instrumented latency histograms: scan.reset / relocate /
+/// extend / omega_search, ld.pack / ld.kernel, stream.chunk_fetch — each
+/// stage's `scopes` equals the matching histogram's sample count.
+struct PerfStageStats {
+  std::string stage;
+  std::uint64_t scopes = 0;        // StageScopes entered (== histogram count)
+  std::uint64_t cycles = 0;        // 0 under the clock-only fallback
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  double task_clock_seconds = 0.0;  // thread CPU time inside the scopes
+
+  /// Instructions per cycle; 0 when no hardware counts were read.
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  /// Cache misses per thousand instructions (MPKI).
+  [[nodiscard]] double cache_mpki() const noexcept {
+    return instructions > 0 ? 1000.0 * static_cast<double>(cache_misses) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+  }
+  /// Branch misses per thousand instructions.
+  [[nodiscard]] double branch_mpki() const noexcept {
+    return instructions > 0 ? 1000.0 * static_cast<double>(branch_misses) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+  }
+};
+
+/// Hardware-counter profile of the scan (profile/metrics schema v11):
+/// disabled (empty) unless util::perf::enable() — the CLI's --perf-counters
+/// — was armed. `source` distinguishes real perf_event groups from the
+/// rusage/steady-clock fallback a denied host degrades to.
+struct PerfStats {
+  bool enabled = false;
+  std::string source;  // "perf_event" | "fallback" | "" when disabled
+  /// Stage-name-sorted entries; only stages that recorded scopes appear.
+  std::vector<PerfStageStats> stages;
+
+  [[nodiscard]] const PerfStageStats* find(
+      std::string_view stage_name) const noexcept {
+    for (const PerfStageStats& entry : stages) {
+      if (entry.stage == stage_name) return &entry;
+    }
+    return nullptr;
+  }
+};
+
 /// Per-partition accounting of the heterogeneous co-scheduler (schema v10):
 /// what the planner promised each backend and what it actually delivered.
 struct HeteroPartitionStats {
@@ -439,6 +495,12 @@ struct HeteroPartitionStats {
   /// measured busy wall time (max over its workers, summed across runs).
   double modeled_seconds = 0.0;
   double measured_seconds = 0.0;
+  /// EWMA of measured throughput (core/rate_estimator.h), folded in once per
+  /// planner run — the measured-vs-modeled error signal next to
+  /// modeled_seconds (v11). Latest estimate wins across chunk merges and
+  /// checkpoint resumes; 0 until the partition settles its first positions.
+  double measured_rate_per_s = 0.0;
+  std::uint64_t rate_observations = 0;
 };
 
 /// Heterogeneous co-scheduler accounting (profile/metrics schema v10):
@@ -503,6 +565,9 @@ struct ScanProfile {
   /// Heterogeneous co-scheduler accounting (v10); disabled unless the scan
   /// ran with a HeteroConfig.
   HeteroStats hetero;
+  /// Hardware-counter per-stage profile (v11); disabled unless
+  /// util::perf::enable() was armed (CLI --perf-counters).
+  PerfStats perf;
   /// Distributional telemetry attributed to this scan (v6): the delta of the
   /// process-wide util/telemetry registry between scan start and end —
   /// queue-depth, task/chunk/retry-latency histograms, overlap-ratio gauges

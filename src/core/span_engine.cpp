@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "core/scan_driver.h"
 #include "core/workload.h"
@@ -149,6 +150,7 @@ void scan_spans_parallel(const std::vector<GridPosition>& grid,
           if (cancel != nullptr && cancel->should_stop()) break;
           const ScanSpan& span = spans[claim->item];
           const util::Timer busy;
+          const std::uint64_t positions_before = wstats.positions;
           ++wstats.spans;
           if (claim->stolen) {
             ++wstats.steals;
@@ -173,6 +175,15 @@ void scan_spans_parallel(const std::vector<GridPosition>& grid,
           const double elapsed = busy.seconds();
           wstats.busy_seconds += elapsed;
           busy_hist.record(elapsed);
+          // Measured-rate EWMA, one observation per claimed span. Exported
+          // as a gauge only (metrics_diff skips the telemetry subtree): the
+          // per-span signal is far too noisy to gate benchmarks on.
+          state.rate.observe(wstats.positions - positions_before, elapsed);
+          if (state.rate.observations() > 0) {
+            util::telemetry::gauge("sched.worker" + std::to_string(w) +
+                                   ".rate_per_s")
+                .set(state.rate.rate_per_s());
+          }
         }
       } catch (const util::CancelledError&) {
         // A simulator backend observed the cancel mid-launch: this worker's

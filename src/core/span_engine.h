@@ -22,6 +22,7 @@
 
 #include "core/dp_matrix.h"
 #include "core/grid.h"
+#include "core/rate_estimator.h"
 #include "core/scan_driver.h"
 #include "core/scanner.h"
 #include "ld/ld_engine.h"
@@ -54,10 +55,15 @@ struct ScanSpan {
 
 /// Per-worker scan state that outlives one scan_spans_parallel call: the
 /// streaming driver keeps these across chunks so each worker's DP matrix can
-/// carry over chunk seams exactly like the serial stream scan does.
+/// carry over chunk seams exactly like the serial stream scan does. The rate
+/// estimator EWMAs the worker's measured positions/sec across its claimed
+/// spans (one observation per claim); it feeds the
+/// "sched.worker<w>.rate_per_s" telemetry gauge only — deliberately not
+/// SchedWorkerStats — so bench diff gates never see this noisy signal.
 struct SpanWorkerState {
   DpMatrix matrix;
   bool live = false;
+  RateEstimator rate;
 };
 
 /// Runs `spans` over `grid` with work stealing. backends / states /

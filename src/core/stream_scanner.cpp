@@ -13,6 +13,7 @@
 #include "core/span_engine.h"
 #include "io/fingerprint.h"
 #include "par/thread_pool.h"
+#include "util/perf_counters.h"
 #include "util/progress.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
@@ -156,6 +157,7 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
     profile.telemetry =
         util::telemetry::snapshot().delta_since(telemetry_begin);
     detail::finalize_ld_stats(profile, options);
+    detail::finalize_perf_stats(profile);
     if (options.progress != nullptr) {
       options.progress->begin(valid_positions, plan.chunks.size());
       options.progress->finish();
@@ -295,6 +297,12 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
   std::future<void> inflight;
   auto submit_fetch = [&](std::size_t slot) {
     inflight = io_pool.submit([&reader, &slots, &stream, &fetch_hist, slot] {
+      // Counter scope on the IO pool thread: chunk parsing is the stream
+      // pipeline's memory-bound stage, so its miss rates are the interesting
+      // ones. One scope per fetch == one fetch_hist sample (v11 invariant).
+      static util::perf::StageCounters& fetch_perf =
+          util::perf::stage("stream.chunk_fetch");
+      const util::perf::StageScope perf_scope(fetch_perf);
       const util::Timer timer;
       slots[slot] = reader.next();
       const double elapsed = timer.seconds();
@@ -334,6 +342,7 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
                            .delta_since(telemetry_begin)
                            .merged_with(resumed_telemetry);
     detail::finalize_ld_stats(totals, options);
+    detail::finalize_perf_stats(totals);
     return totals;
   };
   std::size_t committed = k0;
@@ -545,6 +554,7 @@ ScanResult stream_scan(io::ChunkReader& reader, const ScannerOptions& options,
                           .delta_since(telemetry_begin)
                           .merged_with(resumed_telemetry);
   detail::finalize_ld_stats(profile, options);
+  detail::finalize_perf_stats(profile);
   if (options.progress != nullptr) options.progress->finish();
   return result;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/cpu_features.h"
+#include "util/perf_counters.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -209,6 +210,11 @@ void PackedLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
       util::telemetry::histogram("ld.pack_seconds");
   static util::telemetry::Histogram& kernel_hist =
       util::telemetry::histogram("ld.kernel_seconds");
+  // Hardware-counter scopes cover exactly the histograms' timed regions so
+  // perf.ld.pack/ld.kernel scope counts reconcile with the histogram counts.
+  static util::perf::StageCounters& pack_perf = util::perf::stage("ld.pack");
+  static util::perf::StageCounters& kernel_perf =
+      util::perf::stage("ld.kernel");
   const util::trace::Span span("ld.packed.r2_block");
   note_served(static_cast<std::uint64_t>(i1 - i0) * (j1 - j0));
   const std::size_t m = i1 - i0;
@@ -216,12 +222,14 @@ void PackedLd::r2_block(std::size_t i0, std::size_t i1, std::size_t j0,
   if (m == 0 || n == 0) return;
 
   {
+    const util::perf::StageScope perf_scope(pack_perf);
     const util::Timer pack_timer;
     ensure_packed(i0, i1);
     ensure_packed(j0, j1);
     pack_hist.record(pack_timer.seconds());
   }
 
+  const util::perf::StageScope kernel_perf_scope(kernel_perf);
   const util::Timer kernel_timer;
   constexpr std::size_t MR = PackedBlocking::mr;
   constexpr std::size_t NR = PackedBlocking::nr;

@@ -1,0 +1,371 @@
+#include "util/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/perf_counters.h"
+#include "util/telemetry.h"
+#include "util/trace.h"
+
+namespace omega::util::flight {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_dumping{false};
+std::atomic<std::uint64_t> g_dumps{0};
+std::atomic<std::uint64_t> g_fault_notes{0};
+
+/// Immortal (never destroyed): signal handlers may race process teardown —
+/// the same pattern as the cancel token and telemetry registry.
+struct State {
+  std::mutex mutex;
+  FlightRecorderConfig config;
+  bool hooks_installed = false;
+  std::terminate_handler prev_terminate = nullptr;
+};
+
+State& state() {
+  static State* instance = new State();
+  return *instance;
+}
+
+// ---- JSON building (no core/metrics_json here: util must not depend on
+// core, so the recorder carries its own minimal writer) ----
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double value) {
+  if (value != value || value - value != 0.0) {  // NaN / +-Inf
+    out += "0";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out += buffer;
+}
+
+void append_trace(std::string& out, std::size_t max_events) {
+  trace::TraceSnapshot snap = trace::take_snapshot();
+  // The ring is in storage order; the dump wants the newest events. Sort by
+  // start time and keep the tail.
+  std::sort(snap.events.begin(), snap.events.end(),
+            [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
+              return a.start_s < b.start_s;
+            });
+  const std::size_t keep = std::min(max_events, snap.events.size());
+  const std::size_t first = snap.events.size() - keep;
+  out += "\"trace\":{\"recorded\":";
+  append_uint(out, snap.recorded);
+  out += ",\"dropped\":";
+  append_uint(out, snap.dropped + static_cast<std::uint64_t>(first));
+  out += ",\"num_threads\":";
+  append_uint(out, snap.num_threads);
+  out += ",\"events\":[";
+  for (std::size_t i = first; i < snap.events.size(); ++i) {
+    const trace::TraceEvent& event = snap.events[i];
+    if (i != first) out.push_back(',');
+    out += "{\"name\":";
+    append_escaped(out, event.name);
+    out += ",\"thread\":";
+    append_uint(out, event.thread_id);
+    out += ",\"start_s\":";
+    append_double(out, event.start_s);
+    out += ",\"duration_s\":";
+    append_double(out, event.duration_s);
+    out.push_back('}');
+  }
+  out += "]}";
+}
+
+/// Groups the registry's "perf.<stage>.<field>" counters back into
+/// per-stage objects — the same derivation the metrics schema v11 "perf"
+/// block uses, so a flight record and a metrics document agree.
+void append_perf(std::string& out,
+                 const telemetry::RegistrySnapshot& registry) {
+  std::map<std::string, std::map<std::string, std::uint64_t>> stages;
+  for (const auto& [name, value] : registry.counters) {
+    const std::string_view view(name);
+    if (view.substr(0, 5) != "perf.") continue;
+    const std::size_t last_dot = view.rfind('.');
+    if (last_dot == std::string_view::npos || last_dot <= 5) continue;
+    stages[std::string(view.substr(5, last_dot - 5))]
+          [std::string(view.substr(last_dot + 1))] = value;
+  }
+  out += "\"perf\":{\"source\":";
+  append_escaped(out, perf::source());
+  out += ",\"stages\":{";
+  bool first_stage = true;
+  for (const auto& [stage, fields] : stages) {
+    if (!first_stage) out.push_back(',');
+    first_stage = false;
+    append_escaped(out, stage);
+    out += ":{";
+    bool first_field = true;
+    for (const auto& [field, value] : fields) {
+      if (!first_field) out.push_back(',');
+      first_field = false;
+      append_escaped(out, field);
+      out.push_back(':');
+      append_uint(out, value);
+    }
+    out.push_back('}');
+  }
+  out += "}}";
+}
+
+void append_telemetry(std::string& out,
+                      const telemetry::RegistrySnapshot& registry) {
+  out += "\"telemetry\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    append_uint(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    append_double(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"base\":";
+    append_double(out, hist.base);
+    out += ",\"count\":";
+    append_uint(out, hist.count);
+    out += ",\"sum\":";
+    append_double(out, hist.sum);
+    out += ",\"min\":";
+    append_double(out, hist.min);
+    out += ",\"max\":";
+    append_double(out, hist.max);
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+      if (hist.buckets[b] == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out += "{\"le\":";
+      append_double(out, hist.bucket_upper_bound(b));
+      out += ",\"count\":";
+      append_uint(out, hist.buckets[b]);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "}}";
+}
+
+bool write_atomically(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ---- triggers ----
+
+struct SignalSlot {
+  int signum;
+  bool fatal;  // restore default + re-raise after the dump
+  void (*previous)(int);
+  const char* reason;
+};
+
+SignalSlot g_slots[] = {
+    {SIGSEGV, true, nullptr, "signal:SIGSEGV"},
+    {SIGBUS, true, nullptr, "signal:SIGBUS"},
+    {SIGILL, true, nullptr, "signal:SIGILL"},
+    {SIGFPE, true, nullptr, "signal:SIGFPE"},
+    {SIGABRT, true, nullptr, "signal:SIGABRT"},
+    {SIGTERM, false, nullptr, "signal:SIGTERM"},
+    {SIGINT, false, nullptr, "signal:SIGINT"},
+};
+
+void flight_signal_handler(int signum) {
+  for (SignalSlot& slot : g_slots) {
+    if (slot.signum != signum) continue;
+    dump(slot.reason);
+    if (slot.fatal) {
+      std::signal(signum, SIG_DFL);
+      std::raise(signum);
+    } else if (slot.previous != nullptr && slot.previous != SIG_IGN &&
+               slot.previous != SIG_ERR) {
+      slot.previous(signum);  // chain (the CLI's cancel handler)
+    }
+    return;
+  }
+}
+
+void flight_terminate_handler() {
+  dump("terminate");
+  const std::terminate_handler prev = state().prev_terminate;
+  if (prev != nullptr) prev();
+  std::abort();
+}
+
+void install_hooks() {
+  State& s = state();
+  if (s.hooks_installed) return;
+  for (SignalSlot& slot : g_slots) {
+    void (*prev)(int) = std::signal(slot.signum, &flight_signal_handler);
+    slot.previous = prev == SIG_DFL ? nullptr : prev;
+  }
+  s.prev_terminate = std::set_terminate(&flight_terminate_handler);
+  s.hooks_installed = true;
+}
+
+void remove_hooks() {
+  State& s = state();
+  if (!s.hooks_installed) return;
+  for (SignalSlot& slot : g_slots) {
+    std::signal(slot.signum,
+                slot.previous == nullptr ? SIG_DFL : slot.previous);
+    slot.previous = nullptr;
+  }
+  std::set_terminate(s.prev_terminate);
+  s.prev_terminate = nullptr;
+  s.hooks_installed = false;
+}
+
+}  // namespace
+
+void arm(FlightRecorderConfig config) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.config = std::move(config);
+  if (s.config.max_events == 0) s.config.max_events = 512;
+  install_hooks();
+  g_fault_notes.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  g_armed.store(false, std::memory_order_release);
+  remove_hooks();
+}
+
+bool armed() noexcept { return g_armed.load(std::memory_order_acquire); }
+
+bool dump(const char* reason) {
+  if (!armed()) return false;
+  // Reentrancy guard: a crash while dumping (or two racing triggers) must
+  // not recurse; the second dump is dropped rather than corrupting the file.
+  if (g_dumping.exchange(true, std::memory_order_acq_rel)) return false;
+  std::string path;
+  std::size_t max_events = 512;
+  {
+    State& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    path = s.config.path;
+    max_events = s.config.max_events;
+  }
+  bool ok = false;
+  if (!path.empty()) {
+    const telemetry::RegistrySnapshot registry = telemetry::snapshot();
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"schema\":\"omega.flight\",\"schema_version\":";
+    append_uint(out, kSchemaVersion);
+    out += ",\"reason\":";
+    append_escaped(out, reason == nullptr ? "manual" : reason);
+    out += ",\"fault_exhaustions\":";
+    append_uint(out, g_fault_notes.load(std::memory_order_relaxed));
+    out.push_back(',');
+    append_trace(out, max_events);
+    out.push_back(',');
+    append_perf(out, registry);
+    out.push_back(',');
+    append_telemetry(out, registry);
+    out += "}\n";
+    ok = write_atomically(path, out);
+    if (ok) g_dumps.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_dumping.store(false, std::memory_order_release);
+  return ok;
+}
+
+void note_fault_exhausted() {
+  if (!armed()) return;
+  if (g_fault_notes.fetch_add(1, std::memory_order_relaxed) == 0) {
+    dump("fault-exhaustion");
+  }
+}
+
+std::uint64_t dumps_written() noexcept {
+  return g_dumps.load(std::memory_order_relaxed);
+}
+
+}  // namespace omega::util::flight

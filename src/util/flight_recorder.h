@@ -1,0 +1,62 @@
+#pragma once
+// Crash flight recorder: a black box for post-mortems without a reproduction
+// (docs/OBSERVABILITY.md § Flight recorder, docs/ROBUSTNESS.md).
+//
+// arm() registers a dump path; from then on the process dumps its
+// observability state — the last N trace-ring events, a full telemetry
+// registry snapshot, and the derived hardware-counter ("perf") block — as
+// one JSON document (schema "omega.flight") written atomically
+// (.tmp + rename). Dumps fire on:
+//
+//   * fatal signals (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT): dump, then
+//     restore the default disposition and re-raise so the exit status is
+//     unchanged;
+//   * termination requests (SIGTERM/SIGINT): dump, then chain to the
+//     previously installed handler — the CLI installs the cancel-token
+//     handler first, so a SIGTERM both leaves a flight record and still
+//     drains the scan gracefully;
+//   * std::terminate (uncaught exception / failed invariant): dump, then
+//     chain to the previous terminate handler;
+//   * exhausted fault recovery: the scan driver calls note_fault_exhausted()
+//     when retry + quarantine gives up on a position — the first such event
+//     since arm() dumps (later ones would overwrite the interesting state);
+//   * dump(reason), for callers with their own trigger.
+//
+// Dumping from a signal handler is best-effort (it allocates), which is the
+// standard flight-recorder trade-off: on the fatal paths the alternative is
+// no data at all.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace omega::util::flight {
+
+struct FlightRecorderConfig {
+  std::string path;              ///< dump destination (e.g. <metrics>.flight.json)
+  std::size_t max_events = 512;  ///< newest trace events kept in the dump
+};
+
+/// Installs the signal/terminate hooks and enables dumping. Re-arming
+/// replaces the configuration; handlers chain to whatever was installed
+/// before the FIRST arm().
+void arm(FlightRecorderConfig config);
+
+/// Stops dumping and restores the signal/terminate handlers captured at the
+/// first arm(). Safe to call when not armed.
+void disarm();
+
+[[nodiscard]] bool armed() noexcept;
+
+/// Writes a flight record now with the given reason tag. Returns false when
+/// disarmed, already dumping on another thread, or the write failed.
+bool dump(const char* reason);
+
+/// Fault-recovery exhaustion trigger: dumps with reason "fault-exhaustion"
+/// on the first call since arm(); later calls only count.
+void note_fault_exhausted();
+
+/// Dumps written since the first arm() (testing/monitoring).
+[[nodiscard]] std::uint64_t dumps_written() noexcept;
+
+}  // namespace omega::util::flight

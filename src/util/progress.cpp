@@ -42,9 +42,17 @@ std::string ProgressUpdate::line() const {
     out.precision(positions_per_second < 10.0 ? 2 : 0);
     out << std::fixed << ", " << positions_per_second << " pos/s";
   }
-  if (eta_seconds >= 0.0 && !final) {
-    out << ", ETA ";
-    append_duration(out, eta_seconds);
+  if (!final) {
+    if (eta_seconds >= 0.0) {
+      out << ", ETA ";
+      append_duration(out, eta_seconds);
+    } else if (positions_total > 0) {
+      // The total is known but the measured rate is still zero (typically
+      // the begin() update, before the first position lands): show an
+      // explicit placeholder rather than dropping the field or extrapolating
+      // from a meaningless rate.
+      out << ", ETA —";
+    }
   }
   if (final) {
     out << ", done in ";

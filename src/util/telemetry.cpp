@@ -300,13 +300,23 @@ std::string to_text() {
   const RegistrySnapshot snap = snapshot();
   std::ostringstream out;
   out.precision(12);
+  // Exposition-format HELP text: the registry carries no descriptions, so
+  // the help line echoes the original (pre-sanitization) metric name — that
+  // is the identifier documented in docs/OBSERVABILITY.md's metric tables.
+  const auto help = [&out](const std::string& id, const std::string& name,
+                           const char* kind) {
+    out << "# HELP " << id << " omega telemetry " << kind << " '" << name
+        << "'\n";
+  };
   for (const auto& [name, value] : snap.counters) {
     const std::string id = sanitized(name);
+    help(id, name, "counter");
     out << "# TYPE " << id << " counter\n";
     out << id << " " << value << "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string id = sanitized(name);
+    help(id, name, "gauge");
     out << "# TYPE " << id << " gauge\n";
     out << id << " ";
     format_number(out, value);
@@ -314,6 +324,7 @@ std::string to_text() {
   }
   for (const auto& [name, hist] : snap.histograms) {
     const std::string id = sanitized(name);
+    help(id, name, "histogram");
     out << "# TYPE " << id << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < kHistogramBuckets; ++i) {

@@ -214,8 +214,9 @@ void reset();
 
 /// Prometheus-style text exposition of the current registry state: counters
 /// and gauges as single samples, histograms as cumulative `_bucket{le=...}`
-/// series plus `_sum`/`_count`. Metric names are sanitized to
-/// `omega_<name with [^a-zA-Z0-9_] -> _>`.
+/// series plus `_sum`/`_count`. Every family gets a `# HELP`/`# TYPE` pair;
+/// the help line echoes the original registry name. Metric names are
+/// sanitized to `omega_<name with [^a-zA-Z0-9_] -> _>`.
 [[nodiscard]] std::string to_text();
 
 }  // namespace omega::util::telemetry

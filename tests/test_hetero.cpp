@@ -668,10 +668,10 @@ TEST(HeteroResume, HeteroStatsAccumulateAcrossResume) {
 }
 
 // ---------------------------------------------------------------------------
-// Schema v10 "hetero" metrics block
+// Schema "hetero" metrics block (v10, partition rates since v11)
 // ---------------------------------------------------------------------------
 
-TEST(HeteroMetrics, SchemaV10BlockCarriesPartitionTable) {
+TEST(HeteroMetrics, SchemaBlockCarriesPartitionTable) {
   const auto dataset = hetero_dataset();
   auto options = hetero_options();
   const HeteroConfig config = make_config("3:2:1");
@@ -682,7 +682,8 @@ TEST(HeteroMetrics, SchemaV10BlockCarriesPartitionTable) {
   const auto doc =
       omega::core::metrics::scan_metrics("hetero-metrics", result.profile);
   const auto parsed = omega::core::metrics::JsonValue::parse(doc.dump());
-  EXPECT_EQ(parsed.at("schema_version").as_int(), 10);
+  EXPECT_EQ(parsed.at("schema_version").as_int(),
+            omega::core::metrics::kSchemaVersion);
   const auto& hetero = parsed.at("hetero");
   EXPECT_TRUE(hetero.at("enabled").as_bool());
   EXPECT_EQ(hetero.at("split").as_string(), "3:2:1");
@@ -696,6 +697,9 @@ TEST(HeteroMetrics, SchemaV10BlockCarriesPartitionTable) {
     weight_sum += partition.at("weight").as_double();
     actual += partition.at("actual_positions").as_uint();
     EXPECT_GE(partition.at("measured_seconds").as_double(), 0.0);
+    // v11: one rate observation per partition per plan run.
+    EXPECT_EQ(partition.at("rate_observations").as_uint(), 1u);
+    EXPECT_GE(partition.at("measured_rate_per_s").as_double(), 0.0);
   }
   EXPECT_NEAR(weight_sum, 1.0, 1e-9);
   EXPECT_EQ(actual, result.profile.positions_scanned);

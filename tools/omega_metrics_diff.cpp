@@ -35,13 +35,15 @@ void print_usage() {
       "usage: omega_metrics_diff BASELINE.json CANDIDATE.json [MORE.json...]\n"
       "                          [--threshold FRACTION] [--min-seconds S]\n"
       "                          [--watch SUBSTRING]... [--allow-cross-host]\n"
-      "                          [--allow-schema-drift] [--all]\n"
+      "                          [--allow-schema-drift] [--all] [--json]\n"
       "\n"
       "Compares metrics/BENCH JSON files against the first (the baseline)\n"
       "and exits non-zero when a watched metric regresses beyond the\n"
       "threshold (default 0.20 = 20%%). --allow-schema-drift diffs only\n"
       "the intersecting metric keys when schema versions differ (host\n"
-      "blocks must still match unless --allow-cross-host).\n");
+      "blocks must still match unless --allow-cross-host). --json replaces\n"
+      "the table with one machine-readable omega.metrics.diff document\n"
+      "(per-key deltas, per-comparison verdicts, and the exit reason).\n");
 }
 
 omega::core::metrics::JsonValue load(const std::string& path) {
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   omega::core::metrics::DiffOptions options;
   bool all = false;
+  bool json_output = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* flag) -> std::string {
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
       options.allow_schema_drift = true;
     } else if (arg == "--all") {
       all = true;
+    } else if (arg == "--json") {
+      json_output = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       print_usage();
@@ -101,24 +106,35 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = kExitOk;
+  omega::core::metrics::JsonValue comparisons =
+      omega::core::metrics::JsonValue::array();
   try {
     const omega::core::metrics::JsonValue baseline = load(files[0]);
     for (std::size_t i = 1; i < files.size(); ++i) {
       const omega::core::metrics::JsonValue candidate = load(files[i]);
       const omega::core::metrics::DiffReport report =
           omega::core::metrics::diff_metrics(baseline, candidate, options);
-      std::printf("== %s vs %s ==\n", files[0].c_str(), files[i].c_str());
-      std::fputs(omega::core::metrics::render_diff_table(report, all).c_str(),
-                 stdout);
+      if (json_output) {
+        auto entry = omega::core::metrics::render_diff_json(report, all);
+        entry.set("candidate_file", files[i]);
+        comparisons.push_back(std::move(entry));
+      } else {
+        std::printf("== %s vs %s ==\n", files[0].c_str(), files[i].c_str());
+        std::fputs(
+            omega::core::metrics::render_diff_table(report, all).c_str(),
+            stdout);
+      }
       if (!report.error.empty()) {
         exit_code = std::max(exit_code, kExitHostMismatch);
         continue;
       }
       if (report.regressed) {
-        std::printf("%zu watched metric(s) regressed beyond %.0f%%\n",
-                    report.regressions(), options.threshold * 100.0);
+        if (!json_output) {
+          std::printf("%zu watched metric(s) regressed beyond %.0f%%\n",
+                      report.regressions(), options.threshold * 100.0);
+        }
         exit_code = std::max(exit_code, kExitRegressed);
-      } else {
+      } else if (!json_output) {
         std::printf("no regression beyond %.0f%%\n",
                     options.threshold * 100.0);
       }
@@ -126,6 +142,23 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitUsage;
+  }
+  if (json_output) {
+    // One top-level document wrapping every comparison so automation parses
+    // a single object regardless of how many candidates were given. The
+    // exit reason mirrors the process exit code.
+    omega::core::metrics::JsonValue doc =
+        omega::core::metrics::JsonValue::object();
+    doc.set("schema", "omega.metrics.diff");
+    doc.set("schema_version", 1);
+    doc.set("baseline_file", files[0]);
+    doc.set("threshold", options.threshold);
+    doc.set("comparisons", std::move(comparisons));
+    doc.set("exit_code", exit_code);
+    doc.set("exit_reason", exit_code == kExitOk          ? "ok"
+                           : exit_code == kExitRegressed ? "regressed"
+                                                         : "refused");
+    std::printf("%s\n", doc.dump().c_str());
   }
   return exit_code;
 }
